@@ -1,0 +1,27 @@
+//! One micro-scale accuracy run per table/figure of the paper, wired into
+//! `cargo bench` so the whole evaluation surface is exercised and timed.
+//! These measure the *pipeline cost* of each experiment at miniature
+//! parameters; the real regeneration binaries are `cargo run -p ldp-bench
+//! --release --bin fig4|tab5|tab6|tab7|fig8|fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ldp_bench::micro_context;
+use ldp_eval::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = micro_context();
+    let mut group = c.benchmark_group("figure_pipelines_micro");
+    group.sample_size(10);
+    group.bench_function("fig4", |b| b.iter(|| black_box(experiments::fig4::run(&ctx))));
+    group.bench_function("tab5", |b| b.iter(|| black_box(experiments::tab5::run(&ctx))));
+    group.bench_function("tab6", |b| b.iter(|| black_box(experiments::tab6::run(&ctx))));
+    group.bench_function("tab7", |b| b.iter(|| black_box(experiments::tab7::run(&ctx))));
+    group.bench_function("fig8", |b| b.iter(|| black_box(experiments::fig8::run(&ctx))));
+    group.bench_function("fig9", |b| b.iter(|| black_box(experiments::fig9::run(&ctx))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

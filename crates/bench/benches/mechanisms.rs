@@ -1,0 +1,120 @@
+//! End-to-end mechanism benchmarks: per-user reporting cost, population
+//! simulation throughput, constrained inference, and query evaluation —
+//! the "related costs … are very low for these methods" claim (§1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ldp_freq_oracle::FrequencyOracle;
+use ldp_ranges::{
+    Epsilon, HaarConfig, HaarHrrClient, HaarHrrServer, HhClient, HhConfig, HhServer, quantile,
+    RangeEstimate,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps() -> Epsilon {
+    Epsilon::from_exp(3.0)
+}
+
+fn bench_client_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_report_d65536");
+    let domain = 1 << 16;
+    let mut rng = StdRng::seed_from_u64(11);
+    {
+        let config = HhConfig::with_oracle(domain, 4, eps(), FrequencyOracle::Hrr).unwrap();
+        let client = HhClient::new(config).unwrap();
+        group.bench_function("TreeHRR_B4", |b| {
+            b.iter(|| black_box(client.report(black_box(12_345), &mut rng).unwrap()))
+        });
+    }
+    {
+        let config = HaarConfig::new(domain, eps()).unwrap();
+        let client = HaarHrrClient::new(config).unwrap();
+        group.bench_function("HaarHRR", |b| {
+            b.iter(|| black_box(client.report(black_box(12_345), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_population_absorb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("absorb_population_2e20_users");
+    group.sample_size(10);
+    let domain = 1 << 14;
+    let counts = vec![64u64; domain];
+    group.bench_function("TreeOUE_B4", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| {
+            let config = HhConfig::new(domain, 4, eps()).unwrap();
+            let mut server = HhServer::new(config).unwrap();
+            server.absorb_population(black_box(&counts), &mut rng).unwrap();
+            black_box(server.num_reports())
+        })
+    });
+    group.bench_function("HaarHRR", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| {
+            let config = HaarConfig::new(domain, eps()).unwrap();
+            let mut server = HaarHrrServer::new(config).unwrap();
+            server.absorb_population(black_box(&counts), &mut rng).unwrap();
+            black_box(server.num_reports())
+        })
+    });
+    group.finish();
+}
+
+fn bench_constrained_inference(c: &mut Criterion) {
+    // The linear-time two-stage CI pass (§4.5).
+    let domain = 1 << 16;
+    let counts = vec![16u64; domain];
+    let mut rng = StdRng::seed_from_u64(14);
+    let config = HhConfig::new(domain, 4, eps()).unwrap();
+    let mut server = HhServer::new(config).unwrap();
+    server.absorb_population(&counts, &mut rng).unwrap();
+    c.bench_function("constrained_inference_d65536_b4", |b| {
+        b.iter(|| black_box(server.estimate_consistent()))
+    });
+}
+
+fn bench_range_query_evaluation(c: &mut Criterion) {
+    let domain = 1 << 16;
+    let counts = vec![16u64; domain];
+    let mut rng = StdRng::seed_from_u64(15);
+    let config = HhConfig::new(domain, 4, eps()).unwrap();
+    let mut server = HhServer::new(config).unwrap();
+    server.absorb_population(&counts, &mut rng).unwrap();
+    let raw = server.estimate();
+    let collapsed = server.estimate_consistent().to_frequency_estimate();
+    let mut group = c.benchmark_group("range_query_d65536");
+    group.bench_function("tree_decomposition", |b| {
+        b.iter(|| black_box(raw.range(black_box(1_234), black_box(45_678))))
+    });
+    group.bench_function("prefix_sums_after_ci", |b| {
+        b.iter(|| black_box(collapsed.range(black_box(1_234), black_box(45_678))))
+    });
+    group.finish();
+}
+
+fn bench_quantile_search(c: &mut Criterion) {
+    let domain = 1 << 16;
+    let counts = vec![16u64; domain];
+    let mut rng = StdRng::seed_from_u64(16);
+    let config = HaarConfig::new(domain, eps()).unwrap();
+    let mut server = HaarHrrServer::new(config).unwrap();
+    server.absorb_population(&counts, &mut rng).unwrap();
+    let est = server.estimate();
+    c.bench_function("quantile_search_haar_d65536", |b| {
+        b.iter(|| black_box(quantile(&est, black_box(0.5))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_client_report,
+    bench_population_absorb,
+    bench_constrained_inference,
+    bench_range_query_evaluation,
+    bench_quantile_search
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Cost benchmarks for the frequency oracles — the paper's resource claims
+//! (§3.2): client-side encoding is cheap for all mechanisms; aggregation is
+//! `O(N + D log D)` for HRR versus `O(N·D)` for OLH; OUE pays `O(D)`
+//! communication/computation per user.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldp_freq_oracle::{Epsilon, Hrr, Olh, Oue, PointOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let eps = Epsilon::from_exp(3.0);
+    let mut group = c.benchmark_group("oracle_encode");
+    for domain in [256usize, 4096] {
+        let oue = Oue::new(domain, eps).unwrap();
+        let olh = Olh::new(domain, eps).unwrap();
+        let hrr = Hrr::new(domain, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("OUE", domain), &domain, |b, _| {
+            b.iter(|| black_box(oue.encode(black_box(5), &mut rng).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("OLH", domain), &domain, |b, _| {
+            b.iter(|| black_box(olh.encode(black_box(5), &mut rng).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("HRR", domain), &domain, |b, _| {
+            b.iter(|| black_box(hrr.encode(black_box(5), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_absorb(c: &mut Criterion) {
+    let eps = Epsilon::from_exp(3.0);
+    let domain = 1024usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("oracle_absorb_one_report");
+    {
+        let oracle = Oue::new(domain, eps).unwrap();
+        let report = oracle.encode(7, &mut rng).unwrap();
+        let mut server = oracle.clone();
+        group.bench_function("OUE", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+    }
+    {
+        let oracle = Olh::new(domain, eps).unwrap();
+        let report = oracle.encode(7, &mut rng).unwrap();
+        let mut server = oracle.clone();
+        // The O(D) support scan per report — OLH's decode bottleneck.
+        group.bench_function("OLH", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+    }
+    {
+        let oracle = Hrr::new(domain, eps).unwrap();
+        let report = oracle.encode(7, &mut rng).unwrap();
+        let mut server = oracle.clone();
+        group.bench_function("HRR", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_population_simulation(c: &mut Criterion) {
+    // The statistically-equivalent aggregate path: absorbing 2^20 users at
+    // once (OUE and HRR; OLH has no aggregate shortcut).
+    let eps = Epsilon::from_exp(3.0);
+    let mut group = c.benchmark_group("oracle_absorb_population_2e20");
+    group.sample_size(10);
+    for domain in [1024usize, 65_536] {
+        let counts = vec![(1u64 << 20) / domain as u64; domain];
+        group.bench_with_input(BenchmarkId::new("OUE", domain), &domain, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut oracle = Oue::new(domain, eps).unwrap();
+                oracle.absorb_population(black_box(&counts), &mut rng).unwrap();
+                black_box(oracle.num_reports())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HRR", domain), &domain, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let mut oracle = Hrr::new(domain, eps).unwrap();
+                oracle.absorb_population(black_box(&counts), &mut rng).unwrap();
+                black_box(oracle.num_reports())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    // Aggregator decode: HRR's O(D log D) inverse transform vs OUE's O(D)
+    // correction (OLH's cost is in absorb, measured above).
+    let eps = Epsilon::from_exp(3.0);
+    let domain = 1 << 14;
+    let counts = vec![64u64; domain];
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut oue = Oue::new(domain, eps).unwrap();
+    oue.absorb_population(&counts, &mut rng).unwrap();
+    let mut hrr = Hrr::new(domain, eps).unwrap();
+    hrr.absorb_population(&counts, &mut rng).unwrap();
+    let mut group = c.benchmark_group("oracle_estimate_d16384");
+    group.bench_function("OUE", |b| b.iter(|| black_box(oue.estimate())));
+    group.bench_function("HRR", |b| b.iter(|| black_box(hrr.estimate())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_absorb,
+    bench_population_simulation,
+    bench_estimate
+);
+criterion_main!(benches);

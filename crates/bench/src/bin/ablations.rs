@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (sampling vs splitting, level weights,
+//! fanout, oracle choice). See `ldp_eval::experiments::ablations`.
+
+fn main() {
+    ldp_bench::run_and_print("ablations", ldp_eval::experiments::ablations::run);
+}

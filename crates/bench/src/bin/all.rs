@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the paper's evaluation in one go.
+
+fn main() {
+    ldp_bench::run_and_print("fig4", ldp_eval::experiments::fig4::run);
+    ldp_bench::run_and_print("tab5 (Figure 5)", ldp_eval::experiments::tab5::run);
+    ldp_bench::run_and_print("tab6 (Figure 6)", ldp_eval::experiments::tab6::run);
+    ldp_bench::run_and_print("tab7 (Figure 7)", ldp_eval::experiments::tab7::run);
+    ldp_bench::run_and_print("fig8", ldp_eval::experiments::fig8::run);
+    ldp_bench::run_and_print("fig9", ldp_eval::experiments::fig9::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("fig4", ldp_eval::experiments::fig4::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("fig8", ldp_eval::experiments::fig8::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("fig9", ldp_eval::experiments::fig9::run);
+}

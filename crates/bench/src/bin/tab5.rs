@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab5 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("tab5", ldp_eval::experiments::tab5::run);
+}

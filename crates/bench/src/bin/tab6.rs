@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab6 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("tab6", ldp_eval::experiments::tab6::run);
+}

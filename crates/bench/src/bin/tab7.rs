@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab7 artifact. See `ldp_bench::run_and_print`.
+
+fn main() {
+    ldp_bench::run_and_print("tab7", ldp_eval::experiments::tab7::run);
+}

@@ -1,0 +1,54 @@
+//! Shared plumbing for the benchmark binaries and criterion benches.
+//!
+//! The figure/table binaries (`fig4`, `tab5`, `tab6`, `tab7`, `fig8`,
+//! `fig9`, `all`) regenerate the paper's evaluation artifacts:
+//!
+//! ```text
+//! cargo run -p ldp-bench --release --bin fig4      # laptop scale
+//! LDP_FULL_SCALE=1 cargo run -p ldp-bench --release --bin fig4   # paper scale
+//! ```
+
+use ldp_eval::{EvalContext, Table};
+
+/// Runs one experiment entry point and prints its table with a scale
+/// banner.
+pub fn run_and_print(name: &str, run: fn(&EvalContext) -> Table) {
+    let ctx = EvalContext::from_env();
+    let scale = if ctx.full_scale { "paper scale (LDP_FULL_SCALE=1)" } else { "laptop scale" };
+    println!(
+        "# {name}: N = 2^{}, repetitions = {}, domains = {:?} [{scale}]\n",
+        ctx.population.trailing_zeros(),
+        ctx.repetitions,
+        ctx.domains,
+    );
+    let started = std::time::Instant::now();
+    let table = run(&ctx);
+    println!("{}", table.render());
+    println!("elapsed: {:.1?}\n", started.elapsed());
+}
+
+/// A micro-scale context for criterion accuracy benches: small enough that
+/// each figure's pipeline runs in milliseconds while still exercising
+/// every code path.
+#[must_use]
+pub fn micro_context() -> EvalContext {
+    EvalContext {
+        population: 1 << 13,
+        repetitions: 1,
+        seed: 99,
+        domains: vec![64],
+        full_scale: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_context_is_tiny() {
+        let c = micro_context();
+        assert!(c.population <= 1 << 14);
+        assert_eq!(c.repetitions, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Centralized hierarchical histograms (Hay et al. / Qardaji et al.).
+//!
+//! The trusted aggregator holds the exact tree of node counts and releases
+//! each of the `h` levels with an equal share `ε/h` of the budget: node
+//! counts get `Lap(h/ε)` noise (each user affects one count per level, so
+//! per-level sensitivity is 1 and the releases compose to ε-DP). This is
+//! the "split the error budget" strategy the paper contrasts with local
+//! level *sampling* (§4.4): splitting costs `h²` in variance where sampling
+//! costs `h`.
+//!
+//! Constrained inference (the same least-squares pass as the local
+//! mechanism) is optional, matching the `HHc_B` rows of Qardaji's Table 3
+//! that the paper reproduces as Figure 7.
+
+use rand::RngCore;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::hh::consistency::enforce_consistency;
+use ldp_ranges::{RangeError, RangeEstimate};
+use ldp_transforms::{decompose_range, exact_log, CompleteTree, FlatTree};
+
+use crate::laplace::{laplace_variance, sample_laplace};
+
+/// The centralized `HH_B` mechanism.
+#[derive(Debug, Clone)]
+pub struct CdpHierarchical {
+    shape: CompleteTree,
+    epsilon: Epsilon,
+}
+
+impl CdpHierarchical {
+    /// Builds the mechanism over `domain = fanout^h`.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the local `HhConfig` validation.
+    pub fn new(domain: usize, fanout: usize, epsilon: Epsilon) -> Result<Self, RangeError> {
+        if fanout < 2 {
+            return Err(RangeError::FanoutTooSmall(fanout));
+        }
+        let height =
+            exact_log(domain, fanout).ok_or(RangeError::DomainNotPowerOfFanout { domain, fanout })?;
+        if height == 0 {
+            return Err(RangeError::DomainTooSmall(domain));
+        }
+        Ok(Self { shape: CompleteTree::with_height(fanout, height), epsilon })
+    }
+
+    /// Per-node Laplace scale: `h/ε` (budget `ε/h` per level).
+    #[must_use]
+    pub fn noise_scale(&self) -> f64 {
+        f64::from(self.shape.height()) / self.epsilon.value()
+    }
+
+    /// Theoretical per-node *fraction* variance for a population of `n`:
+    /// `2(h/ε)² / n²` — note the `1/N²` scaling of the centralized model
+    /// versus `1/N` locally (paper §4.4, "a necessary cost to provide local
+    /// privacy guarantees").
+    #[must_use]
+    pub fn node_variance(&self, n: u64) -> f64 {
+        laplace_variance(self.noise_scale()) / (n as f64 * n as f64)
+    }
+
+    /// Releases a noisy tree from the exact histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram length differs from the domain.
+    pub fn release(
+        &self,
+        true_counts: &[u64],
+        consistent: bool,
+        rng: &mut dyn RngCore,
+    ) -> CdpTreeEstimate {
+        assert_eq!(true_counts.len(), self.shape.domain(), "histogram/domain mismatch");
+        let n: u64 = true_counts.iter().sum();
+        let n_f = if n == 0 { 1.0 } else { n as f64 };
+        let leaf_fracs: Vec<f64> = true_counts.iter().map(|&c| c as f64 / n_f).collect();
+        // Exact tree of fractions, then add count-scale noise / N.
+        let mut tree = FlatTree::from_leaf_sums(self.shape, &leaf_fracs);
+        let scale = self.noise_scale();
+        for depth in 1..=self.shape.height() {
+            for value in tree.level_mut(depth) {
+                *value += sample_laplace(rng, scale) / n_f;
+            }
+        }
+        *tree.get_mut(0, 0) = 1.0;
+        if consistent {
+            enforce_consistency(&mut tree);
+        }
+        CdpTreeEstimate { tree, consistent }
+    }
+}
+
+/// A released centralized hierarchical estimate.
+#[derive(Debug, Clone)]
+pub struct CdpTreeEstimate {
+    tree: FlatTree<f64>,
+    consistent: bool,
+}
+
+impl CdpTreeEstimate {
+    /// Whether constrained inference was applied.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// The underlying noisy tree of fractions.
+    #[must_use]
+    pub fn tree(&self) -> &FlatTree<f64> {
+        &self.tree
+    }
+}
+
+impl RangeEstimate for CdpTreeEstimate {
+    fn domain(&self) -> usize {
+        self.tree.shape().domain()
+    }
+
+    fn range(&self, a: usize, b: usize) -> f64 {
+        let shape = self.tree.shape();
+        decompose_range(&shape, a, b).iter().map(|n| *self.tree.get(n.depth, n.index)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_configuration() {
+        let eps = Epsilon::new(1.0);
+        assert!(CdpHierarchical::new(256, 4, eps).is_ok());
+        assert!(CdpHierarchical::new(100, 4, eps).is_err());
+        assert!(CdpHierarchical::new(16, 1, eps).is_err());
+    }
+
+    #[test]
+    fn release_is_accurate_for_large_populations() {
+        let eps = Epsilon::new(1.0);
+        let mech = CdpHierarchical::new(256, 16, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(131);
+        let counts = vec![10_000u64; 256];
+        let est = mech.release(&counts, true, &mut rng);
+        assert!((est.range(0, 127) - 0.5).abs() < 1e-3);
+        assert!((est.range(0, 255) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_is_enforced_when_requested() {
+        let eps = Epsilon::new(0.5);
+        let mech = CdpHierarchical::new(64, 2, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(132);
+        let counts = vec![100u64; 64];
+        let est = mech.release(&counts, true, &mut rng);
+        let shape = est.tree().shape();
+        for d in 0..shape.height() {
+            for idx in 0..shape.nodes_at_depth(d) {
+                let child_sum: f64 =
+                    shape.children(d, idx).map(|c| *est.tree().get(d + 1, c)).sum();
+                assert!((est.tree().get(d, idx) - child_sum).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn variance_scales_inverse_square_population() {
+        let eps = Epsilon::new(1.0);
+        let mech = CdpHierarchical::new(256, 2, eps).unwrap();
+        let v1 = mech.node_variance(1_000);
+        let v2 = mech.node_variance(2_000);
+        assert!((v1 / v2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_node_variance_matches_theory() {
+        let eps = Epsilon::new(1.0);
+        let mech = CdpHierarchical::new(16, 2, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(133);
+        let counts = vec![1_000u64; 16];
+        let n: u64 = counts.iter().sum();
+        let truth = 1.0 / 16.0;
+        let reps = 2_000;
+        let mut sq = 0.0;
+        for _ in 0..reps {
+            let est = mech.release(&counts, false, &mut rng);
+            sq += (est.range(3, 3) - truth) * (est.range(3, 3) - truth);
+        }
+        let empirical = sq / f64::from(reps);
+        let theory = mech.node_variance(n);
+        assert!((empirical / theory - 1.0).abs() < 0.15, "ratio {}", empirical / theory);
+    }
+}

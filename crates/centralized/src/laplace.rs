@@ -1,0 +1,58 @@
+//! Laplace noise — the workhorse of centralized differential privacy.
+
+use rand::{Rng, RngCore};
+
+/// Draws from the Laplace distribution with location 0 and the given scale
+/// `b` (density `exp(−|x|/b)/(2b)`, variance `2b²`), by inverse-CDF.
+///
+/// # Panics
+///
+/// Panics on a non-positive scale.
+pub fn sample_laplace<R: RngCore + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale > 0.0 && scale.is_finite(), "Laplace scale must be positive, got {scale}");
+    // u uniform in (−1/2, 1/2]; guard the open endpoint to avoid ln(0).
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let u = if u == -0.5 { -0.499_999_999 } else { u };
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Variance of `Lap(scale)`: `2·scale²`.
+#[must_use]
+pub fn laplace_variance(scale: f64) -> f64 {
+    2.0 * scale * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let scale = 3.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var / laplace_variance(scale) - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn symmetric_tails() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| sample_laplace(&mut rng, 1.0) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_scale() {
+        let mut rng = StdRng::seed_from_u64(123);
+        sample_laplace(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Population-scatter helpers shared by the tree mechanisms' simulation
+//! paths.
+
+use rand::RngCore;
+
+use ldp_freq_oracle::binomial::{sample_multinomial, sample_uniform_multinomial};
+
+/// Scatters each item's user count uniformly over `levels` cohorts (exact
+/// multinomial per item) and streams the non-zero `(item, level, count)`
+/// triples to `sink`.
+///
+/// Because every user samples her level independently of her value, this
+/// per-item scatter reproduces the joint distribution of
+/// (level cohort, item histogram) exactly: cohorts are disjoint and their
+/// per-item counts are the multinomial thinning of the true histogram.
+pub fn scatter_item_over_levels<F>(
+    true_counts: &[u64],
+    levels: usize,
+    rng: &mut dyn RngCore,
+    mut sink: F,
+) where
+    F: FnMut(usize, usize, u64),
+{
+    assert!(levels >= 1);
+    for (z, &c) in true_counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let per_level = sample_uniform_multinomial(rng, c, levels);
+        for (l, &cnt) in per_level.iter().enumerate() {
+            if cnt > 0 {
+                sink(z, l, cnt);
+            }
+        }
+    }
+}
+
+/// Weighted variant of [`scatter_item_over_levels`]: cohort probabilities
+/// given by `probs` (summing to 1). Used by the non-uniform level-sampling
+/// ablation of Lemma 4.4.
+pub fn scatter_item_over_weighted_levels<F>(
+    true_counts: &[u64],
+    probs: &[f64],
+    rng: &mut dyn RngCore,
+    mut sink: F,
+) where
+    F: FnMut(usize, usize, u64),
+{
+    assert!(!probs.is_empty());
+    for (z, &c) in true_counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let per_level = sample_multinomial(rng, c, probs);
+        for (l, &cnt) in per_level.iter().enumerate() {
+            if cnt > 0 {
+                sink(z, l, cnt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_totals_per_item() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let counts = vec![10u64, 0, 7, 1_000];
+        let mut back = vec![0u64; 4];
+        scatter_item_over_levels(&counts, 3, &mut rng, |z, _l, c| back[z] += c);
+        assert_eq!(back, counts);
+    }
+
+    #[test]
+    fn levels_receive_uniform_share() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let counts = vec![30_000u64];
+        let mut per_level = [0u64; 5];
+        scatter_item_over_levels(&counts, 5, &mut rng, |_z, l, c| per_level[l] += c);
+        for (l, &c) in per_level.iter().enumerate() {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 0.2).abs() < 0.02, "level {l}: {frac}");
+        }
+    }
+
+    #[test]
+    fn weighted_scatter_preserves_totals_and_tracks_probs() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let counts = vec![40_000u64];
+        let probs = [0.7, 0.2, 0.1];
+        let mut per_level = [0u64; 3];
+        scatter_item_over_weighted_levels(&counts, &probs, &mut rng, |_z, l, c| {
+            per_level[l] += c;
+        });
+        assert_eq!(per_level.iter().sum::<u64>(), 40_000);
+        for (l, &p) in probs.iter().enumerate() {
+            let frac = per_level[l] as f64 / 40_000.0;
+            assert!((frac - p).abs() < 0.02, "level {l}: {frac} vs {p}");
+        }
+    }
+
+    #[test]
+    fn single_level_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let counts = vec![5u64, 6];
+        let mut seen = Vec::new();
+        scatter_item_over_levels(&counts, 1, &mut rng, |z, l, c| seen.push((z, l, c)));
+        assert_eq!(seen, vec![(0, 0, 5), (1, 0, 6)]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Mechanism configurations.
+
+use ldp_freq_oracle::{Epsilon, FrequencyOracle};
+use ldp_transforms::{exact_log, CompleteTree};
+
+use crate::error::RangeError;
+
+/// Configuration of the flat (baseline) mechanism: one frequency oracle
+/// over the whole domain (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct FlatConfig {
+    /// Domain size `D`.
+    pub domain: usize,
+    /// Privacy budget per user.
+    pub epsilon: Epsilon,
+    /// Which frequency oracle to use (the paper's flat baseline is OUE).
+    pub oracle: FrequencyOracle,
+}
+
+impl FlatConfig {
+    /// Builds a flat-mechanism configuration with the paper's default
+    /// oracle choice (OUE: "it can be simulated efficiently and reliably
+    /// provides the lowest error in practice", §5).
+    ///
+    /// # Errors
+    ///
+    /// Rejects domains below 2, and non-power-of-two domains when the
+    /// oracle is HRR.
+    pub fn new(domain: usize, epsilon: Epsilon) -> Result<Self, RangeError> {
+        Self::with_oracle(domain, epsilon, FrequencyOracle::Oue)
+    }
+
+    /// Builds a flat-mechanism configuration with an explicit oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlatConfig::new`].
+    pub fn with_oracle(
+        domain: usize,
+        epsilon: Epsilon,
+        oracle: FrequencyOracle,
+    ) -> Result<Self, RangeError> {
+        if domain < 2 {
+            return Err(RangeError::DomainTooSmall(domain));
+        }
+        if oracle.requires_power_of_two() && !domain.is_power_of_two() {
+            return Err(RangeError::DomainNotPowerOfTwo(domain));
+        }
+        Ok(Self { domain, epsilon, oracle })
+    }
+}
+
+/// Configuration of the hierarchical-histogram mechanism `HH_B`
+/// (paper §4.4).
+#[derive(Debug, Clone)]
+pub struct HhConfig {
+    /// Domain size `D = B^h`.
+    pub domain: usize,
+    /// Branching factor `B`.
+    pub fanout: usize,
+    /// Tree height `h = log_B D`.
+    pub height: u32,
+    /// Privacy budget per user.
+    pub epsilon: Epsilon,
+    /// Frequency oracle used to release each sampled level.
+    pub oracle: FrequencyOracle,
+}
+
+impl HhConfig {
+    /// Builds an `HH_B` configuration with the paper's preferred level
+    /// primitive for accuracy experiments, OUE (`TreeOUE`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects fanouts below 2, domains that are not an exact power of the
+    /// fanout, and domains below `fanout` (the tree needs height ≥ 1).
+    pub fn new(domain: usize, fanout: usize, epsilon: Epsilon) -> Result<Self, RangeError> {
+        Self::with_oracle(domain, fanout, epsilon, FrequencyOracle::Oue)
+    }
+
+    /// Builds an `HH_B` configuration with an explicit level oracle
+    /// (`TreeOUE`, `TreeOLH`, `TreeHRR` in the paper's naming).
+    ///
+    /// # Errors
+    ///
+    /// See [`HhConfig::new`]; additionally rejects HRR when any level
+    /// domain `B^l` would not be a power of two.
+    pub fn with_oracle(
+        domain: usize,
+        fanout: usize,
+        epsilon: Epsilon,
+        oracle: FrequencyOracle,
+    ) -> Result<Self, RangeError> {
+        if fanout < 2 {
+            return Err(RangeError::FanoutTooSmall(fanout));
+        }
+        let height = exact_log(domain, fanout)
+            .ok_or(RangeError::DomainNotPowerOfFanout { domain, fanout })?;
+        if height == 0 {
+            return Err(RangeError::DomainTooSmall(domain));
+        }
+        if oracle.requires_power_of_two() && !fanout.is_power_of_two() {
+            // Level domains are B^l; they are powers of two iff B is.
+            return Err(RangeError::DomainNotPowerOfTwo(fanout));
+        }
+        Ok(Self { domain, fanout, height, epsilon, oracle })
+    }
+
+    /// The tree shape implied by this configuration.
+    #[must_use]
+    pub fn shape(&self) -> CompleteTree {
+        CompleteTree::with_height(self.fanout, self.height)
+    }
+
+    /// Probability with which a user samples any given level — uniform
+    /// `1/h`, the optimum established by Lemma 4.4.
+    #[must_use]
+    pub fn level_probability(&self) -> f64 {
+        1.0 / f64::from(self.height)
+    }
+}
+
+/// Configuration of the Haar-wavelet mechanism `HaarHRR` (paper §4.6).
+#[derive(Debug, Clone)]
+pub struct HaarConfig {
+    /// Domain size `D = 2^h`.
+    pub domain: usize,
+    /// Tree height `h = log2 D`; also the number of detail levels a user
+    /// may sample.
+    pub height: u32,
+    /// Privacy budget per user.
+    pub epsilon: Epsilon,
+}
+
+impl HaarConfig {
+    /// Builds a `HaarHRR` configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects domains that are not powers of two or are below 2.
+    pub fn new(domain: usize, epsilon: Epsilon) -> Result<Self, RangeError> {
+        if domain < 2 {
+            return Err(RangeError::DomainTooSmall(domain));
+        }
+        if !domain.is_power_of_two() {
+            return Err(RangeError::DomainNotPowerOfTwo(domain));
+        }
+        Ok(Self { domain, height: domain.trailing_zeros(), epsilon })
+    }
+
+    /// Uniform level-sampling probability `1/h` (optimal, §4.6).
+    #[must_use]
+    pub fn level_probability(&self) -> f64 {
+        1.0 / f64::from(self.height)
+    }
+}
+
+/// Which range mechanism to run — the top-level knob of the evaluation
+/// harness, mirroring the paper's method names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeMechanism {
+    /// Flat baseline over the whole domain (paper: `OUE`/flat).
+    Flat(FrequencyOracle),
+    /// Hierarchical histogram with the given fanout; `consistent` selects
+    /// the constrained-inference post-processing (paper: `TreeF` /
+    /// `TreeFCI`, a.k.a. `HH_B` / `HHc_B`).
+    Hierarchical {
+        /// Branching factor `B`.
+        fanout: usize,
+        /// Level frequency oracle.
+        oracle: FrequencyOracle,
+        /// Apply constrained inference (§4.5).
+        consistent: bool,
+    },
+    /// Haar wavelet mechanism (paper: `HaarHRR`).
+    HaarHrr,
+}
+
+impl RangeMechanism {
+    /// Display name matching the paper's plots and tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Self::Flat(o) => format!("Flat{o}"),
+            Self::Hierarchical { fanout, oracle, consistent } => {
+                let ci = if *consistent { "CI" } else { "" };
+                format!("Tree{oracle}{ci}(B={fanout})")
+            }
+            Self::HaarHrr => "HaarHRR".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for RangeMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_config_validation() {
+        let eps = Epsilon::new(1.1);
+        assert!(FlatConfig::new(256, eps).is_ok());
+        assert!(matches!(FlatConfig::new(1, eps), Err(RangeError::DomainTooSmall(1))));
+        assert!(FlatConfig::with_oracle(100, eps, FrequencyOracle::Hrr).is_err());
+        assert!(FlatConfig::with_oracle(128, eps, FrequencyOracle::Hrr).is_ok());
+    }
+
+    #[test]
+    fn hh_config_validation() {
+        let eps = Epsilon::new(1.1);
+        let c = HhConfig::new(256, 4, eps).unwrap();
+        assert_eq!(c.height, 4);
+        assert!((c.level_probability() - 0.25).abs() < 1e-12);
+        assert!(matches!(
+            HhConfig::new(100, 4, eps),
+            Err(RangeError::DomainNotPowerOfFanout { .. })
+        ));
+        assert!(matches!(HhConfig::new(256, 1, eps), Err(RangeError::FanoutTooSmall(1))));
+        assert!(matches!(HhConfig::new(1, 2, eps), Err(RangeError::DomainTooSmall(1))));
+        // HRR levels need power-of-two fanout.
+        assert!(HhConfig::with_oracle(81, 3, eps, FrequencyOracle::Hrr).is_err());
+        assert!(HhConfig::with_oracle(81, 3, eps, FrequencyOracle::Oue).is_ok());
+        assert!(HhConfig::with_oracle(256, 4, eps, FrequencyOracle::Hrr).is_ok());
+    }
+
+    #[test]
+    fn haar_config_validation() {
+        let eps = Epsilon::new(1.1);
+        let c = HaarConfig::new(1024, eps).unwrap();
+        assert_eq!(c.height, 10);
+        assert!(matches!(HaarConfig::new(100, eps), Err(RangeError::DomainNotPowerOfTwo(100))));
+        assert!(matches!(HaarConfig::new(1, eps), Err(RangeError::DomainTooSmall(1))));
+    }
+
+    #[test]
+    fn mechanism_names_match_paper() {
+        assert_eq!(RangeMechanism::Flat(FrequencyOracle::Oue).name(), "FlatOUE");
+        assert_eq!(
+            RangeMechanism::Hierarchical {
+                fanout: 4,
+                oracle: FrequencyOracle::Oue,
+                consistent: true
+            }
+            .name(),
+            "TreeOUECI(B=4)"
+        );
+        assert_eq!(RangeMechanism::HaarHrr.name(), "HaarHRR");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for mechanism configuration and protocol handling.
+
+use std::fmt;
+
+use ldp_freq_oracle::OracleError;
+
+/// Errors raised when configuring or running a range-query mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeError {
+    /// The domain size is not an exact power of the requested fanout.
+    DomainNotPowerOfFanout {
+        /// Configured domain size.
+        domain: usize,
+        /// Configured fanout.
+        fanout: usize,
+    },
+    /// The domain must be a power of two (Haar / HRR-based mechanisms).
+    DomainNotPowerOfTwo(usize),
+    /// Fanout must be at least 2.
+    FanoutTooSmall(usize),
+    /// The domain must contain at least two items for range queries to be
+    /// meaningful (and at least one level of the tree to exist).
+    DomainTooSmall(usize),
+    /// The chosen frequency oracle cannot operate at some tree level (e.g.
+    /// HRR over a non-power-of-two level domain).
+    Oracle(OracleError),
+    /// A report was produced by a mechanism with a different shape.
+    ReportShapeMismatch,
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DomainNotPowerOfFanout { domain, fanout } => {
+                write!(f, "domain {domain} is not a power of fanout {fanout}")
+            }
+            Self::DomainNotPowerOfTwo(d) => write!(f, "domain {d} must be a power of two"),
+            Self::FanoutTooSmall(b) => write!(f, "fanout must be at least 2, got {b}"),
+            Self::DomainTooSmall(d) => write!(f, "domain must have at least 2 items, got {d}"),
+            Self::Oracle(e) => write!(f, "frequency oracle error: {e}"),
+            Self::ReportShapeMismatch => write!(f, "report does not match mechanism shape"),
+        }
+    }
+}
+
+impl std::error::Error for RangeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Oracle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OracleError> for RangeError {
+    fn from(e: OracleError) -> Self {
+        Self::Oracle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(RangeError::DomainNotPowerOfFanout { domain: 100, fanout: 4 }
+            .to_string()
+            .contains("100"));
+        assert!(RangeError::DomainNotPowerOfTwo(6).to_string().contains('6'));
+        assert!(RangeError::FanoutTooSmall(1).to_string().contains('1'));
+        assert!(RangeError::DomainTooSmall(1).to_string().contains("at least 2"));
+        assert!(RangeError::from(OracleError::EmptyDomain).to_string().contains("oracle"));
+        assert!(RangeError::ReportShapeMismatch.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn oracle_error_is_source() {
+        use std::error::Error;
+        let e = RangeError::from(OracleError::EmptyDomain);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Quantile queries via prefix-query binary search (paper §4.7).
+//!
+//! The φ-quantile is the index `j` such that at most a φ-fraction of the
+//! data lies below `j` and at most `1 − φ` lies above. Given a mechanism
+//! that answers prefix queries, we binary search for the smallest `j` whose
+//! estimated prefix mass reaches φ. "Errors arise when the noise in
+//! answering prefix queries causes us to select a j that is either too
+//! large or too small" — quantified in the evaluation by both *value error*
+//! `(Q̂ − Q)²` and *quantile error* `|q − q̂|` (Definition 4.7).
+
+use crate::estimate::RangeEstimate;
+
+/// Finds the estimated φ-quantile: the smallest index `j` with
+/// `prefix(j) ≥ φ`, by binary search over `O(log D)` prefix queries.
+///
+/// Noise can make the estimated prefix function locally non-monotone; the
+/// binary search then still terminates with an index whose neighborhood
+/// straddles φ, which is the behavior analyzed in the paper.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ phi ≤ 1`.
+pub fn quantile<E: RangeEstimate + ?Sized>(estimate: &E, phi: f64) -> usize {
+    assert!((0.0..=1.0).contains(&phi), "phi must be in [0,1], got {phi}");
+    let d = estimate.domain();
+    let mut lo = 0usize;
+    let mut hi = d - 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if estimate.prefix(mid) >= phi {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// The nine deciles φ ∈ {0.1, …, 0.9} (the paper's Figure 9 workload).
+#[must_use]
+pub fn deciles<E: RangeEstimate + ?Sized>(estimate: &E) -> Vec<usize> {
+    (1..=9).map(|i| quantile(estimate, f64::from(i) / 10.0)).collect()
+}
+
+/// The φ-quantile of an *exact* distribution given as a CDF — ground truth
+/// for quantile experiments.
+///
+/// # Panics
+///
+/// Panics on an empty CDF or φ outside `[0, 1]`.
+#[must_use]
+pub fn true_quantile(cdf: &[f64], phi: f64) -> usize {
+    assert!(!cdf.is_empty());
+    assert!((0.0..=1.0).contains(&phi));
+    cdf.iter().position(|&c| c >= phi).unwrap_or(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::FrequencyEstimate;
+
+    #[test]
+    fn exact_quantiles_on_uniform() {
+        let est = FrequencyEstimate::new(vec![0.1; 10]);
+        // prefix(j) = (j+1)/10; the smallest j with prefix ≥ 0.5 is 4.
+        assert_eq!(quantile(&est, 0.5), 4);
+        assert_eq!(quantile(&est, 0.1), 0);
+        assert_eq!(quantile(&est, 1.0), 9);
+        assert_eq!(quantile(&est, 0.0), 0);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let est = FrequencyEstimate::new(vec![0.7, 0.1, 0.1, 0.1]);
+        assert_eq!(quantile(&est, 0.5), 0);
+        assert_eq!(quantile(&est, 0.75), 1);
+        assert_eq!(quantile(&est, 0.95), 3);
+    }
+
+    #[test]
+    fn deciles_are_monotone() {
+        let freqs: Vec<f64> = (0..64).map(|i| (i + 1) as f64).collect();
+        let total: f64 = freqs.iter().sum();
+        let est = FrequencyEstimate::new(freqs.iter().map(|f| f / total).collect());
+        let ds = deciles(&est);
+        assert_eq!(ds.len(), 9);
+        for w in ds.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan() {
+        let est = FrequencyEstimate::new(vec![0.05, 0.2, 0.0, 0.3, 0.15, 0.1, 0.05, 0.15]);
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.33, 0.9, 0.99] {
+            let scan = (0..8).find(|&j| est.prefix(j) >= phi).unwrap();
+            assert_eq!(quantile(&est, phi), scan, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn true_quantile_from_cdf() {
+        let cdf = [0.1, 0.3, 0.6, 1.0];
+        assert_eq!(true_quantile(&cdf, 0.5), 2);
+        assert_eq!(true_quantile(&cdf, 0.05), 0);
+        assert_eq!(true_quantile(&cdf, 1.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn rejects_bad_phi() {
+        let est = FrequencyEstimate::new(vec![1.0]);
+        quantile(&est, 1.5);
+    }
+}

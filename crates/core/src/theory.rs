@@ -1,0 +1,163 @@
+//! The paper's closed-form accuracy theory, used to cross-check empirical
+//! measurements and to pick parameters (optimal branching factors).
+//!
+//! All bounds are expressed in units of `VF`, the per-item frequency-oracle
+//! variance (`ldp_freq_oracle::frequency_oracle_variance`).
+
+/// Fact 1: a flat range query of length `r` has variance `r·VF`.
+#[must_use]
+pub fn flat_range_variance(vf: f64, r: usize) -> f64 {
+    r as f64 * vf
+}
+
+/// Lemma 4.2: the average worst-case squared error of the flat method over
+/// all `C(D,2)` range queries is `(D + 2)·VF / 3`.
+#[must_use]
+pub fn flat_average_error(vf: f64, domain: usize) -> f64 {
+    (domain as f64 + 2.0) * vf / 3.0
+}
+
+/// Theorem 4.3 with uniform level sampling (Eq. 1): the worst-case variance
+/// of an `HH_B` range query of length `r` is
+/// `(2B − 1)·VF·h·(⌈log_B r⌉ + 1)`, `h = log_B D`.
+#[must_use]
+pub fn hh_range_variance_bound(vf: f64, fanout: usize, domain: usize, r: usize) -> f64 {
+    let b = fanout as f64;
+    let h = (domain as f64).log(b);
+    let alpha = (r as f64).log(b).ceil() + 1.0;
+    (2.0 * b - 1.0) * vf * h * alpha
+}
+
+/// Theorem 4.5: worst-case average squared error of `HH_B` over all range
+/// queries, `≈ 2(B − 1)·VF·log_B D·log_B(3D²/(1 + 2D))`.
+#[must_use]
+pub fn hh_average_error_bound(vf: f64, fanout: usize, domain: usize) -> f64 {
+    let b = fanout as f64;
+    let d = domain as f64;
+    2.0 * (b - 1.0) * vf * d.log(b) * (3.0 * d * d / (1.0 + 2.0 * d)).log(b)
+}
+
+/// §4.5 (after Lemma 4.6): with constrained inference the range-query
+/// variance bound drops to `(B + 1)·VF·log_B r·log_B D / 2`.
+#[must_use]
+pub fn hh_ci_range_variance_bound(vf: f64, fanout: usize, domain: usize, r: usize) -> f64 {
+    let b = fanout as f64;
+    (b + 1.0) * vf * (r as f64).log(b) * (domain as f64).log(b) / 2.0
+}
+
+/// Eq. 3: the `HaarHRR` range-query variance bound `log2(D)²·VF / 2`,
+/// independent of the range length.
+#[must_use]
+pub fn haar_range_variance_bound(vf: f64, domain: usize) -> f64 {
+    let h = (domain as f64).log2();
+    0.5 * h * h * vf
+}
+
+/// §4.7: prefix queries touch only one fringe, halving the variance bounds
+/// of both tree mechanisms.
+#[must_use]
+pub fn prefix_variance_factor() -> f64 {
+    0.5
+}
+
+/// The optimal real-valued branching factor for `HH_B`:
+/// without consistency the root of `B ln B − 2B + 2 = 0` (≈ 4.922, §4.4);
+/// with consistency the root of `B ln B − 2B − 2 = 0` (≈ 9.18, §4.5).
+#[must_use]
+pub fn optimal_fanout(consistent: bool) -> f64 {
+    let c = if consistent { -2.0 } else { 2.0 };
+    let f = |b: f64| b * b.ln() - 2.0 * b + c;
+    // The derivative condition has a single root in (1, ∞); bracket and
+    // bisect.
+    let (mut lo, mut hi) = (1.5f64, 64.0f64);
+    debug_assert!(f(lo) < 0.0 && f(hi) > 0.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// §4.3: the range length above which `HH_B` beats the flat method,
+/// `r > 2B·log_B(D)²` (sufficient condition used in the paper's
+/// discussion).
+#[must_use]
+pub fn hh_beats_flat_threshold(fanout: usize, domain: usize) -> f64 {
+    let b = fanout as f64;
+    let log = (domain as f64).log(b);
+    2.0 * b * log * log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_fanouts_match_paper() {
+        let b_plain = optimal_fanout(false);
+        assert!((b_plain - 4.922).abs() < 0.01, "got {b_plain}");
+        let b_ci = optimal_fanout(true);
+        assert!((b_ci - 9.18).abs() < 0.01, "got {b_ci}");
+    }
+
+    #[test]
+    fn ci_bound_at_b8_matches_equation_2() {
+        // Eq. 2: with B = 8 the bound is (1/2)·VF·log2(r)·log2(D).
+        let vf = 1.0;
+        let d = 1 << 16;
+        let r = 1 << 10;
+        let bound = hh_ci_range_variance_bound(vf, 8, d, r);
+        let expected = 0.5 * 10.0 * 16.0; // log2 r · log2 D / 2... times 9/ (2·9)
+        // (B+1)/2 · log8 r · log8 D = 9/2 · (10/3) · (16/3) = 9·10·16/(2·9) = 80.
+        assert!((bound - expected).abs() < 1e-9, "bound {bound} vs {expected}");
+    }
+
+    #[test]
+    fn haar_and_ci_bounds_converge_for_long_ranges() {
+        // §4.6: "for long range queries where r is close to D, (3) will be
+        // close to (2)" — with the paper's B = 8 CI bound.
+        let vf = 1.0;
+        let d = 1 << 20;
+        let haar = haar_range_variance_bound(vf, d);
+        let ci = hh_ci_range_variance_bound(vf, 8, d, d);
+        assert!((haar / ci - 1.0).abs() < 0.15, "haar {haar} vs ci {ci}");
+    }
+
+    #[test]
+    fn flat_error_grows_linearly() {
+        assert!(flat_range_variance(1.0, 100) > 10.0 * flat_range_variance(1.0, 9));
+        assert!((flat_average_error(3.0, 10) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hh_beats_flat_examples_from_paper() {
+        // D = 64, B = 2: threshold 2·2·36 = 144 > 128 > D (no benefit).
+        let t_small = hh_beats_flat_threshold(2, 64);
+        assert!(t_small > 64.0);
+        // D = 2^16, B = 2: threshold = 4·256 = 1024, ~1.5% of the range.
+        let t_large = hh_beats_flat_threshold(2, 1 << 16);
+        assert!((t_large - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hh_bound_grows_logarithmically_in_r() {
+        let vf = 1.0;
+        let b = hh_range_variance_bound(vf, 4, 1 << 16, 4096);
+        let b2 = hh_range_variance_bound(vf, 4, 1 << 16, 8192);
+        assert!(b2 > b);
+        // Doubling r adds at most one level's worth.
+        assert!(b2 - b < (2.0 * 4.0 - 1.0) * vf * 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn average_error_bound_is_positive_and_ordered() {
+        let vf = 1.0;
+        let e4 = hh_average_error_bound(vf, 4, 1 << 16);
+        let e16 = hh_average_error_bound(vf, 16, 1 << 16);
+        assert!(e4 > 0.0 && e16 > 0.0);
+    }
+}

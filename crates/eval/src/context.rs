@@ -1,0 +1,108 @@
+//! Experiment scale configuration.
+
+/// Global knobs for the experiment harness.
+///
+/// The paper's full scale (`N = 2^26` users, domains up to `2^22`, five
+/// repetitions) is feasible with the simulation fast paths but takes
+/// minutes-to-hours per figure; the default scale keeps every binary under
+/// roughly a minute while preserving the comparisons' shapes. Select the
+/// paper scale by setting the environment variable `LDP_FULL_SCALE=1`.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// Number of users `N`.
+    pub population: u64,
+    /// Repetitions per configuration (mean ± sd reported).
+    pub repetitions: u32,
+    /// Base RNG seed; repetition `i` of configuration `c` derives its own
+    /// stream deterministically.
+    pub seed: u64,
+    /// Domain sizes to sweep.
+    pub domains: Vec<usize>,
+    /// Whether this is the paper-scale configuration.
+    pub full_scale: bool,
+}
+
+impl EvalContext {
+    /// Laptop-scale defaults: `N = 2^20`, domains `2^8` and `2^12`, three
+    /// repetitions.
+    #[must_use]
+    pub fn scaled() -> Self {
+        Self {
+            population: 1 << 20,
+            repetitions: 3,
+            seed: 0x5eed,
+            domains: vec![1 << 8, 1 << 12],
+            full_scale: false,
+        }
+    }
+
+    /// The paper's scale: `N = 2^26`, domains `2^8`, `2^16`, `2^20`,
+    /// `2^22`, five repetitions.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            population: 1 << 26,
+            repetitions: 5,
+            seed: 0x5eed,
+            domains: vec![1 << 8, 1 << 16, 1 << 20, 1 << 22],
+            full_scale: true,
+        }
+    }
+
+    /// Reads `LDP_FULL_SCALE` from the environment: any value other than
+    /// `0`/empty selects [`EvalContext::paper`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("LDP_FULL_SCALE") {
+            Ok(v) if !v.is_empty() && v != "0" => Self::paper(),
+            _ => Self::scaled(),
+        }
+    }
+
+    /// Deterministic per-run seed derivation (configuration × repetition).
+    #[must_use]
+    pub fn run_seed(&self, config_id: u64, repetition: u32) -> u64 {
+        self.seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(config_id.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(u64::from(repetition))
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_defaults() {
+        let c = EvalContext::scaled();
+        assert_eq!(c.population, 1 << 20);
+        assert!(!c.full_scale);
+        assert_eq!(c.domains, vec![256, 4096]);
+    }
+
+    #[test]
+    fn paper_defaults_match_section_5() {
+        let c = EvalContext::paper();
+        assert_eq!(c.population, 1 << 26);
+        assert_eq!(c.repetitions, 5);
+        assert_eq!(c.domains, vec![1 << 8, 1 << 16, 1 << 20, 1 << 22]);
+    }
+
+    #[test]
+    fn run_seeds_are_distinct() {
+        let c = EvalContext::scaled();
+        let a = c.run_seed(1, 0);
+        let b = c.run_seed(1, 1);
+        let d = c.run_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, d);
+        assert_eq!(a, c.run_seed(1, 0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Figure 4: impact of constrained inference and branching factor `B`.
+//!
+//! For each domain size and each of a spread of range lengths `r`, the
+//! figure plots the MSE over all length-`r` queries as the branching
+//! factor varies, for the flat baseline, `TreeOUE`/`TreeHRR` (± CI),
+//! `TreeOLH` (± CI, smallest domain only — its decode cost is `O(N·D)`),
+//! and `HaarHRR` (shown at `B = 2`; flat shown at `B = D`).
+
+use ldp_freq_oracle::FrequencyOracle;
+use ldp_ranges::{FlatConfig, FlatServer, HhConfig, HhServer};
+use ldp_workloads::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+use crate::experiments::{cauchy_dataset, paper_epsilon, DEFAULT_CENTER};
+use crate::metrics::{mean_and_sd, mse_exact, mse_strided, prefix_errors};
+use crate::report::{fmt_mse_x1000, Table};
+use crate::runner::valid_fanouts;
+
+/// Maximum queries enumerated per (length, estimate) for raw trees.
+const MAX_QUERIES: u64 = 1 << 14;
+/// OLH is included only up to this domain (paper: "we only consider OLH
+/// for our initial experiments with small domain size D").
+const OLH_DOMAIN_CAP: usize = 1 << 8;
+
+/// Range lengths probed per domain: spanning point queries to nearly the
+/// whole domain, as in the figure's columns.
+fn lengths_for(domain: usize) -> Vec<usize> {
+    let mut rs = vec![1, domain / 64, domain / 8, domain / 2, domain - 1];
+    rs.retain(|&r| r >= 1);
+    rs.dedup();
+    rs
+}
+
+struct Series {
+    method: String,
+    fanout: String,
+    r: usize,
+    mses: Vec<f64>,
+}
+
+/// Runs the experiment and returns one row per (domain, r, method, B).
+#[must_use]
+pub fn run(ctx: &EvalContext) -> Table {
+    let eps = paper_epsilon();
+    let mut table = Table::new(
+        "Figure 4: MSE (x1000) vs branching factor, per range length r (e^eps = 3)",
+        ["D", "r", "method", "B", "mse_x1000", "sd_x1000"].map(String::from).to_vec(),
+    );
+
+    for (di, &domain) in ctx.domains.iter().enumerate() {
+        let rs = lengths_for(domain);
+        let mut series: Vec<Series> = Vec::new();
+        let push = |method: &str, fanout: String, r: usize, rep: u32, mse: f64,
+                        series: &mut Vec<Series>| {
+            if let Some(s) = series
+                .iter_mut()
+                .find(|s| s.method == method && s.fanout == fanout && s.r == r)
+            {
+                debug_assert_eq!(s.mses.len(), rep as usize);
+                s.mses.push(mse);
+            } else {
+                series.push(Series {
+                    method: method.to_string(),
+                    fanout,
+                    r,
+                    mses: vec![mse],
+                });
+            }
+        };
+
+        for rep in 0..ctx.repetitions {
+            let config_id = 0x4000 + di as u64;
+            let ds = cauchy_dataset(ctx, domain, DEFAULT_CENTER, config_id, rep);
+            let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id ^ 0xf1f1, rep));
+
+            // Flat OUE, displayed as B = D.
+            {
+                let config = FlatConfig::new(domain, eps).expect("valid flat config");
+                let mut server = FlatServer::new(&config).expect("flat server");
+                server.absorb_population(ds.counts(), &mut rng).expect("flat absorb");
+                let errors = prefix_errors(&server.estimate(), &ds);
+                for &r in &rs {
+                    let mse = mse_exact(&errors, QueryWorkload::FixedLength { r });
+                    push("FlatOUE", format!("{domain}"), r, rep, mse, &mut series);
+                }
+            }
+
+            // Tree methods: one server run yields both the raw and the
+            // consistent estimate (paired comparison, as in the paper).
+            for &fanout in &valid_fanouts(domain, 64) {
+                let mut oracles = vec![FrequencyOracle::Oue, FrequencyOracle::Hrr];
+                if domain <= OLH_DOMAIN_CAP {
+                    oracles.push(FrequencyOracle::Olh);
+                }
+                for oracle in oracles {
+                    let config = HhConfig::with_oracle(domain, fanout, eps, oracle)
+                        .expect("valid HH config");
+                    let mut server = HhServer::new(config).expect("HH server");
+                    server.absorb_population(ds.counts(), &mut rng).expect("HH absorb");
+
+                    let raw = server.estimate();
+                    for &r in &rs {
+                        let mse = mse_strided(
+                            &raw,
+                            &ds,
+                            QueryWorkload::FixedLength { r },
+                            MAX_QUERIES,
+                        );
+                        push(
+                            &format!("Tree{oracle}"),
+                            fanout.to_string(),
+                            r,
+                            rep,
+                            mse,
+                            &mut series,
+                        );
+                    }
+
+                    let ci = server.estimate_consistent().to_frequency_estimate();
+                    let errors = prefix_errors(&ci, &ds);
+                    for &r in &rs {
+                        let mse = mse_exact(&errors, QueryWorkload::FixedLength { r });
+                        push(
+                            &format!("Tree{oracle}CI"),
+                            fanout.to_string(),
+                            r,
+                            rep,
+                            mse,
+                            &mut series,
+                        );
+                    }
+                }
+            }
+
+            // HaarHRR, displayed as B = 2.
+            {
+                let mech = ldp_ranges::HaarConfig::new(domain, eps).expect("haar config");
+                let mut server = ldp_ranges::HaarHrrServer::new(mech).expect("haar server");
+                server.absorb_population(ds.counts(), &mut rng).expect("haar absorb");
+                let flat = server.estimate().to_frequency_estimate();
+                let errors = prefix_errors(&flat, &ds);
+                for &r in &rs {
+                    let mse = mse_exact(&errors, QueryWorkload::FixedLength { r });
+                    push("HaarHRR", "2".to_string(), r, rep, mse, &mut series);
+                }
+            }
+        }
+
+        for s in &series {
+            let (mean, sd) = mean_and_sd(&s.mses);
+            table.push_row(vec![
+                domain.to_string(),
+                s.r.to_string(),
+                s.method.clone(),
+                s.fanout.clone(),
+                fmt_mse_x1000(mean),
+                fmt_mse_x1000(sd),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_context;
+
+    #[test]
+    fn produces_all_series() {
+        let ctx = tiny_context(); // one domain: 64
+        let table = run(&ctx);
+        assert!(table.num_rows() > 0);
+        // Methods present: flat, TreeOUE(CI), TreeHRR(CI), TreeOLH(CI),
+        // HaarHRR.
+        let methods: std::collections::HashSet<&str> =
+            table.rows().iter().map(|r| r[2].as_str()).collect();
+        for m in
+            ["FlatOUE", "TreeOUE", "TreeOUECI", "TreeHRR", "TreeHRRCI", "TreeOLH", "HaarHRR"]
+        {
+            assert!(methods.contains(m), "missing {m}: {methods:?}");
+        }
+        // Fanouts for D=64 capped at 64: {2, 4, 8}.
+        let fanouts: std::collections::HashSet<&str> = table
+            .rows()
+            .iter()
+            .filter(|r| r[2] == "TreeOUE")
+            .map(|r| r[3].as_str())
+            .collect();
+        assert_eq!(fanouts, ["2", "4", "8"].into_iter().collect());
+    }
+
+    #[test]
+    fn lengths_cover_spectrum() {
+        assert_eq!(lengths_for(256), vec![1, 4, 32, 128, 255]);
+        let tiny = lengths_for(4);
+        assert!(tiny.contains(&1) && tiny.contains(&2));
+    }
+}

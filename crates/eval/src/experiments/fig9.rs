@@ -1,0 +1,103 @@
+//! Figure 9: decile (quantile) queries — value error and quantile error.
+//!
+//! For a left-skewed (`P = 0.1`) and a centered (`P = 0.5`) Cauchy
+//! population, the best hierarchical method (`HHc_2`) and `HaarHRR`
+//! estimate the nine deciles via prefix-query binary search. The paper
+//! reports the *value error* (difference between the returned and true
+//! quantile indices, large only where the data is sparse) and the
+//! *quantile error* (distance in probability mass, which stays flat and
+//! tiny — the headline observation).
+
+use ldp_freq_oracle::FrequencyOracle;
+use ldp_ranges::{quantile, RangeMechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+use crate::experiments::{cauchy_dataset, paper_epsilon};
+use crate::metrics::{mean_and_sd, quantile_errors};
+use crate::report::{fmt_sci, Table};
+use crate::runner::run_mechanism;
+
+/// The two population shapes of the figure.
+const CENTERS: [f64; 2] = [0.1, 0.5];
+
+/// Runs the experiment on the largest configured domain (the paper uses
+/// `D = 2^22`); one row per (P, φ, method).
+#[must_use]
+pub fn run(ctx: &EvalContext) -> Table {
+    let eps = paper_epsilon();
+    let domain = *ctx.domains.iter().max().expect("at least one domain");
+    let mut table = Table::new(
+        format!("Figure 9: decile errors, D = {domain} (e^eps = 3)"),
+        ["P", "phi", "method", "value_err", "abs_value_err", "quantile_err"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let methods: [(&str, RangeMechanism); 2] = [
+        (
+            "HHc2",
+            RangeMechanism::Hierarchical {
+                fanout: 2,
+                oracle: FrequencyOracle::Oue,
+                consistent: true,
+            },
+        ),
+        ("HaarHRR", RangeMechanism::HaarHrr),
+    ];
+
+    for (ci, &p) in CENTERS.iter().enumerate() {
+        // value_errs[method][phi] over repetitions.
+        let mut value: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 9]; methods.len()];
+        let mut qerr: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 9]; methods.len()];
+        let config_id = 0x9000 + ci as u64;
+        for rep in 0..ctx.repetitions {
+            let ds = cauchy_dataset(ctx, domain, p, config_id, rep);
+            let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id ^ 0x9999, rep));
+            for (mi, (_, mech)) in methods.iter().enumerate() {
+                let est = run_mechanism(*mech, eps, &ds, &mut rng).expect("mechanism runs");
+                for (qi, phi) in (1..=9).map(|i| f64::from(i) / 10.0).enumerate() {
+                    let found = quantile(&est, phi);
+                    let errs = quantile_errors(&ds, phi, found);
+                    value[mi][qi].push(errs.value_error);
+                    qerr[mi][qi].push(errs.quantile_error);
+                }
+            }
+        }
+        for (qi, phi) in (1..=9).map(|i| f64::from(i) / 10.0).enumerate() {
+            for (mi, (label, _)) in methods.iter().enumerate() {
+                let (v_mean, _) = mean_and_sd(&value[mi][qi]);
+                let abs: Vec<f64> = value[mi][qi].iter().map(|v| v.abs()).collect();
+                let (abs_mean, _) = mean_and_sd(&abs);
+                let (q_mean, _) = mean_and_sd(&qerr[mi][qi]);
+                table.push_row(vec![
+                    format!("{p:.1}"),
+                    format!("{phi:.1}"),
+                    (*label).to_string(),
+                    fmt_sci(v_mean),
+                    fmt_sci(abs_mean),
+                    fmt_sci(q_mean),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_context;
+
+    #[test]
+    fn quantile_errors_stay_small() {
+        let ctx = tiny_context();
+        let table = run(&ctx);
+        assert_eq!(table.num_rows(), 2 * 9 * 2);
+        // The paper's key observation: quantile error is small and flat.
+        for row in table.rows() {
+            let q_err: f64 = row[5].parse().unwrap();
+            assert!(q_err < 0.2, "quantile error {q_err} too large ({row:?})");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! One module per table/figure of the paper's evaluation (§5).
+//!
+//! Each module exposes `run(&EvalContext) -> Table`; the `ldp-bench` crate
+//! wraps them in binaries (`cargo run -p ldp-bench --release --bin fig4`
+//! etc.). Defaults are laptop-scale; set `LDP_FULL_SCALE=1` for the paper's
+//! parameters (see `EvalContext`).
+
+pub mod ablations;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod tab5;
+pub mod tab6;
+pub mod tab7;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+
+/// The paper's default privacy level: `e^ε = 3` (ε ≈ 1.1).
+#[must_use]
+pub fn paper_epsilon() -> Epsilon {
+    Epsilon::from_exp(3.0)
+}
+
+/// The ε sweep of §5.2 (Figures 5 and 6).
+#[must_use]
+pub fn epsilon_sweep() -> Vec<f64> {
+    vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4]
+}
+
+/// Samples the paper's Cauchy population (center `P·D`, scale `D/10`) with
+/// a per-(configuration, repetition) deterministic seed.
+#[must_use]
+pub fn cauchy_dataset(
+    ctx: &EvalContext,
+    domain: usize,
+    center_fraction: f64,
+    config_id: u64,
+    repetition: u32,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id, repetition));
+    Dataset::sample(
+        DistributionKind::Cauchy(CauchyParams::centered_at(center_fraction)),
+        domain,
+        ctx.population,
+        &mut rng,
+    )
+}
+
+/// The paper's default center `P = 0.4`.
+pub const DEFAULT_CENTER: f64 = 0.4;
+
+#[cfg(test)]
+pub(crate) fn tiny_context() -> EvalContext {
+    EvalContext {
+        population: 1 << 14,
+        repetitions: 2,
+        seed: 7,
+        domains: vec![64],
+        full_scale: false,
+    }
+}

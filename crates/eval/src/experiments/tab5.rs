@@ -1,0 +1,136 @@
+//! Figure 5 (tables a–d): MSE vs ε for arbitrary range queries.
+//!
+//! Compares the consistent hierarchical methods `HHc_2`, `HHc_4`, `HHc_16`
+//! (TreeOUECI, the paper's accuracy pick) against `HaarHRR` as ε sweeps
+//! 0.2–1.4, one sub-table per domain size. Values are MSE × 1000, exactly
+//! as printed in the paper. `HHc_16` is omitted where 16 does not give an
+//! integer-height tree (the paper's `D = 2^22` table likewise drops it).
+
+use ldp_freq_oracle::{Epsilon, FrequencyOracle};
+use ldp_ranges::RangeMechanism;
+use ldp_workloads::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+use crate::experiments::{cauchy_dataset, epsilon_sweep, DEFAULT_CENTER};
+use crate::metrics::{mean_and_sd, mse_exact, prefix_errors};
+use crate::report::{fmt_mse_x1000, Table};
+use crate::runner::{run_mechanism, BuiltEstimate};
+
+/// The columns of the paper's tables: `(label, mechanism)`, per domain.
+#[must_use]
+pub fn methods_for(domain: usize) -> Vec<(String, RangeMechanism)> {
+    let mut out = Vec::new();
+    for fanout in [2usize, 4, 16] {
+        let m = domain.trailing_zeros();
+        let k = fanout.trailing_zeros();
+        if domain.is_power_of_two() && m.is_multiple_of(k) && (1usize << k) < domain {
+            out.push((
+                format!("HHc{fanout}"),
+                RangeMechanism::Hierarchical {
+                    fanout,
+                    oracle: FrequencyOracle::Oue,
+                    consistent: true,
+                },
+            ));
+        }
+    }
+    out.push(("HaarHRR".to_string(), RangeMechanism::HaarHrr));
+    out
+}
+
+/// Shared implementation for Figures 5 and 6 (the latter restricts the
+/// workload to prefixes).
+#[must_use]
+pub fn run_with_workload(ctx: &EvalContext, prefixes_only: bool, title: &str) -> Table {
+    let mut headers = vec!["D".to_string(), "eps".to_string()];
+    let all_methods = methods_for(*ctx.domains.iter().max().unwrap_or(&256));
+    // Use the union of method labels across domains for stable columns.
+    let labels: Vec<String> = methods_for(1 << 8).iter().map(|(l, _)| l.clone()).collect();
+    debug_assert!(all_methods.len() <= labels.len() + 1);
+    headers.extend(labels.iter().cloned());
+    let mut table = Table::new(title, headers);
+
+    for (di, &domain) in ctx.domains.iter().enumerate() {
+        let methods = methods_for(domain);
+        let workload = if prefixes_only {
+            QueryWorkload::Prefixes
+        } else {
+            QueryWorkload::paper_default(domain)
+        };
+        for (ei, &eps_v) in epsilon_sweep().iter().enumerate() {
+            let eps = Epsilon::new(eps_v);
+            let config_id = 0x5000 + (di as u64) * 64 + ei as u64 + u64::from(prefixes_only);
+            let mut cells: Vec<String> = vec![domain.to_string(), format!("{eps_v}")];
+            let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+            for rep in 0..ctx.repetitions {
+                let ds = cauchy_dataset(ctx, domain, DEFAULT_CENTER, config_id, rep);
+                let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id ^ 0xabcd, rep));
+                for (mi, (_, mech)) in methods.iter().enumerate() {
+                    let est = run_mechanism(*mech, eps, &ds, &mut rng).expect("mechanism runs");
+                    let BuiltEstimate::Frequencies(freqs) = est else {
+                        unreachable!("all Figure 5 methods are prefix-decomposable")
+                    };
+                    per_method[mi].push(mse_exact(&prefix_errors(&freqs, &ds), workload));
+                }
+            }
+            let mut by_label: std::collections::HashMap<&str, f64> =
+                std::collections::HashMap::new();
+            for ((label, _), mses) in methods.iter().zip(&per_method) {
+                let (mean, _sd) = mean_and_sd(mses);
+                by_label.insert(label.as_str(), mean);
+            }
+            for label in &labels {
+                cells.push(
+                    by_label
+                        .get(label.as_str())
+                        .map_or_else(|| "-".to_string(), |m| fmt_mse_x1000(*m)),
+                );
+            }
+            table.push_row(cells);
+        }
+    }
+    table
+}
+
+/// Runs the Figure 5 experiment (arbitrary range queries).
+#[must_use]
+pub fn run(ctx: &EvalContext) -> Table {
+    run_with_workload(
+        ctx,
+        false,
+        "Figure 5: MSE (x1000) vs epsilon, arbitrary range queries (Cauchy P=0.4)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_context;
+
+    #[test]
+    fn method_availability_follows_domain() {
+        let labels: Vec<String> = methods_for(1 << 8).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["HHc2", "HHc4", "HHc16", "HaarHRR"]);
+        let labels22: Vec<String> =
+            methods_for(1 << 22).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels22, vec!["HHc2", "HHc4", "HaarHRR"]);
+        // D = 64: log2 = 6, 16 = 2^4 does not divide.
+        let labels64: Vec<String> = methods_for(64).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels64, vec!["HHc2", "HHc4", "HaarHRR"]);
+    }
+
+    #[test]
+    fn produces_one_row_per_domain_and_eps() {
+        let ctx = tiny_context();
+        let table = run(&ctx);
+        assert_eq!(table.num_rows(), epsilon_sweep().len());
+        // HHc16 column shows "-" for D = 64.
+        assert!(table.rows().iter().all(|r| r[4] == "-"));
+        // Error decreases as eps grows (first vs last row, HHc2 column).
+        let first: f64 = table.rows()[0][2].parse().unwrap();
+        let last: f64 = table.rows()[epsilon_sweep().len() - 1][2].parse().unwrap();
+        assert!(first > last, "eps=0.2 MSE {first} should exceed eps=1.4 MSE {last}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 6 (tables a–d): MSE vs ε for **prefix** queries.
+//!
+//! Identical setup to Figure 5 but evaluating every prefix query `[0, b]`
+//! — §4.7 predicts roughly half the variance of arbitrary ranges since
+//! only one fringe of the tree is cut.
+
+use crate::context::EvalContext;
+use crate::experiments::tab5::run_with_workload;
+use crate::report::Table;
+
+/// Runs the Figure 6 experiment.
+#[must_use]
+pub fn run(ctx: &EvalContext) -> Table {
+    run_with_workload(
+        ctx,
+        true,
+        "Figure 6: MSE (x1000) vs epsilon, prefix queries (Cauchy P=0.4)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{epsilon_sweep, tiny_context};
+
+    #[test]
+    fn prefix_errors_are_mostly_below_range_errors() {
+        let ctx = tiny_context();
+        let prefix_table = run(&ctx);
+        let range_table = crate::experiments::tab5::run(&ctx);
+        assert_eq!(prefix_table.num_rows(), range_table.num_rows());
+        assert_eq!(prefix_table.num_rows(), epsilon_sweep().len());
+        // §4.7: prefix queries should usually be no harder than arbitrary
+        // ranges; require that on average (individual cells are noisy).
+        let avg = |t: &Table, col: usize| -> f64 {
+            let vals: Vec<f64> =
+                t.rows().iter().filter_map(|r| r[col].parse::<f64>().ok()).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        for col in [2usize, 3, 5] {
+            // HHc2, HHc4, HaarHRR columns.
+            let p = avg(&prefix_table, col);
+            let r = avg(&range_table, col);
+            assert!(p < r * 1.4, "column {col}: prefix {p} vs range {r}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 7: the centralized-case comparison (Qardaji et al.'s Table 3).
+//!
+//! In the *centralized* model the paper reproduces Qardaji et al.'s
+//! finding that the wavelet approach (Privelet) incurs ≈ 1.86–2.8× the
+//! average range-query variance of the consistent fanout-16 hierarchy,
+//! whereas `HHc_2` lands at nearly the wavelet's error — the backdrop
+//! against which the *local* result (wavelet ≈ best hierarchy within a few
+//! percent) is surprising. We regenerate the comparison by running our own
+//! centralized mechanisms rather than quoting the table.
+//!
+//! One deviation: Qardaji's Table 3 includes `D ∈ {2^9, 2^10, 2^11}` where
+//! a fanout-16 tree is uneven; our trees are complete, so we sweep the
+//! power-of-16 domains `{2^8, 2^12}` (plus `2^10` for fanout 2/wavelet
+//! context is omitted). The ratio structure is what the paper uses and it
+//! is preserved.
+
+use cdp_baselines::{CdpHierarchical, Privelet};
+use ldp_freq_oracle::Epsilon;
+use ldp_workloads::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+use crate::experiments::{cauchy_dataset, DEFAULT_CENTER};
+use crate::metrics::{mean_and_sd, mse_exact, prefix_errors};
+use crate::report::{fmt_sci, Table};
+
+/// Domains swept (powers of 16 so that `HHc_16` is a complete tree).
+const DOMAINS: [usize; 2] = [1 << 8, 1 << 12];
+
+/// ε = 1 as in Qardaji's Table 3.
+const EPS: f64 = 1.0;
+
+/// Runs the centralized comparison; cells are the average variance over
+/// all range queries in **count²** units (fraction MSE × N²), with the
+/// ratio rows the paper reads off.
+#[must_use]
+pub fn run(ctx: &EvalContext) -> Table {
+    let eps = Epsilon::new(EPS);
+    // Centralized noise is cheap to sample; use generous repetitions.
+    let reps = ctx.repetitions.max(8) * 4;
+    let mut headers = vec!["method".to_string()];
+    headers.extend(DOMAINS.iter().map(|d| format!("D=2^{}", d.trailing_zeros())));
+    let mut table = Table::new(
+        "Figure 7: centralized average range variance (count^2 units), eps = 1",
+        headers,
+    );
+
+    let mut wavelet_means = Vec::new();
+    let mut hh16_means = Vec::new();
+    let mut hh2_means = Vec::new();
+
+    for (di, &domain) in DOMAINS.iter().enumerate() {
+        let config_id = 0x7000 + di as u64;
+        let ds = cauchy_dataset(ctx, domain, DEFAULT_CENTER, config_id, 0);
+        let n = ds.population() as f64;
+        let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id ^ 0x7777, 1));
+
+        let wavelet = Privelet::new(domain, eps).expect("privelet");
+        let hh16 = CdpHierarchical::new(domain, 16, eps).expect("hh16");
+        let hh2 = CdpHierarchical::new(domain, 2, eps).expect("hh2");
+
+        let mut w_mses = Vec::new();
+        let mut h16_mses = Vec::new();
+        let mut h2_mses = Vec::new();
+        for _ in 0..reps {
+            let west = wavelet.release(ds.counts(), &mut rng);
+            w_mses.push(mse_exact(&prefix_errors(&west, &ds), QueryWorkload::All) * n * n);
+
+            let h16est =
+                ldp_ranges::FrequencyEstimate::new(hh16.release(ds.counts(), true, &mut rng)
+                    .tree()
+                    .leaves()
+                    .to_vec());
+            h16_mses.push(mse_exact(&prefix_errors(&h16est, &ds), QueryWorkload::All) * n * n);
+
+            let h2est =
+                ldp_ranges::FrequencyEstimate::new(hh2.release(ds.counts(), true, &mut rng)
+                    .tree()
+                    .leaves()
+                    .to_vec());
+            h2_mses.push(mse_exact(&prefix_errors(&h2est, &ds), QueryWorkload::All) * n * n);
+        }
+        wavelet_means.push(mean_and_sd(&w_mses).0);
+        hh16_means.push(mean_and_sd(&h16_mses).0);
+        hh2_means.push(mean_and_sd(&h2_mses).0);
+    }
+
+    let row = |label: &str, values: &[f64]| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| fmt_sci(*v)));
+        cells
+    };
+    table.push_row(row("Wavelet", &wavelet_means));
+    table.push_row(row("HHc16", &hh16_means));
+    table.push_row(row("HHc2", &hh2_means));
+    let ratios_w: Vec<f64> =
+        wavelet_means.iter().zip(&hh16_means).map(|(w, h)| w / h).collect();
+    let ratios_2: Vec<f64> = hh2_means.iter().zip(&hh16_means).map(|(a, h)| a / h).collect();
+    table.push_row(row("Wavelet/HHc16", &ratios_w));
+    table.push_row(row("HHc2/HHc16", &ratios_2));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_context;
+
+    #[test]
+    fn centralized_hierarchy_beats_wavelet_clearly() {
+        // The defining shape of Qardaji's Table 3 (and the contrast with
+        // the local setting): centrally, Wavelet/HHc16 ≥ ~1.8 and
+        // HHc2 ≈ Wavelet.
+        let ctx = tiny_context();
+        let table = run(&ctx);
+        assert_eq!(table.num_rows(), 5);
+        let ratio_row = &table.rows()[3];
+        for cell in &ratio_row[1..] {
+            let ratio: f64 = cell.parse().unwrap();
+            assert!(ratio > 1.3, "Wavelet/HHc16 ratio {ratio} should exceed 1.3");
+        }
+        let hh2_row = &table.rows()[4];
+        for cell in &hh2_row[1..] {
+            let ratio: f64 = cell.parse().unwrap();
+            assert!(ratio > 1.2, "HHc2/HHc16 ratio {ratio} should exceed 1.2");
+        }
+    }
+}

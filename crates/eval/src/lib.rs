@@ -1,0 +1,30 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§5).
+//!
+//! * [`context`] — scale knobs (`EvalContext::from_env` honors
+//!   `LDP_FULL_SCALE=1` for the paper's `N = 2^26` / `D ≤ 2^22` setup).
+//! * [`runner`] — run any [`ldp_ranges::RangeMechanism`] over a dataset via
+//!   the population-scale simulation path.
+//! * [`metrics`] — MSE over query workloads, including exact `O(D)`
+//!   closed forms for prefix-decomposable estimates (what makes "all
+//!   `C(D,2)` queries" tractable at `D = 2^22`), and the quantile error
+//!   definitions of Definition 4.7.
+//! * [`experiments`] — one module per table/figure: [`experiments::fig4`],
+//!   [`experiments::tab5`], [`experiments::tab6`], [`experiments::tab7`],
+//!   [`experiments::fig8`], [`experiments::fig9`].
+//! * [`report`] — plain-text table rendering.
+
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use context::EvalContext;
+pub use metrics::{
+    mean_and_sd, mse, mse_all_ranges_exact, mse_exact, mse_fixed_length_exact,
+    mse_prefixes_exact, mse_spaced_starts_exact, mse_strided, prefix_errors, quantile_errors,
+    QuantileErrors,
+};
+pub use report::Table;
+pub use runner::{run_mechanism, valid_fanouts, BuiltEstimate};

@@ -1,0 +1,256 @@
+//! Error metrics over query workloads.
+
+use ldp_ranges::RangeEstimate;
+use ldp_workloads::{Dataset, QueryWorkload};
+
+/// Mean squared error of an estimate against the dataset's exact answers
+/// over a query workload — the paper's headline accuracy metric ("the mean
+/// squared error incurred in answering all range queries of length r",
+/// §5.1). Answers are fractions in `[0, 1]`, so good values are ≪ 1.
+///
+/// # Panics
+///
+/// Panics if the estimate and dataset domains differ, or the workload is
+/// empty.
+#[must_use]
+pub fn mse<E: RangeEstimate + ?Sized>(
+    estimate: &E,
+    dataset: &Dataset,
+    workload: QueryWorkload,
+) -> f64 {
+    assert_eq!(estimate.domain(), dataset.domain(), "estimate/dataset domain mismatch");
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for q in workload.queries(dataset.domain()) {
+        let err = estimate.range(q.a, q.b) - dataset.true_range(q.a, q.b);
+        total += err * err;
+        count += 1;
+    }
+    assert!(count > 0, "workload produced no queries");
+    total / count as f64
+}
+
+/// MSE over a workload subsampled to at most `max_queries` evenly strided
+/// queries — for estimates that must be evaluated query-by-query (raw,
+/// inconsistent trees) on domains where full enumeration is infeasible.
+///
+/// With `max_queries` ≥ the workload size this is exactly [`mse`].
+///
+/// # Panics
+///
+/// Panics on domain mismatch or `max_queries == 0`.
+#[must_use]
+pub fn mse_strided<E: RangeEstimate + ?Sized>(
+    estimate: &E,
+    dataset: &Dataset,
+    workload: QueryWorkload,
+    max_queries: u64,
+) -> f64 {
+    assert_eq!(estimate.domain(), dataset.domain());
+    assert!(max_queries > 0);
+    let total = workload.count(dataset.domain());
+    let stride = total.div_ceil(max_queries).max(1) as usize;
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    for q in workload.queries(dataset.domain()).step_by(stride) {
+        let err = estimate.range(q.a, q.b) - dataset.true_range(q.a, q.b);
+        sum += err * err;
+        count += 1;
+    }
+    sum / count as f64
+}
+
+/// The `D + 1` prefix errors `e_i = P̂(i) − P(i)` of an estimate, where
+/// `P(i)` is the true mass below position `i` (`e_0 = e` at the empty
+/// prefix, always 0 for mechanisms that estimate fractions).
+///
+/// For any estimate whose range answers decompose as prefix differences —
+/// the flat method, consistent trees, and Haar estimates — every range
+/// error is `e_{b+1} − e_a`, which turns workload-wide MSEs into `O(D)`
+/// closed forms (see [`mse_all_ranges_exact`]); this is how the harness
+/// evaluates the paper's "all `C(D,2)` queries" workloads at `D = 2^16`
+/// and beyond without enumerating billions of queries.
+#[must_use]
+pub fn prefix_errors<E: RangeEstimate + ?Sized>(estimate: &E, dataset: &Dataset) -> Vec<f64> {
+    assert_eq!(estimate.domain(), dataset.domain());
+    let d = dataset.domain();
+    let mut errors = Vec::with_capacity(d + 1);
+    errors.push(0.0);
+    for b in 0..d {
+        errors.push(estimate.prefix(b) - dataset.true_prefix(b));
+    }
+    errors
+}
+
+/// Exact mean squared error over **all** `D(D+1)/2` closed intervals, from
+/// prefix errors, in `O(D)`:
+/// `Σ_{a<c} (e_c − e_a)² = (D+1)·Σ e² − (Σ e)²` over the `D+1` prefix
+/// positions.
+///
+/// Identical to enumerating [`QueryWorkload::All`] for prefix-decomposable
+/// estimates.
+#[must_use]
+pub fn mse_all_ranges_exact(prefix_errors: &[f64]) -> f64 {
+    let m = prefix_errors.len() as f64; // D + 1 prefix positions
+    let s1: f64 = prefix_errors.iter().sum();
+    let s2: f64 = prefix_errors.iter().map(|e| e * e).sum();
+    // Σ_{a<c} (e_c − e_a)² = m·S2 − S1², averaged over m(m−1)/2 intervals.
+    (m * s2 - s1 * s1) / (m * (m - 1.0) / 2.0)
+}
+
+/// Exact MSE over all `D − r + 1` intervals of length `r`, in `O(D)`.
+#[must_use]
+pub fn mse_fixed_length_exact(prefix_errors: &[f64], r: usize) -> f64 {
+    let d = prefix_errors.len() - 1;
+    assert!(r >= 1 && r <= d, "invalid length {r} for domain {d}");
+    let mut total = 0.0;
+    for a in 0..=d - r {
+        let e = prefix_errors[a + r] - prefix_errors[a];
+        total += e * e;
+    }
+    total / (d - r + 1) as f64
+}
+
+/// Exact MSE over all `D` prefix queries, in `O(D)`.
+#[must_use]
+pub fn mse_prefixes_exact(prefix_errors: &[f64]) -> f64 {
+    let d = prefix_errors.len() - 1;
+    prefix_errors[1..].iter().map(|e| e * e).sum::<f64>() / d as f64
+}
+
+/// Exact MSE over the paper's evenly-spaced-starts workload, in
+/// `O(D²/step)` prefix lookups (still closed-form per start point).
+#[must_use]
+pub fn mse_spaced_starts_exact(prefix_errors: &[f64], step: usize) -> f64 {
+    let d = prefix_errors.len() - 1;
+    assert!(step >= 1);
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for a in (0..d).step_by(step) {
+        let ea = prefix_errors[a];
+        for &ec in &prefix_errors[a + 1..=d] {
+            let e = ec - ea;
+            total += e * e;
+        }
+        count += (d - a) as u64;
+    }
+    total / count as f64
+}
+
+/// Dispatches a workload to its exact `O(D)`-ish evaluation. Only valid
+/// for prefix-decomposable estimates (see [`prefix_errors`]).
+#[must_use]
+pub fn mse_exact(prefix_errors: &[f64], workload: QueryWorkload) -> f64 {
+    match workload {
+        QueryWorkload::All => mse_all_ranges_exact(prefix_errors),
+        QueryWorkload::SpacedStarts { step } => mse_spaced_starts_exact(prefix_errors, step),
+        QueryWorkload::FixedLength { r } => mse_fixed_length_exact(prefix_errors, r),
+        QueryWorkload::Prefixes => mse_prefixes_exact(prefix_errors),
+    }
+}
+
+/// Sample mean and standard deviation over repetition results (the paper's
+/// error bars: "Each bar plot is the mean of 5 repetitions … error bars
+/// capture the observed standard deviation").
+#[must_use]
+pub fn mean_and_sd(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty());
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Quantile-query error pair of Definition 4.7 for one φ: the *value
+/// error* `(Q̂ − Q)` in index units (squared by callers as needed) and the
+/// *quantile error* `|q − q̂|` — how far, in probability mass, the returned
+/// item's true rank is from the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileErrors {
+    /// `Q̂ − Q`: signed difference between estimated and true quantile
+    /// indices.
+    pub value_error: f64,
+    /// `|q − q̂|` where `q̂` is the true CDF at the returned index.
+    pub quantile_error: f64,
+}
+
+/// Scores an estimated quantile index against the dataset.
+#[must_use]
+pub fn quantile_errors(dataset: &Dataset, phi: f64, estimated_index: usize) -> QuantileErrors {
+    let true_index = dataset.true_quantile(phi);
+    let realized = dataset.true_prefix(estimated_index);
+    QuantileErrors {
+        value_error: estimated_index as f64 - true_index as f64,
+        quantile_error: (phi - realized).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_ranges::FrequencyEstimate;
+
+    #[test]
+    fn zero_error_for_exact_estimate() {
+        let ds = Dataset::from_counts(vec![1, 2, 3, 4]);
+        let est = FrequencyEstimate::new(ds.true_frequencies());
+        assert!(mse(&est, &ds, QueryWorkload::All) < 1e-24);
+    }
+
+    #[test]
+    fn mse_counts_every_query() {
+        let ds = Dataset::from_counts(vec![10, 0, 0, 0]);
+        // Estimate off by +0.1 on item 0 only: every query containing item
+        // 0 errs by 0.1.
+        let est = FrequencyEstimate::new(vec![1.1, 0.0, 0.0, 0.0]);
+        // Queries containing item 0: 4 of the 10. MSE = 4·0.01/10.
+        let got = mse(&est, &ds, QueryWorkload::All);
+        assert!((got - 0.004).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn exact_mse_matches_enumeration() {
+        // A deliberately lumpy estimate against a lumpy truth.
+        let ds = Dataset::from_counts(vec![5, 1, 0, 7, 3, 3, 9, 2]);
+        let est = FrequencyEstimate::new(vec![0.2, 0.0, 0.05, 0.25, 0.1, 0.1, 0.25, 0.05]);
+        let e = prefix_errors(&est, &ds);
+        assert_eq!(e.len(), 9);
+        assert_eq!(e[0], 0.0);
+        for (wl, label) in [
+            (QueryWorkload::All, "all"),
+            (QueryWorkload::Prefixes, "prefixes"),
+            (QueryWorkload::FixedLength { r: 3 }, "r=3"),
+            (QueryWorkload::FixedLength { r: 1 }, "r=1"),
+            (QueryWorkload::SpacedStarts { step: 3 }, "spaced"),
+        ] {
+            let slow = mse(&est, &ds, wl);
+            let fast = mse_exact(&e, wl);
+            assert!((slow - fast).abs() < 1e-12, "{label}: {slow} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_and_sd(&[2.0, 4.0]);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_and_sd(&[7.0]);
+        assert_eq!((m1, s1), (7.0, 0.0));
+    }
+
+    #[test]
+    fn quantile_error_definitions() {
+        let ds = Dataset::from_counts(vec![25, 25, 25, 25]);
+        // True median index: prefix(1) = 0.5 → index 1.
+        let exact = quantile_errors(&ds, 0.5, 1);
+        assert_eq!(exact.value_error, 0.0);
+        assert!((exact.quantile_error - 0.0).abs() < 1e-12);
+        // Returning index 2 overshoots by one item (0.25 of mass).
+        let off = quantile_errors(&ds, 0.5, 2);
+        assert_eq!(off.value_error, 1.0);
+        assert!((off.quantile_error - 0.25).abs() < 1e-12);
+    }
+}

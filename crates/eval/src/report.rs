@@ -1,0 +1,143 @@
+//! Plain-text table rendering for experiment outputs.
+
+use std::fmt::Write as _;
+
+/// A rectangular results table, rendered with aligned columns — the shape
+/// in which the paper's tables (Figures 5–7) are reported.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Access to raw rows (for tests and downstream processing).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders with space-aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{cell:>w$}", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats an MSE the way the paper's tables do: scaled up by 1000, three
+/// decimal places.
+#[must_use]
+pub fn fmt_mse_x1000(mse: f64) -> String {
+    format!("{:.3}", mse * 1000.0)
+}
+
+/// Formats a raw float compactly for table cells.
+#[must_use]
+pub fn fmt_sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if (0.001..10_000.0).contains(&v.abs()) {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", vec!["eps".into(), "mse".into()]);
+        t.push_row(vec!["0.2".into(), "4.269".into()]);
+        t.push_row(vec!["1.4".into(), "0.571".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("eps"));
+        assert_eq!(t.num_rows(), 2);
+        // Columns align: every data line has the same width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[1].len(), lines[2].len().max(lines[3].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn mse_formatting_matches_paper_style() {
+        assert_eq!(fmt_mse_x1000(0.004269), "4.269");
+        assert_eq!(fmt_mse_x1000(0.000571), "0.571");
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(fmt_sci(0.0), "0");
+        assert!(fmt_sci(1234.5).starts_with("1234."));
+        assert!(fmt_sci(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,179 @@
+//! One-shot mechanism execution: dataset in, scored estimate out.
+
+use rand::RngCore;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{
+    FlatConfig, FlatServer, FrequencyEstimate, HaarConfig, HaarHrrServer, HhConfig, HhEstimate,
+    HhServer, RangeError, RangeEstimate, RangeMechanism,
+};
+use ldp_workloads::Dataset;
+
+/// A mechanism's reconstructed estimate, in whichever evaluation form is
+/// exact *and* fastest for that mechanism:
+///
+/// * consistent trees and Haar pyramids collapse losslessly to per-item
+///   frequencies (`O(1)` per query);
+/// * inconsistent trees must be evaluated through their B-adic
+///   decomposition (collapsing would change the answers).
+#[derive(Debug, Clone)]
+pub enum BuiltEstimate {
+    /// Per-item frequencies with prefix sums.
+    Frequencies(FrequencyEstimate),
+    /// A raw (inconsistent) hierarchical tree.
+    Tree(HhEstimate),
+}
+
+impl RangeEstimate for BuiltEstimate {
+    fn domain(&self) -> usize {
+        match self {
+            Self::Frequencies(e) => e.domain(),
+            Self::Tree(e) => e.domain(),
+        }
+    }
+
+    fn range(&self, a: usize, b: usize) -> f64 {
+        match self {
+            Self::Frequencies(e) => e.range(a, b),
+            Self::Tree(e) => e.range(a, b),
+        }
+    }
+
+    fn point(&self, z: usize) -> f64 {
+        match self {
+            Self::Frequencies(e) => e.point(z),
+            Self::Tree(e) => e.point(z),
+        }
+    }
+}
+
+/// Runs one mechanism over a dataset via the population-scale simulation
+/// path and returns its estimate.
+///
+/// # Errors
+///
+/// Propagates configuration errors (e.g. a fanout that does not divide the
+/// domain, or HRR over a non-power-of-two level).
+pub fn run_mechanism(
+    mechanism: RangeMechanism,
+    epsilon: Epsilon,
+    dataset: &Dataset,
+    rng: &mut dyn RngCore,
+) -> Result<BuiltEstimate, RangeError> {
+    let domain = dataset.domain();
+    match mechanism {
+        RangeMechanism::Flat(oracle) => {
+            let config = FlatConfig::with_oracle(domain, epsilon, oracle)?;
+            let mut server = FlatServer::new(&config)?;
+            server.absorb_population(dataset.counts(), rng)?;
+            Ok(BuiltEstimate::Frequencies(server.estimate()))
+        }
+        RangeMechanism::Hierarchical { fanout, oracle, consistent } => {
+            let config = HhConfig::with_oracle(domain, fanout, epsilon, oracle)?;
+            let mut server = HhServer::new(config)?;
+            server.absorb_population(dataset.counts(), rng)?;
+            if consistent {
+                // Lossless collapse: after CI every range is a leaf
+                // prefix-sum difference (§4.5).
+                Ok(BuiltEstimate::Frequencies(
+                    server.estimate_consistent().to_frequency_estimate(),
+                ))
+            } else {
+                Ok(BuiltEstimate::Tree(server.estimate()))
+            }
+        }
+        RangeMechanism::HaarHrr => {
+            let config = HaarConfig::new(domain, epsilon)?;
+            let mut server = HaarHrrServer::new(config)?;
+            server.absorb_population(dataset.counts(), rng)?;
+            Ok(BuiltEstimate::Frequencies(server.estimate().to_frequency_estimate()))
+        }
+    }
+}
+
+/// The branching factors `B = 2^k` that give an integer-height tree over
+/// `domain = 2^m`, capped at `max_fanout` — how the paper chooses its
+/// Figure 4 x-axis ("Since the domain size D is chosen to be a power of 2,
+/// we can choose a range of branching factors B … so that log_B(D) remains
+/// an integer").
+#[must_use]
+pub fn valid_fanouts(domain: usize, max_fanout: usize) -> Vec<usize> {
+    assert!(domain.is_power_of_two() && domain >= 4);
+    let m = domain.trailing_zeros();
+    (1..m)
+        .filter(|k| m.is_multiple_of(*k))
+        .map(|k| 1usize << k)
+        .filter(|&b| b <= max_fanout)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_freq_oracle::FrequencyOracle;
+    use ldp_workloads::{CauchyParams, DistributionKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cauchy_dataset(domain: usize, n: u64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::sample(
+            DistributionKind::Cauchy(CauchyParams::paper_default()),
+            domain,
+            n,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn all_mechanisms_run_and_are_roughly_accurate() {
+        let ds = cauchy_dataset(256, 1 << 18, 161);
+        let eps = Epsilon::from_exp(3.0);
+        let mut rng = StdRng::seed_from_u64(162);
+        let mechanisms = [
+            RangeMechanism::Flat(FrequencyOracle::Oue),
+            RangeMechanism::Hierarchical {
+                fanout: 4,
+                oracle: FrequencyOracle::Oue,
+                consistent: false,
+            },
+            RangeMechanism::Hierarchical {
+                fanout: 4,
+                oracle: FrequencyOracle::Oue,
+                consistent: true,
+            },
+            RangeMechanism::Hierarchical {
+                fanout: 2,
+                oracle: FrequencyOracle::Hrr,
+                consistent: true,
+            },
+            RangeMechanism::HaarHrr,
+        ];
+        for mech in mechanisms {
+            let est = run_mechanism(mech, eps, &ds, &mut rng).unwrap();
+            assert_eq!(est.domain(), 256);
+            let truth = ds.true_range(64, 160);
+            let got = est.range(64, 160);
+            assert!((got - truth).abs() < 0.1, "{mech}: {got} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_error() {
+        let ds = cauchy_dataset(256, 1 << 12, 163);
+        let mut rng = StdRng::seed_from_u64(164);
+        let bad = RangeMechanism::Hierarchical {
+            fanout: 6,
+            oracle: FrequencyOracle::Oue,
+            consistent: true,
+        };
+        assert!(run_mechanism(bad, Epsilon::new(1.0), &ds, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fanout_enumeration() {
+        assert_eq!(valid_fanouts(256, 256), vec![2, 4, 16]);
+        assert_eq!(valid_fanouts(1 << 12, 64), vec![2, 4, 8, 16, 64]);
+        assert_eq!(valid_fanouts(1 << 16, 16), vec![2, 4, 16]);
+    }
+}

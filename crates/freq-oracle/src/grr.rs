@@ -1,0 +1,126 @@
+//! Generalized (k-ary) Randomized Response.
+//!
+//! The categorical generalization of Warner's randomized response used
+//! inside OLH (paper §3.2, citing Kairouz et al.): report the true value
+//! with probability `p = e^ε/(e^ε + k − 1)` and each of the other `k − 1`
+//! values with probability `(1 − p)/(k − 1)`. The likelihood ratio between
+//! any two inputs for any output is then exactly `e^ε`.
+//!
+//! Note: the paper's prose says the lie is sampled "u.a.r from \[g\]"
+//! (including the truth); the variance expression it then quotes,
+//! `4p(1−p)/(N(2p−1)^2)` with the estimator `(S/N − 1/g)/(p − 1/g)`, is the
+//! one for the *exclude-the-truth* variant of Wang et al., which is what we
+//! implement — otherwise the stated estimator would be biased.
+
+use rand::{Rng, RngCore};
+
+use crate::params::grr_keep_prob;
+use crate::Epsilon;
+
+/// A k-ary randomized-response perturbation.
+#[derive(Debug, Clone, Copy)]
+pub struct Grr {
+    k: usize,
+    p: f64,
+}
+
+impl Grr {
+    /// Builds GRR over `k ≥ 2` categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    #[must_use]
+    pub fn new(k: usize, eps: Epsilon) -> Self {
+        Self { k, p: grr_keep_prob(eps, k) }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn categories(&self) -> usize {
+        self.k
+    }
+
+    /// Probability of reporting the truth.
+    #[must_use]
+    pub fn keep_prob(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting one *specific* false value.
+    #[must_use]
+    pub fn lie_prob(&self) -> f64 {
+        (1.0 - self.p) / (self.k as f64 - 1.0)
+    }
+
+    /// Perturbs `value ∈ [k]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `value < k`.
+    pub fn perturb<R: RngCore + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
+        debug_assert!(value < self.k);
+        if rng.random::<f64>() < self.p {
+            return value;
+        }
+        // Uniform over the other k − 1 values.
+        let r = rng.random_range(0..self.k - 1);
+        if r >= value {
+            r + 1
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_truth_at_expected_rate() {
+        let grr = Grr::new(4, Epsilon::from_exp(3.0)); // p = 3/6 = 0.5
+        assert!((grr.keep_prob() - 0.5).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 40_000;
+        let kept = (0..trials).filter(|_| grr.perturb(2, &mut rng) == 2).count();
+        let rate = kept as f64 / f64::from(trials);
+        assert!((rate - 0.5).abs() < 0.01, "kept rate {rate}");
+    }
+
+    #[test]
+    fn lies_are_uniform_over_other_values() {
+        let grr = Grr::new(5, Epsilon::new(0.5));
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut buckets = [0u64; 5];
+        let trials = 100_000u64;
+        for _ in 0..trials {
+            buckets[grr.perturb(1, &mut rng)] += 1;
+        }
+        let lie = grr.lie_prob();
+        for (v, &b) in buckets.iter().enumerate() {
+            let rate = b as f64 / trials as f64;
+            let expect = if v == 1 { grr.keep_prob() } else { lie };
+            assert!((rate - expect).abs() < 0.01, "value {v}: {rate} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for k in [2usize, 3, 17] {
+            let grr = Grr::new(k, Epsilon::new(1.1));
+            let total = grr.keep_prob() + grr.lie_prob() * (k as f64 - 1.0);
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ldp_ratio_holds_for_every_output() {
+        let grr = Grr::new(6, Epsilon::new(0.8));
+        let e = 0.8f64.exp();
+        // For output o: Pr[o | v=o] = p, Pr[o | v≠o] = lie. Ratio = e^eps.
+        assert!((grr.keep_prob() / grr.lie_prob() - e).abs() < 1e-9);
+    }
+}

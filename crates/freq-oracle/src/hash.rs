@@ -1,0 +1,140 @@
+//! Universal hashing for Optimal Local Hashing.
+//!
+//! OLH requires each user to sample a hash function `H : [D] → [g]` from a
+//! universal family — collisions must behave uniformly
+//! (`Pr[H(x) = H(y)] ≤ 1/g` for `x ≠ y`, footnote 1 of the paper). We use
+//! the classic Carter–Wegman multiply-add family modulo the Mersenne prime
+//! `P = 2^61 − 1`, reduced into `[g]`: `H_{a,b}(x) = ((a·x + b) mod P) mod g`.
+
+use rand::{Rng, RngCore};
+
+/// Mersenne prime `2^61 − 1`; all domain values must be below it (range
+/// queries in this workspace cap at `D = 2^22`, far below).
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// One member of the universal family, identified by its coefficients.
+///
+/// The pair `(a, b)` is transmitted with each OLH report (in practice a PRG
+/// seed; here the coefficients themselves — ~16 bytes, matching the "small
+/// communication" claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    range: usize,
+}
+
+impl UniversalHash {
+    /// Samples a function uniformly from the family, mapping into `[range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range < 2` (OLH's hash range `g` is always ≥ 2).
+    pub fn sample<R: RngCore + ?Sized>(range: usize, rng: &mut R) -> Self {
+        assert!(range >= 2, "hash range must be at least 2, got {range}");
+        let a = rng.random_range(1..MERSENNE_P);
+        let b = rng.random_range(0..MERSENNE_P);
+        Self { a, b, range }
+    }
+
+    /// Rebuilds a function from transmitted coefficients.
+    #[must_use]
+    pub fn from_parts(a: u64, b: u64, range: usize) -> Self {
+        assert!(range >= 2);
+        assert!((1..MERSENNE_P).contains(&a) && b < MERSENNE_P);
+        Self { a, b, range }
+    }
+
+    /// The coefficients `(a, b)` — what the user actually transmits.
+    #[must_use]
+    pub fn parts(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Output range `g`.
+    #[must_use]
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Evaluates `H(x)` in `[range]`.
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, x: usize) -> usize {
+        let x = x as u128;
+        let v = (self.a as u128 * x + self.b as u128) % MERSENNE_P as u128;
+        (v % self.range as u128) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outputs_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let h = UniversalHash::sample(4, &mut rng);
+            for x in 0..1000 {
+                assert!(h.eval(x) < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_parts() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let h = UniversalHash::sample(7, &mut rng);
+        let (a, b) = h.parts();
+        let h2 = UniversalHash::from_parts(a, b, 7);
+        for x in 0..100 {
+            assert_eq!(h.eval(x), h2.eval(x));
+        }
+    }
+
+    #[test]
+    fn collision_probability_is_near_uniform() {
+        // Empirical check of universality: over random functions, a fixed
+        // pair collides with probability ≈ 1/g.
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = 4;
+        let trials = 20_000;
+        let mut collisions = 0u32;
+        for _ in 0..trials {
+            let h = UniversalHash::sample(g, &mut rng);
+            if h.eval(123) == h.eval(45_678) {
+                collisions += 1;
+            }
+        }
+        let rate = f64::from(collisions) / f64::from(trials);
+        assert!((rate - 0.25).abs() < 0.02, "collision rate {rate}");
+    }
+
+    #[test]
+    fn per_function_outputs_are_balanced_on_average() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = 4;
+        let mut buckets = vec![0u64; g];
+        for _ in 0..200 {
+            let h = UniversalHash::sample(g, &mut rng);
+            for x in 0..256 {
+                buckets[h.eval(x)] += 1;
+            }
+        }
+        let total: u64 = buckets.iter().sum();
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / total as f64;
+            assert!((frac - 0.25).abs() < 0.02, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_range() {
+        let mut rng = StdRng::seed_from_u64(15);
+        UniversalHash::sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Privacy parameters shared by every mechanism.
+
+use std::fmt;
+
+/// The privacy budget ε of an ε-LDP mechanism.
+///
+/// A newtype so that mechanisms cannot accidentally be handed a raw,
+/// unvalidated float: ε must be strictly positive and finite. The paper's
+/// default is `e^ε = 3` (ε ≈ 1.1), with the sweep ε ∈ [0.1, 1.4] in §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Validates and wraps a privacy budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps` and `eps` is finite. Use [`Epsilon::try_new`]
+    /// for a non-panicking variant.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        Self::try_new(eps).unwrap_or_else(|| panic!("epsilon must be positive and finite, got {eps}"))
+    }
+
+    /// Validates and wraps a privacy budget, returning `None` if invalid.
+    #[must_use]
+    pub fn try_new(eps: f64) -> Option<Self> {
+        (eps.is_finite() && eps > 0.0).then_some(Self(eps))
+    }
+
+    /// Constructs ε from the odds ratio `e^ε` (the paper specifies its
+    /// default privacy level as `e^ε = 3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_eps <= 1` or is not finite.
+    #[must_use]
+    pub fn from_exp(exp_eps: f64) -> Self {
+        assert!(exp_eps.is_finite() && exp_eps > 1.0, "e^eps must exceed 1, got {exp_eps}");
+        Self(exp_eps.ln())
+    }
+
+    /// The raw budget ε.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `e^ε`, the likelihood-ratio bound of the LDP definition.
+    #[inline]
+    #[must_use]
+    pub fn exp(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Splits the budget into `k` equal parts (sequential composition, used
+    /// only by the *centralized* baselines — the local mechanisms sample
+    /// levels instead of splitting, which is the paper's key difference
+    /// from the centralized case, §4.4).
+    #[must_use]
+    pub fn split(self, k: u32) -> Self {
+        assert!(k >= 1);
+        Self(self.0 / f64::from(k))
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Keep/flip probability of binary randomized response at budget ε:
+/// `p = e^ε / (1 + e^ε)`. Truthful with probability `p`, lying with `1 − p`
+/// satisfies ε-LDP because `p / (1 − p) = e^ε`.
+#[inline]
+#[must_use]
+pub fn binary_rr_keep_prob(eps: Epsilon) -> f64 {
+    let e = eps.exp();
+    e / (1.0 + e)
+}
+
+/// OUE bit-flip parameters `(p, q)`: a 1-bit is reported as 1 with
+/// probability `p = 1/2`; a 0-bit is reported as 1 with probability
+/// `q = 1/(1 + e^ε)` (paper §3.2). The ratio `(p/q)·((1−q)/(1−p)) = e^ε`.
+#[inline]
+#[must_use]
+pub fn oue_probs(eps: Epsilon) -> (f64, f64) {
+    (0.5, 1.0 / (1.0 + eps.exp()))
+}
+
+/// GRR keep probability over `k` categories:
+/// `p = e^ε / (e^ε + k − 1)`; each of the other `k − 1` values is reported
+/// with probability `(1 − p)/(k − 1) = 1/(e^ε + k − 1)`.
+#[inline]
+#[must_use]
+pub fn grr_keep_prob(eps: Epsilon, k: usize) -> f64 {
+    assert!(k >= 2, "GRR needs at least two categories");
+    let e = eps.exp();
+    e / (e + (k as f64) - 1.0)
+}
+
+/// The OLH hash range `g = ⌊e^ε⌋ + 1` that minimizes the variance
+/// (`g = e^ε + 1` rounded to an integer, per Wang et al. / paper §3.2).
+#[inline]
+#[must_use]
+pub fn olh_hash_range(eps: Epsilon) -> usize {
+    ((eps.exp() + 1.0).round() as usize).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::try_new(1.0).is_some());
+        assert!(Epsilon::try_new(0.0).is_none());
+        assert!(Epsilon::try_new(-1.0).is_none());
+        assert!(Epsilon::try_new(f64::NAN).is_none());
+        assert!(Epsilon::try_new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn epsilon_new_panics_on_invalid() {
+        let _ = Epsilon::new(-0.5);
+    }
+
+    #[test]
+    fn from_exp_matches_paper_default() {
+        let eps = Epsilon::from_exp(3.0);
+        assert!((eps.value() - 3f64.ln()).abs() < 1e-12);
+        assert!((eps.exp() - 3.0).abs() < 1e-12);
+        // "binary randomized response will report a true answer 3/4 of the
+        // time" at e^eps = 3.
+        assert!((binary_rr_keep_prob(eps) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_rr_satisfies_ldp_ratio() {
+        for eps_v in [0.1, 0.5, 1.1, 2.0] {
+            let eps = Epsilon::new(eps_v);
+            let p = binary_rr_keep_prob(eps);
+            // Likelihood ratio of observing "1" from input 1 vs input 0.
+            assert!((p / (1.0 - p) - eps.exp()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oue_probs_satisfy_ldp_ratio() {
+        for eps_v in [0.2, 1.1, 1.4] {
+            let eps = Epsilon::new(eps_v);
+            let (p, q) = oue_probs(eps);
+            // Changing the input moves one bit 0→1 and another 1→0, so the
+            // worst-case likelihood ratio over outputs is the product
+            // (p/q)·((1−q)/(1−p)), which must equal e^eps exactly.
+            let ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+            assert!((ratio - eps.exp()).abs() < 1e-9, "eps={eps_v}");
+        }
+    }
+
+    #[test]
+    fn grr_ratio_is_exp_eps() {
+        for k in [2usize, 4, 10, 100] {
+            let eps = Epsilon::new(1.1);
+            let p = grr_keep_prob(eps, k);
+            let q = (1.0 - p) / (k as f64 - 1.0);
+            assert!((p / q - eps.exp()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn olh_range_examples() {
+        assert_eq!(olh_hash_range(Epsilon::from_exp(3.0)), 4);
+        assert_eq!(olh_hash_range(Epsilon::new(0.2)), 2);
+    }
+
+    #[test]
+    fn split_divides_budget() {
+        let eps = Epsilon::new(1.0);
+        assert!((eps.split(4).value() - 0.25).abs() < 1e-12);
+    }
+}

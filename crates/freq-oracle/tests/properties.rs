@@ -1,0 +1,120 @@
+//! Property-based tests for the frequency-oracle crate: privacy ratios,
+//! estimator algebra and sampler invariants over randomized inputs.
+
+use proptest::prelude::*;
+
+use ldp_freq_oracle::binomial::sample_binomial;
+use ldp_freq_oracle::{
+    binary_rr_keep_prob, grr_keep_prob, oue_probs, sue_probs, AnyOracle, Epsilon,
+    FrequencyOracle, PointOracle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn all_perturbation_primitives_satisfy_their_ldp_ratio(eps_v in 0.05f64..5.0) {
+        let eps = Epsilon::new(eps_v);
+        let e = eps.exp();
+
+        let p = binary_rr_keep_prob(eps);
+        prop_assert!((p / (1.0 - p) - e).abs() / e < 1e-9);
+
+        let (p, q) = oue_probs(eps);
+        prop_assert!(((p / q) * ((1.0 - q) / (1.0 - p)) - e).abs() / e < 1e-9);
+
+        let (p, q) = sue_probs(eps);
+        prop_assert!(((p / q) * ((1.0 - q) / (1.0 - p)) - e).abs() / e < 1e-9);
+
+        for k in [2usize, 5, 64] {
+            let p = grr_keep_prob(eps, k);
+            let lie = (1.0 - p) / (k as f64 - 1.0);
+            prop_assert!((p / lie - e).abs() / e < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimates_always_have_domain_length_and_finite_values(
+        domain_log in 0u32..7,
+        seed in 0u64..500,
+        kind_idx in 0usize..4,
+    ) {
+        let domain = 1usize << domain_log;
+        let kind = [
+            FrequencyOracle::Oue,
+            FrequencyOracle::Olh,
+            FrequencyOracle::Hrr,
+            FrequencyOracle::Sue,
+        ][kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = AnyOracle::new(kind, domain, Epsilon::new(1.0)).unwrap();
+        let counts: Vec<u64> = (0..domain).map(|z| (z as u64 * 13 + seed) % 50).collect();
+        if counts.iter().sum::<u64>() > 0 {
+            oracle.absorb_population(&counts, &mut rng).unwrap();
+        }
+        let est = oracle.estimate();
+        prop_assert_eq!(est.len(), domain);
+        prop_assert!(est.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn oue_estimates_sum_near_total_mass(
+        seed in 0u64..300,
+        scale in 1u64..40,
+    ) {
+        // The OUE estimator is linear and unbiased, so the estimate total
+        // concentrates around 1 for any input histogram.
+        let domain = 32usize;
+        let counts: Vec<u64> = (0..domain).map(|z| (z as u64 * 7 + 1) * scale * 10).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = AnyOracle::new(FrequencyOracle::Oue, domain, Epsilon::new(1.1)).unwrap();
+        oracle.absorb_population(&counts, &mut rng).unwrap();
+        let total: f64 = oracle.estimate().iter().sum();
+        prop_assert!((total - 1.0).abs() < 0.3, "total {total}");
+    }
+
+    #[test]
+    fn binomial_sampler_stays_in_support(
+        n in 0u64..2_000_000,
+        p in 0.0f64..=1.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sample_binomial(&mut rng, n, p);
+        prop_assert!(x <= n);
+        if p == 0.0 {
+            prop_assert_eq!(x, 0);
+        }
+        if p == 1.0 {
+            prop_assert_eq!(x, n);
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_combined_report_count(
+        seed in 0u64..200,
+        split in 1u64..99,
+    ) {
+        let domain = 16usize;
+        let eps = Epsilon::new(1.0);
+        let total = 10_000u64;
+        let a_count = total * split / 100;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts_a: Vec<u64> = vec![a_count / domain as u64; domain];
+        let counts_b: Vec<u64> = vec![(total - a_count) / domain as u64; domain];
+
+        let mut a = AnyOracle::new(FrequencyOracle::Hrr, domain, eps).unwrap();
+        a.absorb_population(&counts_a, &mut rng).unwrap();
+        let mut b = AnyOracle::new(FrequencyOracle::Hrr, domain, eps).unwrap();
+        b.absorb_population(&counts_b, &mut rng).unwrap();
+        let na = a.num_reports();
+        let nb = b.num_reports();
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a.num_reports(), na + nb);
+        let est = a.estimate();
+        // Uniform data → near-uniform estimates.
+        for (z, v) in est.iter().enumerate() {
+            prop_assert!((v - 1.0 / domain as f64).abs() < 0.2, "item {z}: {v}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! B-adic interval decomposition (Facts 2 and 3 of the paper).
+//!
+//! A *B-adic* interval has length `B^j` and starts at a multiple of its
+//! length (Fact 2); these are exactly the leaf blocks of the nodes of a
+//! complete B-ary tree over the domain. Any interval `[a, b]` decomposes
+//! into at most `(B − 1)(2·log_B r + 1)` disjoint B-adic intervals where
+//! `r = b − a + 1` (Fact 3) — equivalently at most `2(B − 1)` tree nodes per
+//! level. Range queries in the hierarchical mechanisms are answered by
+//! summing the estimates of these nodes.
+
+use crate::tree::CompleteTree;
+
+/// One node of a B-adic decomposition, identified by tree coordinates.
+///
+/// `depth` counts down from the root (0) to the leaves (`h`); `index` is the
+/// left-to-right position within that depth. The node covers the leaf block
+/// `[index·B^{h−depth}, (index+1)·B^{h−depth})`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DyadicNode {
+    /// Depth from the root.
+    pub depth: u32,
+    /// Left-to-right index among nodes at this depth.
+    pub index: usize,
+}
+
+impl DyadicNode {
+    /// Leaf interval covered by this node within `shape`.
+    #[inline]
+    pub fn block(&self, shape: &CompleteTree) -> std::ops::Range<usize> {
+        shape.block_range(self.depth, self.index)
+    }
+}
+
+/// Decomposes the inclusive range `[a, b]` into disjoint B-adic nodes of the
+/// complete B-ary tree `shape`, returned in left-to-right block order.
+///
+/// The decomposition is minimal in node count and peels at most `B − 1`
+/// nodes from each fringe per level, so it meets the Fact 3 bound of
+/// `(B − 1)(2·log_B r + 1)` nodes.
+///
+/// # Panics
+///
+/// Panics if `a > b` or `b` is outside the domain.
+pub fn decompose_range(shape: &CompleteTree, a: usize, b: usize) -> Vec<DyadicNode> {
+    let domain = shape.domain();
+    assert!(a <= b && b < domain, "invalid range [{a}, {b}] for domain {domain}");
+    let fanout = shape.fanout();
+
+    let mut nodes = Vec::new();
+    // Work half-open over leaf positions, peeling unit blocks of growing
+    // size from both fringes until each fringe aligns with the next level.
+    let mut lo = a;
+    let mut hi = b + 1;
+    let mut size = 1usize; // current block size
+    let mut depth = shape.height(); // depth of nodes with that block size
+    while lo < hi {
+        let parent = size * fanout;
+        while !lo.is_multiple_of(parent) && lo < hi {
+            nodes.push(DyadicNode { depth, index: lo / size });
+            lo += size;
+        }
+        while !hi.is_multiple_of(parent) && lo < hi {
+            hi -= size;
+            nodes.push(DyadicNode { depth, index: hi / size });
+        }
+        if lo >= hi {
+            break;
+        }
+        size = parent;
+        depth -= 1;
+    }
+    nodes.sort_unstable_by_key(|n| n.block(shape).start);
+    nodes
+}
+
+/// Upper bound of Fact 3 on the number of nodes needed for a range of
+/// length `r` under fanout `B`: `(B − 1)(2·log_B r + 1)`.
+pub fn fact3_node_bound(fanout: usize, r: usize) -> usize {
+    assert!(r >= 1);
+    let log = (r as f64).log(fanout as f64).ceil() as usize;
+    (fanout - 1) * (2 * log + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(shape: &CompleteTree, nodes: &[DyadicNode]) -> Vec<(usize, usize)> {
+        nodes.iter().map(|n| { let r = n.block(shape); (r.start, r.end - 1) }).collect()
+    }
+
+    #[test]
+    fn paper_example_d32_b2() {
+        // "for D = 32, B = 2, the interval [2, 22] can be decomposed into
+        //  [2,3] ∪ [4,7] ∪ [8,15] ∪ [16,19] ∪ [20,21] ∪ [22,22]".
+        let shape = CompleteTree::new(2, 32);
+        let nodes = decompose_range(&shape, 2, 22);
+        assert_eq!(
+            blocks(&shape, &nodes),
+            vec![(2, 3), (4, 7), (8, 15), (16, 19), (20, 21), (22, 22)]
+        );
+    }
+
+    #[test]
+    fn full_domain_is_root() {
+        let shape = CompleteTree::new(4, 256);
+        let nodes = decompose_range(&shape, 0, 255);
+        assert_eq!(nodes, vec![DyadicNode { depth: 0, index: 0 }]);
+    }
+
+    #[test]
+    fn point_query_is_single_leaf() {
+        let shape = CompleteTree::new(8, 64);
+        let nodes = decompose_range(&shape, 37, 37);
+        assert_eq!(nodes, vec![DyadicNode { depth: 2, index: 37 }]);
+    }
+
+    fn check_partition(shape: &CompleteTree, a: usize, b: usize) {
+        let nodes = decompose_range(shape, a, b);
+        // Blocks must tile [a, b] exactly, in order, without gaps.
+        let mut cursor = a;
+        for n in &nodes {
+            let blk = n.block(shape);
+            assert_eq!(blk.start, cursor, "gap/overlap at {cursor} in [{a},{b}]");
+            cursor = blk.end;
+        }
+        assert_eq!(cursor, b + 1);
+        // Each block must be B-adic: start divisible by length.
+        for n in &nodes {
+            let blk = n.block(shape);
+            let len = blk.end - blk.start;
+            assert_eq!(blk.start % len, 0);
+        }
+        // Fact 3 node-count bound.
+        let r = b - a + 1;
+        assert!(
+            nodes.len() <= fact3_node_bound(shape.fanout(), r),
+            "range [{a},{b}] used {} nodes, bound {}",
+            nodes.len(),
+            fact3_node_bound(shape.fanout(), r)
+        );
+        // Per-level bound: at most 2(B-1) nodes per level.
+        let mut per_level = std::collections::HashMap::new();
+        for n in &nodes {
+            *per_level.entry(n.depth).or_insert(0usize) += 1;
+        }
+        for (&d, &cnt) in &per_level {
+            assert!(cnt <= 2 * (shape.fanout() - 1), "depth {d} has {cnt} nodes");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_domains() {
+        for (fanout, domain) in [(2usize, 32usize), (4, 64), (3, 81), (8, 64), (16, 256)] {
+            let shape = CompleteTree::new(fanout, domain);
+            for a in 0..domain {
+                for b in a..domain {
+                    check_partition(&shape, a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fact3_bound_values() {
+        assert_eq!(fact3_node_bound(2, 1), 1);
+        // r = 21 for the paper example: log2 ceil = 5, bound = 11 ≥ 6 used.
+        assert_eq!(fact3_node_bound(2, 21), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_reversed_range() {
+        let shape = CompleteTree::new(2, 16);
+        decompose_range(&shape, 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_out_of_domain() {
+        let shape = CompleteTree::new(2, 16);
+        decompose_range(&shape, 0, 16);
+    }
+}

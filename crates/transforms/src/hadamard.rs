@@ -1,0 +1,182 @@
+//! Fast Walsh–Hadamard transform (FWHT).
+//!
+//! The Hadamard matrix `φ` of dimension `D = 2^k` has entries
+//! `φ[i][j] = (−1)^{⟨i, j⟩}` where `⟨i, j⟩` counts the positions on which
+//! the binary representations of `i` and `j` are both 1 (paper §3.2,
+//! Figure 1 shows the `D = 8` instance, there scaled by `1/√D`).
+//!
+//! We work with the *unnormalized* ±1 matrix throughout, which is what the
+//! HRR mechanism transmits; the `1/√D` or `1/D` factors are restored by the
+//! caller where needed. The unnormalized matrix satisfies `φ·φ = D·I`, so
+//! [`fwht_inverse`] is [`fwht`] followed by division by `D`.
+
+/// Single entry of the unnormalized Hadamard matrix: `(−1)^{popcount(i & j)}`.
+///
+/// This is the value a user with input `i` computes for a sampled column
+/// `j` in HRR — an `O(1)` operation, so clients never materialize the
+/// matrix.
+///
+/// ```
+/// use ldp_transforms::hadamard_entry;
+/// // Row 3 of the D=8 matrix from Figure 1 of the paper.
+/// let row: Vec<i8> = (0..8).map(|j| hadamard_entry(3, j)).collect();
+/// assert_eq!(row, [1, -1, -1, 1, 1, -1, -1, 1]);
+/// ```
+#[inline]
+pub fn hadamard_entry(i: usize, j: usize) -> i8 {
+    if (i & j).count_ones().is_multiple_of(2) {
+        1
+    } else {
+        -1
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform of a length-`2^k` slice.
+///
+/// Computes `x ← φ·x` for the unnormalized ±1 Hadamard matrix in
+/// `O(D log D)` time and no extra space. Applying it twice multiplies the
+/// input by `D`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (the transform is undefined
+/// otherwise).
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT requires a power-of-two length, got {n}");
+    let mut half = 1;
+    while half < n {
+        let step = half * 2;
+        for block in (0..n).step_by(step) {
+            for i in block..block + half {
+                let a = data[i];
+                let b = data[i + half];
+                data[i] = a + b;
+                data[i + half] = a - b;
+            }
+        }
+        half = step;
+    }
+}
+
+/// In-place inverse Walsh–Hadamard transform: `x ← φ⁻¹·x = (1/D)·φ·x`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fwht_inverse(data: &mut [f64]) {
+    fwht(data);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// Returns column `j` of the unnormalized Hadamard matrix as ±1 values.
+///
+/// Useful for tests and for the aggregator-side decoding path that scatters
+/// a single reported coefficient back over the original domain.
+pub fn hadamard_column(dim: usize, j: usize) -> Vec<i8> {
+    assert!(dim.is_power_of_two());
+    assert!(j < dim);
+    (0..dim).map(|i| hadamard_entry(i, j)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_transform(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| (0..n).map(|j| f64::from(hadamard_entry(i, j)) * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matches_figure_1_matrix() {
+        // Figure 1 of the paper (scaled by sqrt(8)).
+        let expected: [[i8; 8]; 8] = [
+            [1, 1, 1, 1, 1, 1, 1, 1],
+            [1, -1, 1, -1, 1, -1, 1, -1],
+            [1, 1, -1, -1, 1, 1, -1, -1],
+            [1, -1, -1, 1, 1, -1, -1, 1],
+            [1, 1, 1, 1, -1, -1, -1, -1],
+            [1, -1, 1, -1, -1, 1, -1, 1],
+            [1, 1, -1, -1, -1, -1, 1, 1],
+            // Note: the arXiv rendering of Figure 1 garbles row 7; the
+            // Sylvester construction gives ⟨7,3⟩ = 2, hence +1 in column 3.
+            [1, -1, -1, 1, -1, 1, 1, -1],
+        ];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &e) in row.iter().enumerate() {
+                assert_eq!(hadamard_entry(i, j), e, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_matches_naive() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let mut fast = x.clone();
+        fwht(&mut fast);
+        let slow = naive_transform(&x);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fwht_involution_up_to_scale() {
+        let x: Vec<f64> = (0..64).map(|i| (i * i % 17) as f64).collect();
+        let mut y = x.clone();
+        fwht(&mut y);
+        fwht_inverse(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_of_basis_vector_is_column() {
+        let d = 32;
+        for v in [0usize, 1, 7, 31] {
+            let mut e = vec![0.0; d];
+            e[v] = 1.0;
+            fwht(&mut e);
+            let col = hadamard_column(d, v);
+            for (a, b) in e.iter().zip(col.iter()) {
+                assert!((a - f64::from(*b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        let d = 16;
+        for i in 0..d {
+            for j in 0..d {
+                let dot: i32 = (0..d)
+                    .map(|k| i32::from(hadamard_entry(i, k)) * i32::from(hadamard_entry(j, k)))
+                    .sum();
+                assert_eq!(dot, if i == j { d as i32 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![0.0; 6];
+        fwht(&mut x);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![42.0];
+        fwht(&mut x);
+        assert_eq!(x, vec![42.0]);
+        fwht_inverse(&mut x);
+        assert_eq!(x, vec![42.0]);
+    }
+}

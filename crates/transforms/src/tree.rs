@@ -1,0 +1,294 @@
+//! Complete B-ary tree geometry and flat-array storage.
+//!
+//! Both the hierarchical-histogram and Haar mechanisms impose a complete
+//! B-ary tree over the domain `[D]` with `D = B^h`. This module owns all of
+//! the index arithmetic — node counts per depth, flat offsets, parent/child
+//! navigation, leaf-to-root paths — so mechanism code never does raw
+//! power-of-B arithmetic inline.
+//!
+//! Convention used across the whole workspace: **depth** `d` counts *down
+//! from the root*, so the root is `d = 0` and the leaves are `d = h`. The
+//! paper's "level `l`" (counting up from the leaves) is `l = h − d`.
+
+use crate::{exact_log, ipow};
+
+/// Shape of a complete B-ary tree over a domain of size `fanout^height`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteTree {
+    fanout: usize,
+    height: u32,
+}
+
+impl CompleteTree {
+    /// Builds the tree shape for `domain = fanout^h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout < 2` or `domain` is not an exact power of `fanout`
+    /// — mechanisms validate domains at construction, so reaching this
+    /// indicates a caller bug.
+    pub fn new(fanout: usize, domain: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2, got {fanout}");
+        let height = exact_log(domain, fanout)
+            .unwrap_or_else(|| panic!("domain {domain} is not a power of fanout {fanout}"));
+        Self { fanout, height }
+    }
+
+    /// Builds a tree shape directly from fanout and height.
+    pub fn with_height(fanout: usize, height: u32) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2, got {fanout}");
+        // Validate that the domain fits in a usize.
+        let _ = ipow(fanout, height);
+        Self { fanout, height }
+    }
+
+    /// Branching factor `B`.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Height `h` (number of edges on a root-to-leaf path).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Domain size `D = B^h` (equivalently, the number of leaves).
+    #[inline]
+    pub fn domain(&self) -> usize {
+        ipow(self.fanout, self.height)
+    }
+
+    /// Number of nodes at depth `d`: `B^d`.
+    #[inline]
+    pub fn nodes_at_depth(&self, depth: u32) -> usize {
+        debug_assert!(depth <= self.height);
+        ipow(self.fanout, depth)
+    }
+
+    /// Flat-array offset of the first node at depth `d`:
+    /// `(B^d − 1)/(B − 1)`.
+    #[inline]
+    pub fn depth_offset(&self, depth: u32) -> usize {
+        (ipow(self.fanout, depth) - 1) / (self.fanout - 1)
+    }
+
+    /// Total number of nodes in the tree: `(B^{h+1} − 1)/(B − 1)`.
+    #[inline]
+    pub fn total_nodes(&self) -> usize {
+        self.depth_offset(self.height + 1)
+    }
+
+    /// Number of leaves covered by one node at depth `d`: `B^{h−d}`.
+    #[inline]
+    pub fn block_len(&self, depth: u32) -> usize {
+        debug_assert!(depth <= self.height);
+        ipow(self.fanout, self.height - depth)
+    }
+
+    /// Leaf interval `[start, end)` covered by node `(depth, index)`.
+    #[inline]
+    pub fn block_range(&self, depth: u32, index: usize) -> std::ops::Range<usize> {
+        let len = self.block_len(depth);
+        index * len..(index + 1) * len
+    }
+
+    /// Index of the ancestor of `leaf` at depth `d`.
+    #[inline]
+    pub fn ancestor_at_depth(&self, leaf: usize, depth: u32) -> usize {
+        debug_assert!(leaf < self.domain());
+        leaf / self.block_len(depth)
+    }
+
+    /// Parent coordinates of a non-root node.
+    #[inline]
+    pub fn parent(&self, depth: u32, index: usize) -> (u32, usize) {
+        debug_assert!(depth > 0, "root has no parent");
+        (depth - 1, index / self.fanout)
+    }
+
+    /// Indices of the children of a non-leaf node (all at `depth + 1`).
+    #[inline]
+    pub fn children(&self, depth: u32, index: usize) -> std::ops::Range<usize> {
+        debug_assert!(depth < self.height, "leaves have no children");
+        index * self.fanout..(index + 1) * self.fanout
+    }
+
+    /// Node indices along the path of `leaf`, from root (depth 0) to leaf
+    /// (depth h): element `d` is the index of the depth-`d` ancestor.
+    pub fn path_of_leaf(&self, leaf: usize) -> Vec<usize> {
+        (0..=self.height).map(|d| self.ancestor_at_depth(leaf, d)).collect()
+    }
+}
+
+/// Dense per-node storage for a [`CompleteTree`], addressed by
+/// `(depth, index)`.
+///
+/// Backing layout is breadth-first: the root at slot 0, then each depth
+/// contiguously. Mechanisms use this for per-node frequency estimates and
+/// for the constrained-inference passes, both of which walk whole levels —
+/// the contiguous layout keeps those passes cache-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTree<T> {
+    shape: CompleteTree,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> FlatTree<T> {
+    /// Allocates a tree filled with `T::default()`.
+    pub fn new(shape: CompleteTree) -> Self {
+        Self { shape, data: vec![T::default(); shape.total_nodes()] }
+    }
+}
+
+impl<T> FlatTree<T> {
+    /// The tree shape.
+    #[inline]
+    pub fn shape(&self) -> CompleteTree {
+        self.shape
+    }
+
+    #[inline]
+    fn slot(&self, depth: u32, index: usize) -> usize {
+        debug_assert!(depth <= self.shape.height);
+        debug_assert!(index < self.shape.nodes_at_depth(depth));
+        self.shape.depth_offset(depth) + index
+    }
+
+    /// Reference to the value at `(depth, index)`.
+    #[inline]
+    pub fn get(&self, depth: u32, index: usize) -> &T {
+        &self.data[self.slot(depth, index)]
+    }
+
+    /// Mutable reference to the value at `(depth, index)`.
+    #[inline]
+    pub fn get_mut(&mut self, depth: u32, index: usize) -> &mut T {
+        let s = self.slot(depth, index);
+        &mut self.data[s]
+    }
+
+    /// All nodes at one depth, ordered left to right.
+    #[inline]
+    pub fn level(&self, depth: u32) -> &[T] {
+        let start = self.shape.depth_offset(depth);
+        &self.data[start..start + self.shape.nodes_at_depth(depth)]
+    }
+
+    /// Mutable view of all nodes at one depth.
+    #[inline]
+    pub fn level_mut(&mut self, depth: u32) -> &mut [T] {
+        let start = self.shape.depth_offset(depth);
+        let n = self.shape.nodes_at_depth(depth);
+        &mut self.data[start..start + n]
+    }
+
+    /// The leaf level (depth `h`).
+    #[inline]
+    pub fn leaves(&self) -> &[T] {
+        self.level(self.shape.height)
+    }
+
+    /// Consumes the tree, returning the breadth-first backing storage.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl FlatTree<f64> {
+    /// Builds a tree whose leaves are `leaf_values` and whose internal nodes
+    /// are exact subtree sums — the "dyadic decomposition with internal node
+    /// weights" of Figure 2(a).
+    pub fn from_leaf_sums(shape: CompleteTree, leaf_values: &[f64]) -> Self {
+        assert_eq!(leaf_values.len(), shape.domain(), "leaf count must equal domain size");
+        let mut tree = Self { shape, data: vec![0.0; shape.total_nodes()] };
+        tree.level_mut(shape.height()).copy_from_slice(leaf_values);
+        for depth in (0..shape.height()).rev() {
+            for idx in 0..shape.nodes_at_depth(depth) {
+                let sum: f64 =
+                    shape.children(depth, idx).map(|c| *tree.get(depth + 1, c)).sum();
+                *tree.get_mut(depth, idx) = sum;
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_arithmetic_binary() {
+        let t = CompleteTree::new(2, 8);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.domain(), 8);
+        assert_eq!(t.nodes_at_depth(0), 1);
+        assert_eq!(t.nodes_at_depth(3), 8);
+        assert_eq!(t.depth_offset(0), 0);
+        assert_eq!(t.depth_offset(1), 1);
+        assert_eq!(t.depth_offset(2), 3);
+        assert_eq!(t.depth_offset(3), 7);
+        assert_eq!(t.total_nodes(), 15);
+        assert_eq!(t.block_len(0), 8);
+        assert_eq!(t.block_len(3), 1);
+        assert_eq!(t.block_range(1, 1), 4..8);
+    }
+
+    #[test]
+    fn shape_arithmetic_quaternary() {
+        let t = CompleteTree::new(4, 64);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.total_nodes(), 1 + 4 + 16 + 64);
+        assert_eq!(t.children(1, 2), 8..12);
+        assert_eq!(t.parent(2, 9), (1, 2));
+    }
+
+    #[test]
+    fn paths_are_consistent_with_ancestors() {
+        let t = CompleteTree::new(2, 16);
+        for leaf in 0..16 {
+            let path = t.path_of_leaf(leaf);
+            assert_eq!(path.len(), 5);
+            assert_eq!(path[0], 0);
+            assert_eq!(path[4], leaf);
+            for d in 1..=4u32 {
+                assert_eq!(t.parent(d, path[d as usize]).1, path[d as usize - 1]);
+                assert!(t.block_range(d, path[d as usize]).contains(&leaf));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of fanout")]
+    fn rejects_non_power_domain() {
+        CompleteTree::new(4, 32);
+    }
+
+    #[test]
+    fn flat_tree_levels_and_slots() {
+        let shape = CompleteTree::new(2, 4);
+        let mut tree: FlatTree<u32> = FlatTree::new(shape);
+        *tree.get_mut(0, 0) = 1;
+        *tree.get_mut(1, 0) = 2;
+        *tree.get_mut(1, 1) = 3;
+        *tree.get_mut(2, 3) = 9;
+        assert_eq!(tree.level(1), &[2, 3]);
+        assert_eq!(tree.leaves(), &[0, 0, 0, 9]);
+        assert_eq!(tree.into_raw(), vec![1, 2, 3, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn from_leaf_sums_matches_figure_2a() {
+        // Figure 2(a) input vector.
+        let leaves = [0.1, 0.15, 0.23, 0.12, 0.2, 0.05, 0.07, 0.08];
+        let shape = CompleteTree::new(2, 8);
+        let t = FlatTree::from_leaf_sums(shape, &leaves);
+        let total: f64 = leaves.iter().sum();
+        assert!((*t.get(0, 0) - total).abs() < 1e-12);
+        assert!((*t.get(1, 0) - 0.60).abs() < 1e-12);
+        assert!((*t.get(1, 1) - 0.40).abs() < 1e-12);
+        assert!((*t.get(2, 2) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Populations of private user values and their exact ground truth.
+
+use rand::RngCore;
+
+use ldp_freq_oracle::binomial::sample_multinomial;
+
+use crate::distributions::DistributionKind;
+
+/// A synthetic population: the true histogram of `N` users' values over
+/// `[D]`, with precomputed prefix sums so that exact range answers — the
+/// ground truth every mechanism is scored against — cost `O(1)`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    counts: Vec<u64>,
+    /// `prefix[i]` = users with value `< i`; length `D + 1`.
+    prefix: Vec<u64>,
+    total: u64,
+}
+
+impl Dataset {
+    /// Builds a dataset from an explicit histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram.
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "dataset needs a non-empty domain");
+        let mut prefix = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &c in &counts {
+            acc += c;
+            prefix.push(acc);
+        }
+        Self { counts, prefix, total: acc }
+    }
+
+    /// Builds a dataset from raw user values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[domain]` or the domain is empty.
+    #[must_use]
+    pub fn from_values(domain: usize, values: &[usize]) -> Self {
+        let mut counts = vec![0u64; domain];
+        for &v in values {
+            assert!(v < domain, "value {v} outside domain {domain}");
+            counts[v] += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Samples an `n`-user population from a distribution — one exact
+    /// multinomial draw over the distribution's pmf, equivalent to `n`
+    /// i.i.d. user draws but `O(D)` instead of `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-size domain.
+    #[must_use]
+    pub fn sample(
+        kind: DistributionKind,
+        domain: usize,
+        n: u64,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let pmf = kind.pmf(domain);
+        Self::from_counts(sample_multinomial(rng, n, &pmf))
+    }
+
+    /// Domain size `D`.
+    #[must_use]
+    pub fn domain(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of users `N`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.total
+    }
+
+    /// The true histogram (what `absorb_population` consumes).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// True fraction of users with value in the inclusive `[a, b]` —
+    /// the quantity `R[a,b]` of Definition 4.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid bounds.
+    #[must_use]
+    pub fn true_range(&self, a: usize, b: usize) -> f64 {
+        assert!(a <= b && b < self.counts.len(), "invalid range [{a}, {b}]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.prefix[b + 1] - self.prefix[a]) as f64 / self.total as f64
+    }
+
+    /// True prefix fraction `R[0,b]`.
+    #[must_use]
+    pub fn true_prefix(&self, b: usize) -> f64 {
+        self.true_range(0, b)
+    }
+
+    /// True per-item frequencies.
+    #[must_use]
+    pub fn true_frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// True cumulative distribution `cdf[z] = R[0,z]`.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|z| self.true_prefix(z)).collect()
+    }
+
+    /// True φ-quantile: the smallest index whose prefix fraction reaches φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ phi ≤ 1`.
+    #[must_use]
+    pub fn true_quantile(&self, phi: f64) -> usize {
+        assert!((0.0..=1.0).contains(&phi));
+        (0..self.counts.len())
+            .find(|&z| self.true_prefix(z) >= phi)
+            .unwrap_or(self.counts.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::CauchyParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_values_counts_correctly() {
+        let ds = Dataset::from_values(4, &[0, 1, 1, 3, 3, 3]);
+        assert_eq!(ds.counts(), &[1, 2, 0, 3]);
+        assert_eq!(ds.population(), 6);
+        assert!((ds.true_range(1, 2) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((ds.true_prefix(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_dataset_tracks_pmf() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let kind = DistributionKind::Cauchy(CauchyParams::paper_default());
+        let domain = 256;
+        let ds = Dataset::sample(kind, domain, 1 << 20, &mut rng);
+        assert_eq!(ds.population(), 1 << 20);
+        let pmf = kind.pmf(domain);
+        let truth: f64 = pmf[90..=110].iter().sum();
+        assert!((ds.true_range(90, 110) - truth).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantiles_match_cdf_scan() {
+        let ds = Dataset::from_counts(vec![10, 0, 30, 40, 20]);
+        assert_eq!(ds.true_quantile(0.1), 0);
+        assert_eq!(ds.true_quantile(0.11), 2);
+        assert_eq!(ds.true_quantile(0.5), 3);
+        assert_eq!(ds.true_quantile(1.0), 4);
+        let cdf = ds.cdf();
+        assert!((cdf[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_all_zeros() {
+        let ds = Dataset::from_counts(vec![0, 0, 0]);
+        assert_eq!(ds.true_range(0, 2), 0.0);
+        assert_eq!(ds.true_frequencies(), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn rejects_out_of_domain_values() {
+        let _ = Dataset::from_values(4, &[4]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic input distributions over a discrete domain `[D]`.
+//!
+//! The paper's evaluation draws user values from a truncated, discretized
+//! Cauchy distribution: "the location of the center at P × D, for
+//! 0 < P < 1 … larger height parameters tend to reduce the sparsity … our
+//! default choice is height = D/10 and P = 0.4" (§5). Values falling
+//! outside `[D]` are dropped, i.e. the distribution is renormalized over
+//! the domain. Zipf, Gaussian and uniform shapes are provided for the
+//! "variety of real and synthetic data" robustness claims.
+
+/// Parameters of the paper's Cauchy workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CauchyParams {
+    /// Center position as a fraction `P` of the domain (`0 < P < 1`).
+    pub center_fraction: f64,
+    /// Scale ("height") as a fraction of the domain; the paper's default
+    /// is `0.1` (i.e. `D/10`).
+    pub scale_fraction: f64,
+}
+
+impl CauchyParams {
+    /// The paper's default: `P = 0.4`, scale `D/10`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { center_fraction: 0.4, scale_fraction: 0.1 }
+    }
+
+    /// A Cauchy centered at fraction `p` with the default scale.
+    #[must_use]
+    pub fn centered_at(p: f64) -> Self {
+        Self { center_fraction: p, scale_fraction: 0.1 }
+    }
+}
+
+/// Shape of the synthetic input distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistributionKind {
+    /// Truncated discretized Cauchy (the paper's workload).
+    Cauchy(CauchyParams),
+    /// Zipf over item ranks with exponent `s` (classic heavy-hitter shape).
+    Zipf {
+        /// Exponent `s > 0`.
+        exponent: f64,
+    },
+    /// Truncated discretized Gaussian.
+    Gaussian {
+        /// Mean position as a fraction of the domain.
+        center_fraction: f64,
+        /// Standard deviation as a fraction of the domain.
+        sd_fraction: f64,
+    },
+    /// Uniform over the domain.
+    Uniform,
+}
+
+impl DistributionKind {
+    /// Exact probability mass function over `[domain]`, renormalized after
+    /// truncation. This is the ground truth the mechanisms are judged
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-size domain or non-positive shape parameters.
+    #[must_use]
+    pub fn pmf(&self, domain: usize) -> Vec<f64> {
+        assert!(domain > 0, "domain must be non-empty");
+        let d = domain as f64;
+        let raw: Vec<f64> = match *self {
+            Self::Cauchy(CauchyParams { center_fraction, scale_fraction }) => {
+                assert!(scale_fraction > 0.0, "Cauchy scale must be positive");
+                let x0 = center_fraction * d;
+                let gamma = scale_fraction * d;
+                // Mass of cell z is F(z+1) − F(z) for the continuous CDF
+                // F(x) = 1/2 + atan((x − x0)/γ)/π.
+                let cdf = |x: f64| 0.5 + ((x - x0) / gamma).atan() / std::f64::consts::PI;
+                (0..domain).map(|z| cdf(z as f64 + 1.0) - cdf(z as f64)).collect()
+            }
+            Self::Zipf { exponent } => {
+                assert!(exponent > 0.0, "Zipf exponent must be positive");
+                (0..domain).map(|z| ((z + 1) as f64).powf(-exponent)).collect()
+            }
+            Self::Gaussian { center_fraction, sd_fraction } => {
+                assert!(sd_fraction > 0.0, "Gaussian sd must be positive");
+                let mu = center_fraction * d;
+                let sd = sd_fraction * d;
+                (0..domain)
+                    .map(|z| {
+                        let t = (z as f64 + 0.5 - mu) / sd;
+                        (-0.5 * t * t).exp()
+                    })
+                    .collect()
+            }
+            Self::Uniform => vec![1.0; domain],
+        };
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|p| p / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_distribution(pmf: &[f64]) {
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        assert!(pmf.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn all_kinds_produce_distributions() {
+        for kind in [
+            DistributionKind::Cauchy(CauchyParams::paper_default()),
+            DistributionKind::Zipf { exponent: 1.1 },
+            DistributionKind::Gaussian { center_fraction: 0.5, sd_fraction: 0.2 },
+            DistributionKind::Uniform,
+        ] {
+            for domain in [2usize, 256, 1 << 12] {
+                assert_is_distribution(&kind.pmf(domain));
+            }
+        }
+    }
+
+    #[test]
+    fn cauchy_peaks_at_center() {
+        let pmf = DistributionKind::Cauchy(CauchyParams::centered_at(0.4)).pmf(1000);
+        let peak = pmf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!((peak as i64 - 400).unsigned_abs() <= 1, "peak at {peak}");
+    }
+
+    #[test]
+    fn cauchy_shift_moves_mass() {
+        let left = DistributionKind::Cauchy(CauchyParams::centered_at(0.1)).pmf(512);
+        let right = DistributionKind::Cauchy(CauchyParams::centered_at(0.9)).pmf(512);
+        let left_mass: f64 = left[..256].iter().sum();
+        let right_mass: f64 = right[..256].iter().sum();
+        assert!(left_mass > 0.8, "left-centered mass {left_mass}");
+        assert!(right_mass < 0.2, "right-centered mass {right_mass}");
+    }
+
+    #[test]
+    fn larger_height_flattens_cauchy() {
+        // "Larger height parameters tend to reduce the sparsity … by
+        // flattening it."
+        let narrow = DistributionKind::Cauchy(CauchyParams {
+            center_fraction: 0.5,
+            scale_fraction: 0.01,
+        })
+        .pmf(1024);
+        let wide = DistributionKind::Cauchy(CauchyParams {
+            center_fraction: 0.5,
+            scale_fraction: 0.3,
+        })
+        .pmf(1024);
+        let max_narrow = narrow.iter().cloned().fold(0.0, f64::max);
+        let max_wide = wide.iter().cloned().fold(0.0, f64::max);
+        assert!(max_narrow > 3.0 * max_wide);
+    }
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let pmf = DistributionKind::Zipf { exponent: 1.0 }.pmf(100);
+        for w in pmf.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn gaussian_is_symmetric_around_center() {
+        let pmf =
+            DistributionKind::Gaussian { center_fraction: 0.5, sd_fraction: 0.1 }.pmf(256);
+        for off in 1..100usize {
+            let a = pmf[128 - off];
+            let b = pmf[127 + off];
+            assert!((a - b).abs() < 1e-9, "offset {off}");
+        }
+    }
+}

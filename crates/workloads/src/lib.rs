@@ -1,0 +1,20 @@
+//! Synthetic workloads and ground truth for evaluating LDP range-query
+//! mechanisms (paper §5).
+//!
+//! * [`distributions`] — the paper's truncated discrete Cauchy family
+//!   (center `P·D`, scale `D/10`) plus Zipf/Gaussian/uniform shapes.
+//! * [`dataset`] — populations as exact histograms with `O(1)` true range
+//!   answers, sampled with one multinomial draw instead of `N` user draws.
+//! * [`queries`] — the query enumeration strategies: exhaustive for small
+//!   domains, evenly-spaced start points for large ones, fixed-length
+//!   panels, and prefixes.
+
+pub mod dataset;
+pub mod distributions;
+pub mod queries;
+
+pub use dataset::Dataset;
+pub use distributions::{CauchyParams, DistributionKind};
+pub use queries::{
+    all_ranges, evenly_spaced_starts, prefixes, ranges_of_length, QueryWorkload, RangeQuery,
+};

@@ -1,0 +1,202 @@
+//! Range-query workload generators (paper §5, "Sampling range queries for
+//! evaluation").
+//!
+//! For small and moderate domains the paper evaluates *all* range queries;
+//! for `D ≥ 2^20` it picks "a set of evenly-spaced starting points, and
+//! then evaluate[s] all ranges that begin at each of these points" (e.g.
+//! every `2^15` for `D = 2^20` → 17M queries). Both strategies are
+//! implemented as allocation-free iterators.
+
+/// A closed interval query `[a, b]` over `[D]` (Definition 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    /// Inclusive lower endpoint.
+    pub a: usize,
+    /// Inclusive upper endpoint.
+    pub b: usize,
+}
+
+impl RangeQuery {
+    /// Length `r = b − a + 1`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.b - self.a + 1
+    }
+
+    /// Queries are never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// All `D(D+1)/2` closed intervals, in `(a, b)` lexicographic order.
+pub fn all_ranges(domain: usize) -> impl Iterator<Item = RangeQuery> {
+    (0..domain).flat_map(move |a| (a..domain).map(move |b| RangeQuery { a, b }))
+}
+
+/// All `D − r + 1` intervals of one fixed length `r` (used by Figure 4,
+/// which plots the error per query length).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ r ≤ D`.
+pub fn ranges_of_length(domain: usize, r: usize) -> impl Iterator<Item = RangeQuery> {
+    assert!(r >= 1 && r <= domain, "invalid length {r} for domain {domain}");
+    (0..=domain - r).map(move |a| RangeQuery { a, b: a + r - 1 })
+}
+
+/// The paper's large-domain strategy: start points every `step` positions,
+/// then every interval beginning at each start point.
+///
+/// # Panics
+///
+/// Panics on a zero step.
+pub fn evenly_spaced_starts(domain: usize, step: usize) -> impl Iterator<Item = RangeQuery> {
+    assert!(step >= 1, "step must be positive");
+    (0..domain)
+        .step_by(step)
+        .flat_map(move |a| (a..domain).map(move |b| RangeQuery { a, b }))
+}
+
+/// All `D` prefix queries `[0, b]` (§4.7 / Figure 6).
+pub fn prefixes(domain: usize) -> impl Iterator<Item = RangeQuery> {
+    (0..domain).map(|b| RangeQuery { a: 0, b })
+}
+
+/// How to enumerate evaluation queries — selected per domain size by the
+/// experiment harness exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryWorkload {
+    /// Every closed interval (paper: `D = 2^8`, `2^16`).
+    All,
+    /// Evenly spaced start points (paper: `2^15` for `D = 2^20`, `2^16`
+    /// for `D = 2^22`).
+    SpacedStarts {
+        /// Distance between consecutive start points.
+        step: usize,
+    },
+    /// Only intervals of one length (Figure 4's per-length panels).
+    FixedLength {
+        /// Interval length.
+        r: usize,
+    },
+    /// All prefix queries (Figure 6).
+    Prefixes,
+}
+
+impl QueryWorkload {
+    /// The paper's workload choice for a given domain size: exhaustive up
+    /// to `2^16`, spaced starts above (step `2^15` at `2^20`, `2^16` at
+    /// `2^22`, scaled proportionally elsewhere).
+    #[must_use]
+    pub fn paper_default(domain: usize) -> Self {
+        if domain <= 1 << 16 {
+            Self::All
+        } else {
+            // 32 start points (step D/32): this reproduces the paper's
+            // reported totals of 17M queries at D = 2^20 and 69M at
+            // D = 2^22. (The paper's prose says "every 2^15 and 2^16
+            // steps", but 2^16 at D = 2^22 would give 136M queries; the
+            // 69M figure corresponds to step 2^17 = D/32.)
+            Self::SpacedStarts { step: domain >> 5 }
+        }
+    }
+
+    /// Materializes the iterator.
+    pub fn queries(self, domain: usize) -> Box<dyn Iterator<Item = RangeQuery>> {
+        match self {
+            Self::All => Box::new(all_ranges(domain)),
+            Self::SpacedStarts { step } => Box::new(evenly_spaced_starts(domain, step)),
+            Self::FixedLength { r } => Box::new(ranges_of_length(domain, r)),
+            Self::Prefixes => Box::new(prefixes(domain)),
+        }
+    }
+
+    /// Number of queries without enumerating them.
+    #[must_use]
+    pub fn count(self, domain: usize) -> u64 {
+        match self {
+            Self::All => (domain as u64) * (domain as u64 + 1) / 2,
+            Self::SpacedStarts { step } => {
+                (0..domain).step_by(step).map(|a| (domain - a) as u64).sum()
+            }
+            Self::FixedLength { r } => (domain - r + 1) as u64,
+            Self::Prefixes => domain as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ranges_counts() {
+        let qs: Vec<_> = all_ranges(4).collect();
+        assert_eq!(qs.len(), 10);
+        assert_eq!(qs[0], RangeQuery { a: 0, b: 0 });
+        assert_eq!(qs[9], RangeQuery { a: 3, b: 3 });
+        assert_eq!(QueryWorkload::All.count(4), 10);
+    }
+
+    #[test]
+    fn fixed_length_covers_all_starts() {
+        let qs: Vec<_> = ranges_of_length(10, 4).collect();
+        assert_eq!(qs.len(), 7);
+        assert!(qs.iter().all(|q| q.len() == 4));
+        assert_eq!(qs[6], RangeQuery { a: 6, b: 9 });
+    }
+
+    #[test]
+    fn spaced_starts_match_paper_counts() {
+        // D = 2^20, step = 2^15: the paper reports "a total of 17M".
+        let count = QueryWorkload::SpacedStarts { step: 1 << 15 }.count(1 << 20);
+        assert!((16_000_000..18_000_000).contains(&count), "count {count}");
+        // D = 2^22 with 32 start points: the paper's "69M unique queries".
+        let count = QueryWorkload::SpacedStarts { step: 1 << 17 }.count(1 << 22);
+        assert!((68_000_000..70_000_000).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for wl in [
+            QueryWorkload::All,
+            QueryWorkload::SpacedStarts { step: 7 },
+            QueryWorkload::FixedLength { r: 5 },
+            QueryWorkload::Prefixes,
+        ] {
+            let domain = 64;
+            assert_eq!(
+                wl.count(domain),
+                wl.queries(domain).count() as u64,
+                "workload {wl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefixes_start_at_zero() {
+        assert!(prefixes(16).all(|q| q.a == 0));
+        assert_eq!(prefixes(16).count(), 16);
+    }
+
+    #[test]
+    fn paper_default_switches_at_large_domains() {
+        assert_eq!(QueryWorkload::paper_default(256), QueryWorkload::All);
+        assert_eq!(
+            QueryWorkload::paper_default(1 << 20),
+            QueryWorkload::SpacedStarts { step: 1 << 15 }
+        );
+        assert_eq!(
+            QueryWorkload::paper_default(1 << 22),
+            QueryWorkload::SpacedStarts { step: 1 << 17 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length")]
+    fn rejects_zero_length() {
+        let _ = ranges_of_length(8, 0);
+    }
+}

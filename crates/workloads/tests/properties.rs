@@ -1,0 +1,115 @@
+//! Property-based tests for workload generation and query enumeration.
+
+use proptest::prelude::*;
+
+use ldp_workloads::{
+    all_ranges, evenly_spaced_starts, prefixes, ranges_of_length, CauchyParams, Dataset,
+    DistributionKind, QueryWorkload,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn pmfs_are_valid_distributions(
+        domain in 2usize..2_000,
+        center in 0.05f64..0.95,
+        scale in 0.01f64..0.5,
+        zipf_s in 0.2f64..3.0,
+    ) {
+        for kind in [
+            DistributionKind::Cauchy(CauchyParams {
+                center_fraction: center,
+                scale_fraction: scale,
+            }),
+            DistributionKind::Zipf { exponent: zipf_s },
+            DistributionKind::Gaussian { center_fraction: center, sd_fraction: scale },
+            DistributionKind::Uniform,
+        ] {
+            let pmf = kind.pmf(domain);
+            prop_assert_eq!(pmf.len(), domain);
+            prop_assert!(pmf.iter().all(|&p| p >= 0.0 && p.is_finite()));
+            let total: f64 = pmf.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_dataset_conserves_population(
+        domain_log in 1u32..10,
+        n in 0u64..200_000,
+        seed in 0u64..500,
+    ) {
+        let domain = 1usize << domain_log;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = Dataset::sample(
+            DistributionKind::Cauchy(CauchyParams::paper_default()),
+            domain,
+            n,
+            &mut rng,
+        );
+        prop_assert_eq!(ds.population(), n);
+        prop_assert_eq!(ds.counts().iter().sum::<u64>(), n);
+        if n > 0 {
+            prop_assert!((ds.true_range(0, domain - 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_workload_count_matches_enumeration(
+        domain in 2usize..200,
+        step in 1usize..50,
+        r_frac in 0.0f64..1.0,
+    ) {
+        let r = ((r_frac * domain as f64) as usize).clamp(1, domain);
+        for wl in [
+            QueryWorkload::All,
+            QueryWorkload::SpacedStarts { step },
+            QueryWorkload::FixedLength { r },
+            QueryWorkload::Prefixes,
+        ] {
+            prop_assert_eq!(
+                wl.count(domain),
+                wl.queries(domain).count() as u64,
+                "workload {:?} at domain {}",
+                wl,
+                domain
+            );
+        }
+    }
+
+    #[test]
+    fn query_generators_emit_valid_intervals(
+        domain in 2usize..150,
+        step in 1usize..40,
+    ) {
+        for q in all_ranges(domain).take(2_000) {
+            prop_assert!(q.a <= q.b && q.b < domain);
+        }
+        for q in evenly_spaced_starts(domain, step) {
+            prop_assert!(q.a <= q.b && q.b < domain);
+            prop_assert_eq!(q.a % step, 0);
+        }
+        for q in prefixes(domain) {
+            prop_assert_eq!(q.a, 0);
+        }
+        let r = (domain / 3).max(1);
+        for q in ranges_of_length(domain, r) {
+            prop_assert_eq!(q.len(), r);
+        }
+    }
+
+    #[test]
+    fn dataset_quantiles_are_monotone_in_phi(
+        counts in proptest::collection::vec(0u64..1_000, 2..64),
+    ) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let ds = Dataset::from_counts(counts);
+        let mut last = 0usize;
+        for i in 1..=10u32 {
+            let q = ds.true_quantile(f64::from(i) / 10.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+}

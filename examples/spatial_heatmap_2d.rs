@@ -1,0 +1,98 @@
+//! Two-dimensional range queries: a private location heatmap (paper §6).
+//!
+//! Run with: `cargo run --release --example spatial_heatmap_2d`
+//!
+//! Each user holds one grid cell of a 64×64 city map. Users report under
+//! ε-LDP through the 2-D hierarchical mechanism (crossed B-adic
+//! decompositions); the aggregator then answers arbitrary rectangle
+//! queries — district densities, marginals, a coarse heatmap — without
+//! access to any individual location.
+
+use ldp_range_queries::ranges::{Hh2dConfig, Hh2dServer};
+use ldp_range_queries::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+const SIDE: usize = 64;
+
+/// Synthetic city: two population clusters (downtown + suburb) on a
+/// uniform background.
+fn synthesize_city(rng: &mut StdRng, users: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; SIDE * SIDE];
+    for _ in 0..users {
+        let (x, y) = if rng.random::<f64>() < 0.5 {
+            // downtown: tight cluster near (16, 20)
+            let x = (16.0 + 4.0 * gaussian(rng)).clamp(0.0, 63.0) as usize;
+            let y = (20.0 + 4.0 * gaussian(rng)).clamp(0.0, 63.0) as usize;
+            (x, y)
+        } else if rng.random::<f64>() < 0.6 {
+            // suburb: wider cluster near (44, 48)
+            let x = (44.0 + 7.0 * gaussian(rng)).clamp(0.0, 63.0) as usize;
+            let y = (48.0 + 7.0 * gaussian(rng)).clamp(0.0, 63.0) as usize;
+            (x, y)
+        } else {
+            (rng.random_range(0..SIDE), rng.random_range(0..SIDE))
+        };
+        counts[x * SIDE + y] += 1;
+    }
+    counts
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    ldp_range_queries::oracle::binomial::standard_normal(rng)
+}
+
+fn true_rect(counts: &[u64], total: u64, x0: usize, x1: usize, y0: usize, y1: usize) -> f64 {
+    let mut sum = 0u64;
+    for x in x0..=x1 {
+        for y in y0..=y1 {
+            sum += counts[x * SIDE + y];
+        }
+    }
+    sum as f64 / total as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(6464);
+    let users = 2_000_000u64;
+    let eps = Epsilon::new(1.1);
+
+    let counts = synthesize_city(&mut rng, users);
+
+    let config = Hh2dConfig::new(SIDE, 2, eps).expect("2-D config");
+    println!(
+        "64x64 grid, {} depth-pair grids, {users} users, eps = {}\n",
+        config.num_grids(),
+        eps.value()
+    );
+    let mut server = Hh2dServer::new(config).expect("server");
+    server.absorb_population(&counts, &mut rng).expect("absorb");
+    let est = server.estimate();
+
+    println!("district                       truth    estimate");
+    for (label, x0, x1, y0, y1) in [
+        ("downtown  [8,24]x[12,28]   ", 8usize, 24usize, 12usize, 28usize),
+        ("suburb    [36,52]x[40,56]  ", 36, 52, 40, 56),
+        ("riverside [0,63]x[0,7]     ", 0, 63, 0, 7),
+        ("west half [0,31]x[0,63]    ", 0, 31, 0, 63),
+    ] {
+        println!(
+            "{label}  {:>7.4}   {:>7.4}",
+            true_rect(&counts, users, x0, x1, y0, y1),
+            est.rectangle(x0, x1, y0, y1),
+        );
+    }
+
+    // Coarse 8×8 heatmap from 64 rectangle queries.
+    println!("\nestimated density heatmap (8x8 blocks, % of population):");
+    for bx in 0..8 {
+        let mut row = String::new();
+        for by in 0..8 {
+            let v = est.rectangle(bx * 8, bx * 8 + 7, by * 8, by * 8 + 7).max(0.0) * 100.0;
+            row.push_str(&format!("{v:>6.2}"));
+        }
+        println!("{row}");
+    }
+    println!("\n(the two clusters should stand out around blocks (2,2) and (5,6))");
+}

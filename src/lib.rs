@@ -1,0 +1,64 @@
+//! # ldp-range-queries
+//!
+//! Façade crate for the reproduction of *"Answering Range Queries Under
+//! Local Differential Privacy"* (Cormode, Kulkarni, Srivastava — SIGMOD
+//! 2019). It re-exports every workspace crate under one roof so examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`oracle`] — LDP frequency oracles (RR, GRR, OUE, OLH, HRR).
+//! * [`transforms`] — Hadamard/Haar transforms and B-adic decompositions.
+//! * [`ranges`] — the paper's range-query mechanisms (flat, hierarchical
+//!   histograms with constrained inference, HaarHRR), prefix/CDF and
+//!   quantile queries, and the 2-D extension.
+//! * [`centralized`] — trusted-aggregator baselines used for the
+//!   centralized-vs-local comparison (paper Figure 7).
+//! * [`workloads`] — synthetic data generators and query workloads.
+//! * [`eval`] — the experiment harness that regenerates every table and
+//!   figure of the paper's evaluation section.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ldp_range_queries::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let domain = 256;
+//! let eps = Epsilon::new(1.1);
+//!
+//! // Users each hold one value in [0, 256); here: a synthetic population.
+//! let data: Vec<usize> = (0..60_000).map(|i| (i * 37) % domain).collect();
+//!
+//! // Hierarchical-histogram mechanism with fanout 4 + consistency.
+//! let config = HhConfig::new(domain, 4, eps).expect("valid config");
+//! let mut server = HhServer::new(config.clone()).expect("server");
+//! let client = HhClient::new(config).expect("client");
+//! for &z in &data {
+//!     let report = client.report(z, &mut rng).expect("in domain");
+//!     server.absorb(&report).expect("matching shape");
+//! }
+//! let est = server.estimate_consistent();
+//! let answer = est.range(10, 99);
+//! let truth = data.iter().filter(|&&z| (10..=99).contains(&z)).count() as f64
+//!     / data.len() as f64;
+//! assert!((answer - truth).abs() < 0.1);
+//! ```
+
+pub use cdp_baselines as centralized;
+pub use ldp_eval as eval;
+pub use ldp_freq_oracle as oracle;
+pub use ldp_ranges as ranges;
+pub use ldp_transforms as transforms;
+pub use ldp_workloads as workloads;
+
+/// Convenient glob-import surface covering the common types.
+pub mod prelude {
+    pub use ldp_freq_oracle::{
+        AnyOracle, Epsilon, FrequencyOracle, Hrr, Olh, Oue, PointOracle,
+    };
+    pub use ldp_ranges::{
+        quantile, FlatClient, FlatConfig, FlatServer, HaarConfig, HaarHrrClient, HaarHrrServer,
+        HhClient, HhConfig, HhServer, RangeEstimate, RangeMechanism,
+    };
+    pub use ldp_workloads::{CauchyParams, Dataset, DistributionKind, QueryWorkload};
+}

@@ -1,0 +1,132 @@
+//! Smoke tests over the full experiment harness: every figure/table
+//! pipeline runs at miniature scale and exhibits the orderings the paper
+//! reports.
+
+use ldp_range_queries::eval::{experiments, EvalContext};
+
+fn ctx() -> EvalContext {
+    EvalContext {
+        population: 1 << 15,
+        repetitions: 2,
+        seed: 31,
+        domains: vec![256],
+        full_scale: false,
+    }
+}
+
+#[test]
+fn fig4_flat_loses_badly_on_long_ranges() {
+    let table = experiments::fig4::run(&ctx());
+    // Pull (method → mse) for the longest range length present.
+    let max_r: usize =
+        table.rows().iter().map(|r| r[1].parse::<usize>().unwrap()).max().unwrap();
+    let mse_of = |method: &str| -> f64 {
+        table
+            .rows()
+            .iter()
+            .filter(|r| r[1].parse::<usize>().unwrap() == max_r && r[2] == method)
+            .map(|r| r[4].parse::<f64>().unwrap())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let flat = mse_of("FlatOUE");
+    let hh_ci = mse_of("TreeOUECI");
+    let haar = mse_of("HaarHRR");
+    assert!(
+        flat > 3.0 * hh_ci,
+        "flat {flat} should lose to consistent HH {hh_ci} on r = {max_r}"
+    );
+    assert!(flat > 3.0 * haar, "flat {flat} should lose to HaarHRR {haar}");
+}
+
+#[test]
+fn fig4_ci_never_hurts_much() {
+    let table = experiments::fig4::run(&ctx());
+    // For each (r, B), TreeOUECI ≤ TreeOUE within noise slack.
+    for row in table.rows().iter().filter(|r| r[2] == "TreeOUECI") {
+        let (r, b) = (&row[1], &row[3]);
+        let raw = table
+            .rows()
+            .iter()
+            .find(|x| x[2] == "TreeOUE" && &x[1] == r && &x[3] == b)
+            .expect("matching raw row");
+        let ci_mse: f64 = row[4].parse().unwrap();
+        let raw_mse: f64 = raw[4].parse().unwrap();
+        assert!(
+            ci_mse <= raw_mse * 1.6 + 1e-3,
+            "r={r} B={b}: CI {ci_mse} vs raw {raw_mse}"
+        );
+    }
+}
+
+#[test]
+fn tab5_error_decreases_with_epsilon() {
+    let table = experiments::tab5::run(&ctx());
+    // For every method column, eps = 0.2 must have higher error than
+    // eps = 1.4.
+    let first = &table.rows()[0];
+    let last = &table.rows()[table.num_rows() - 1];
+    assert_eq!(first[1], "0.2");
+    assert_eq!(last[1], "1.4");
+    for col in 2..first.len() {
+        let (Ok(hi), Ok(lo)) = (first[col].parse::<f64>(), last[col].parse::<f64>()) else {
+            continue; // "-" cells
+        };
+        assert!(hi > lo, "column {col}: {hi} should exceed {lo}");
+    }
+}
+
+#[test]
+fn tab7_reproduces_centralized_ordering() {
+    let table = experiments::tab7::run(&ctx());
+    // Wavelet ≈ HHc2, both well above HHc16 — the exact opposite of the
+    // local finding, which is the point of Figure 7.
+    let get = |label: &str| -> Vec<f64> {
+        table
+            .rows()
+            .iter()
+            .find(|r| r[0] == label)
+            .unwrap()[1..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect()
+    };
+    let wavelet = get("Wavelet");
+    let hh16 = get("HHc16");
+    let hh2 = get("HHc2");
+    for i in 0..wavelet.len() {
+        assert!(wavelet[i] > 1.5 * hh16[i], "wavelet should lose centrally");
+        assert!(hh2[i] > 1.5 * hh16[i], "HHc2 should lose centrally");
+        let near = (wavelet[i] / hh2[i] - 1.0).abs();
+        assert!(near < 0.5, "wavelet and HHc2 should be close, off by {near}");
+    }
+}
+
+#[test]
+fn fig8_accuracy_is_stable_across_centers() {
+    let table = experiments::fig8::run(&ctx());
+    for col in [2usize, 3] {
+        let vals: Vec<f64> =
+            table.rows().iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        // "the change in distribution does not make any noticeable
+        // difference" — allow generous noise at tiny scale.
+        assert!(max / min.max(1e-9) < 25.0, "column {col} varies wildly: {vals:?}");
+    }
+}
+
+#[test]
+fn fig9_quantile_errors_are_flat_and_small() {
+    let table = experiments::fig9::run(&ctx());
+    for row in table.rows() {
+        let qerr: f64 = row[5].parse().unwrap();
+        assert!(qerr < 0.15, "quantile error {qerr} in row {row:?}");
+    }
+}
+
+#[test]
+fn full_scale_context_is_wired_to_env() {
+    // Not set in tests → laptop scale.
+    let ctx = EvalContext::from_env();
+    assert!(!ctx.full_scale || std::env::var("LDP_FULL_SCALE").is_ok());
+}
