@@ -14,12 +14,24 @@ fn bench_figures(c: &mut Criterion) {
     let ctx = micro_context();
     let mut group = c.benchmark_group("figure_pipelines_micro");
     group.sample_size(10);
-    group.bench_function("fig4", |b| b.iter(|| black_box(experiments::fig4::run(&ctx))));
-    group.bench_function("tab5", |b| b.iter(|| black_box(experiments::tab5::run(&ctx))));
-    group.bench_function("tab6", |b| b.iter(|| black_box(experiments::tab6::run(&ctx))));
-    group.bench_function("tab7", |b| b.iter(|| black_box(experiments::tab7::run(&ctx))));
-    group.bench_function("fig8", |b| b.iter(|| black_box(experiments::fig8::run(&ctx))));
-    group.bench_function("fig9", |b| b.iter(|| black_box(experiments::fig9::run(&ctx))));
+    group.bench_function("fig4", |b| {
+        b.iter(|| black_box(experiments::fig4::run(&ctx)))
+    });
+    group.bench_function("tab5", |b| {
+        b.iter(|| black_box(experiments::tab5::run(&ctx)))
+    });
+    group.bench_function("tab6", |b| {
+        b.iter(|| black_box(experiments::tab6::run(&ctx)))
+    });
+    group.bench_function("tab7", |b| {
+        b.iter(|| black_box(experiments::tab7::run(&ctx)))
+    });
+    group.bench_function("fig8", |b| {
+        b.iter(|| black_box(experiments::fig8::run(&ctx)))
+    });
+    group.bench_function("fig9", |b| {
+        b.iter(|| black_box(experiments::fig9::run(&ctx)))
+    });
     group.finish();
 }
 

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use ldp_freq_oracle::FrequencyOracle;
 use ldp_ranges::{
-    Epsilon, HaarConfig, HaarHrrClient, HaarHrrServer, HhClient, HhConfig, HhServer, quantile,
+    quantile, Epsilon, HaarConfig, HaarHrrClient, HaarHrrServer, HhClient, HhConfig, HhServer,
     RangeEstimate,
 };
 use rand::rngs::StdRng;
@@ -48,7 +48,9 @@ fn bench_population_absorb(c: &mut Criterion) {
         b.iter(|| {
             let config = HhConfig::new(domain, 4, eps()).unwrap();
             let mut server = HhServer::new(config).unwrap();
-            server.absorb_population(black_box(&counts), &mut rng).unwrap();
+            server
+                .absorb_population(black_box(&counts), &mut rng)
+                .unwrap();
             black_box(server.num_reports())
         })
     });
@@ -57,7 +59,9 @@ fn bench_population_absorb(c: &mut Criterion) {
         b.iter(|| {
             let config = HaarConfig::new(domain, eps()).unwrap();
             let mut server = HaarHrrServer::new(config).unwrap();
-            server.absorb_population(black_box(&counts), &mut rng).unwrap();
+            server
+                .absorb_population(black_box(&counts), &mut rng)
+                .unwrap();
             black_box(server.num_reports())
         })
     });

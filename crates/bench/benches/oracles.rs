@@ -40,20 +40,26 @@ fn bench_absorb(c: &mut Criterion) {
         let oracle = Oue::new(domain, eps).unwrap();
         let report = oracle.encode(7, &mut rng).unwrap();
         let mut server = oracle.clone();
-        group.bench_function("OUE", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+        group.bench_function("OUE", |b| {
+            b.iter(|| server.absorb(black_box(&report)).unwrap())
+        });
     }
     {
         let oracle = Olh::new(domain, eps).unwrap();
         let report = oracle.encode(7, &mut rng).unwrap();
         let mut server = oracle.clone();
         // The O(D) support scan per report — OLH's decode bottleneck.
-        group.bench_function("OLH", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+        group.bench_function("OLH", |b| {
+            b.iter(|| server.absorb(black_box(&report)).unwrap())
+        });
     }
     {
         let oracle = Hrr::new(domain, eps).unwrap();
         let report = oracle.encode(7, &mut rng).unwrap();
         let mut server = oracle.clone();
-        group.bench_function("HRR", |b| b.iter(|| server.absorb(black_box(&report)).unwrap()));
+        group.bench_function("HRR", |b| {
+            b.iter(|| server.absorb(black_box(&report)).unwrap())
+        });
     }
     group.finish();
 }
@@ -70,7 +76,9 @@ fn bench_population_simulation(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| {
                 let mut oracle = Oue::new(domain, eps).unwrap();
-                oracle.absorb_population(black_box(&counts), &mut rng).unwrap();
+                oracle
+                    .absorb_population(black_box(&counts), &mut rng)
+                    .unwrap();
                 black_box(oracle.num_reports())
             })
         });
@@ -78,7 +86,9 @@ fn bench_population_simulation(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(4);
             b.iter(|| {
                 let mut oracle = Hrr::new(domain, eps).unwrap();
-                oracle.absorb_population(black_box(&counts), &mut rng).unwrap();
+                oracle
+                    .absorb_population(black_box(&counts), &mut rng)
+                    .unwrap();
                 black_box(oracle.num_reports())
             })
         });

@@ -49,11 +49,23 @@ fn bench_decompose(c: &mut Criterion) {
     for fanout in [2usize, 4, 16] {
         let shape = CompleteTree::new(fanout, 1 << 20);
         group.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
-            b.iter(|| black_box(decompose_range(&shape, black_box(12_345), black_box(987_654))))
+            b.iter(|| {
+                black_box(decompose_range(
+                    &shape,
+                    black_box(12_345),
+                    black_box(987_654),
+                ))
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fwht, bench_haar, bench_haar_range_sum, bench_decompose);
+criterion_group!(
+    benches,
+    bench_fwht,
+    bench_haar,
+    bench_haar_range_sum,
+    bench_decompose
+);
 criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Sharded-ingestion throughput benchmark for `ldp-service`.
+//!
+//! Generates one deterministic encoded report stream (a Cauchy population
+//! replayed through the `HH₄` mechanism client) and ingests it repeatedly
+//! at increasing shard counts, timing wire-decode + absorb end to end.
+//! On a multi-core machine the workers run on separate cores and
+//! throughput scales with the shard count (the acceptance target is ≥2×
+//! at 4 shards); on a single hardware thread the sharded runs degenerate
+//! to sequential execution plus scheduling overhead, which the output
+//! makes visible rather than hiding.
+//!
+//! ```text
+//! cargo run -p ldp-bench --release --bin service_throughput
+//! LDP_SERVICE_USERS=1000000 LDP_SERVICE_SHARDS=1,2,4,8,16 \
+//!     cargo run -p ldp-bench --release --bin service_throughput
+//! ```
+
+use std::time::Instant;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HhClient, HhConfig, HhServer, RangeEstimate};
+use ldp_service::{RangeSnapshot, ShardedAggregator};
+use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn shard_counts() -> Vec<usize> {
+    std::env::var("LDP_SERVICE_SHARDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let users = env_or("LDP_SERVICE_USERS", 100_000).max(1);
+    let domain = env_or("LDP_SERVICE_DOMAIN", 1_024) as usize;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let dataset = Dataset::sample(
+        DistributionKind::Cauchy(CauchyParams::paper_default()),
+        domain,
+        users,
+        &mut rng,
+    );
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    println!(
+        "# service_throughput: {users} users, domain {domain}, HH_4/OUE, {cores} hardware threads"
+    );
+    let gen_started = Instant::now();
+    let stream = ldp_service::generate_stream(&dataset, users, 2, |value, rng| {
+        client.report(value, rng).expect("in-domain value")
+    });
+    println!(
+        "# stream: {} frames, {:.1} MiB, {:.1} B/report, generated in {:.2?}\n",
+        stream.len(),
+        stream.total_bytes() as f64 / (1024.0 * 1024.0),
+        stream.mean_frame_bytes(),
+        gen_started.elapsed(),
+    );
+
+    println!(
+        "{:>7}  {:>12}  {:>14}  {:>9}",
+        "shards", "ingest", "reports/sec", "speedup"
+    );
+    let mut base_rate = None;
+    let mut reference: Option<HhServer> = None;
+    for shards in shard_counts() {
+        let mut pool = ShardedAggregator::new(&prototype, shards).expect("non-zero shard count");
+        let started = Instant::now();
+        pool.ingest_encoded(&stream).expect("well-formed stream");
+        let elapsed = started.elapsed();
+        let rate = stream.len() as f64 / elapsed.as_secs_f64();
+        let speedup = rate / *base_rate.get_or_insert(rate);
+        println!("{shards:>7}  {elapsed:>12.2?}  {rate:>14.0}  {speedup:>8.2}x");
+
+        assert_eq!(
+            pool.num_reports(),
+            users,
+            "reports lost during sharded ingest"
+        );
+        let merged = pool.merged().expect("merge");
+        // Every shard count must produce the *identical* merged state.
+        let est = merged.estimate_consistent().to_frequency_estimate();
+        match &reference {
+            None => reference = Some(merged),
+            Some(r) => {
+                let ref_est = r.estimate_consistent().to_frequency_estimate();
+                for z in 0..domain {
+                    assert!(
+                        est.point(z).to_bits() == ref_est.point(z).to_bits(),
+                        "shard count {shards} changed the merged estimate at leaf {z}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Close the loop: the merged state answers queries correctly.
+    let snap = RangeSnapshot::freeze(&reference.expect("at least one run"), 1);
+    let (a, b) = (domain / 4, 3 * domain / 4);
+    let truth = dataset.true_range(a, b);
+    println!(
+        "\n# snapshot check: range [{a},{b}] = {:.4} (truth {truth:.4}), median = {}",
+        snap.range(a, b),
+        snap.quantile(0.5),
+    );
+}

@@ -14,7 +14,11 @@ use ldp_eval::{EvalContext, Table};
 /// banner.
 pub fn run_and_print(name: &str, run: fn(&EvalContext) -> Table) {
     let ctx = EvalContext::from_env();
-    let scale = if ctx.full_scale { "paper scale (LDP_FULL_SCALE=1)" } else { "laptop scale" };
+    let scale = if ctx.full_scale {
+        "paper scale (LDP_FULL_SCALE=1)"
+    } else {
+        "laptop scale"
+    };
     println!(
         "# {name}: N = 2^{}, repetitions = {}, domains = {:?} [{scale}]\n",
         ctx.population.trailing_zeros(),

@@ -79,7 +79,10 @@ mod tests {
             sq_long += (est.range(0, 127) - 1.0).powi(2);
         }
         let ratio = sq_long / sq_short;
-        assert!((64.0..256.0).contains(&ratio), "expected ~128x, got {ratio}");
+        assert!(
+            (64.0..256.0).contains(&ratio),
+            "expected ~128x, got {ratio}"
+        );
     }
 
     #[test]

@@ -38,12 +38,15 @@ impl CdpHierarchical {
         if fanout < 2 {
             return Err(RangeError::FanoutTooSmall(fanout));
         }
-        let height =
-            exact_log(domain, fanout).ok_or(RangeError::DomainNotPowerOfFanout { domain, fanout })?;
+        let height = exact_log(domain, fanout)
+            .ok_or(RangeError::DomainNotPowerOfFanout { domain, fanout })?;
         if height == 0 {
             return Err(RangeError::DomainTooSmall(domain));
         }
-        Ok(Self { shape: CompleteTree::with_height(fanout, height), epsilon })
+        Ok(Self {
+            shape: CompleteTree::with_height(fanout, height),
+            epsilon,
+        })
     }
 
     /// Per-node Laplace scale: `h/ε` (budget `ε/h` per level).
@@ -72,7 +75,11 @@ impl CdpHierarchical {
         consistent: bool,
         rng: &mut dyn RngCore,
     ) -> CdpTreeEstimate {
-        assert_eq!(true_counts.len(), self.shape.domain(), "histogram/domain mismatch");
+        assert_eq!(
+            true_counts.len(),
+            self.shape.domain(),
+            "histogram/domain mismatch"
+        );
         let n: u64 = true_counts.iter().sum();
         let n_f = if n == 0 { 1.0 } else { n as f64 };
         let leaf_fracs: Vec<f64> = true_counts.iter().map(|&c| c as f64 / n_f).collect();
@@ -120,7 +127,10 @@ impl RangeEstimate for CdpTreeEstimate {
 
     fn range(&self, a: usize, b: usize) -> f64 {
         let shape = self.tree.shape();
-        decompose_range(&shape, a, b).iter().map(|n| *self.tree.get(n.depth, n.index)).sum()
+        decompose_range(&shape, a, b)
+            .iter()
+            .map(|n| *self.tree.get(n.depth, n.index))
+            .sum()
     }
 }
 
@@ -159,8 +169,10 @@ mod tests {
         let shape = est.tree().shape();
         for d in 0..shape.height() {
             for idx in 0..shape.nodes_at_depth(d) {
-                let child_sum: f64 =
-                    shape.children(d, idx).map(|c| *est.tree().get(d + 1, c)).sum();
+                let child_sum: f64 = shape
+                    .children(d, idx)
+                    .map(|c| *est.tree().get(d + 1, c))
+                    .sum();
                 assert!((est.tree().get(d, idx) - child_sum).abs() < 1e-9);
             }
         }
@@ -191,6 +203,10 @@ mod tests {
         }
         let empirical = sq / f64::from(reps);
         let theory = mech.node_variance(n);
-        assert!((empirical / theory - 1.0).abs() < 0.15, "ratio {}", empirical / theory);
+        assert!(
+            (empirical / theory - 1.0).abs() < 0.15,
+            "ratio {}",
+            empirical / theory
+        );
     }
 }

@@ -9,7 +9,10 @@ use rand::{Rng, RngCore};
 ///
 /// Panics on a non-positive scale.
 pub fn sample_laplace<R: RngCore + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    assert!(scale > 0.0 && scale.is_finite(), "Laplace scale must be positive, got {scale}");
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "Laplace scale must be positive, got {scale}"
+    );
     // u uniform in (−1/2, 1/2]; guard the open endpoint to avoid ln(0).
     let u: f64 = rng.random::<f64>() - 0.5;
     let u = if u == -0.5 { -0.499_999_999 } else { u };
@@ -37,14 +40,19 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var / laplace_variance(scale) - 1.0).abs() < 0.05, "var {var}");
+        assert!(
+            (var / laplace_variance(scale) - 1.0).abs() < 0.05,
+            "var {var}"
+        );
     }
 
     #[test]
     fn symmetric_tails() {
         let mut rng = StdRng::seed_from_u64(122);
         let n = 100_000;
-        let pos = (0..n).filter(|_| sample_laplace(&mut rng, 1.0) > 0.0).count();
+        let pos = (0..n)
+            .filter(|_| sample_laplace(&mut rng, 1.0) > 0.0)
+            .count();
         let frac = pos as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
     }

@@ -40,7 +40,11 @@ impl Privelet {
         if !domain.is_power_of_two() {
             return Err(RangeError::DomainNotPowerOfTwo(domain));
         }
-        Ok(Self { domain, height: domain.trailing_zeros(), epsilon })
+        Ok(Self {
+            domain,
+            height: domain.trailing_zeros(),
+            epsilon,
+        })
     }
 
     /// Laplace scale for a coefficient whose node has block size `2^j`

@@ -46,7 +46,11 @@ impl FlatConfig {
         if oracle.requires_power_of_two() && !domain.is_power_of_two() {
             return Err(RangeError::DomainNotPowerOfTwo(domain));
         }
-        Ok(Self { domain, epsilon, oracle })
+        Ok(Self {
+            domain,
+            epsilon,
+            oracle,
+        })
     }
 }
 
@@ -103,7 +107,13 @@ impl HhConfig {
             // Level domains are B^l; they are powers of two iff B is.
             return Err(RangeError::DomainNotPowerOfTwo(fanout));
         }
-        Ok(Self { domain, fanout, height, epsilon, oracle })
+        Ok(Self {
+            domain,
+            fanout,
+            height,
+            epsilon,
+            oracle,
+        })
     }
 
     /// The tree shape implied by this configuration.
@@ -145,7 +155,11 @@ impl HaarConfig {
         if !domain.is_power_of_two() {
             return Err(RangeError::DomainNotPowerOfTwo(domain));
         }
-        Ok(Self { domain, height: domain.trailing_zeros(), epsilon })
+        Ok(Self {
+            domain,
+            height: domain.trailing_zeros(),
+            epsilon,
+        })
     }
 
     /// Uniform level-sampling probability `1/h` (optimal, §4.6).
@@ -182,7 +196,11 @@ impl RangeMechanism {
     pub fn name(&self) -> String {
         match self {
             Self::Flat(o) => format!("Flat{o}"),
-            Self::Hierarchical { fanout, oracle, consistent } => {
+            Self::Hierarchical {
+                fanout,
+                oracle,
+                consistent,
+            } => {
                 let ci = if *consistent { "CI" } else { "" };
                 format!("Tree{oracle}{ci}(B={fanout})")
             }
@@ -205,7 +223,10 @@ mod tests {
     fn flat_config_validation() {
         let eps = Epsilon::new(1.1);
         assert!(FlatConfig::new(256, eps).is_ok());
-        assert!(matches!(FlatConfig::new(1, eps), Err(RangeError::DomainTooSmall(1))));
+        assert!(matches!(
+            FlatConfig::new(1, eps),
+            Err(RangeError::DomainTooSmall(1))
+        ));
         assert!(FlatConfig::with_oracle(100, eps, FrequencyOracle::Hrr).is_err());
         assert!(FlatConfig::with_oracle(128, eps, FrequencyOracle::Hrr).is_ok());
     }
@@ -220,8 +241,14 @@ mod tests {
             HhConfig::new(100, 4, eps),
             Err(RangeError::DomainNotPowerOfFanout { .. })
         ));
-        assert!(matches!(HhConfig::new(256, 1, eps), Err(RangeError::FanoutTooSmall(1))));
-        assert!(matches!(HhConfig::new(1, 2, eps), Err(RangeError::DomainTooSmall(1))));
+        assert!(matches!(
+            HhConfig::new(256, 1, eps),
+            Err(RangeError::FanoutTooSmall(1))
+        ));
+        assert!(matches!(
+            HhConfig::new(1, 2, eps),
+            Err(RangeError::DomainTooSmall(1))
+        ));
         // HRR levels need power-of-two fanout.
         assert!(HhConfig::with_oracle(81, 3, eps, FrequencyOracle::Hrr).is_err());
         assert!(HhConfig::with_oracle(81, 3, eps, FrequencyOracle::Oue).is_ok());
@@ -233,8 +260,14 @@ mod tests {
         let eps = Epsilon::new(1.1);
         let c = HaarConfig::new(1024, eps).unwrap();
         assert_eq!(c.height, 10);
-        assert!(matches!(HaarConfig::new(100, eps), Err(RangeError::DomainNotPowerOfTwo(100))));
-        assert!(matches!(HaarConfig::new(1, eps), Err(RangeError::DomainTooSmall(1))));
+        assert!(matches!(
+            HaarConfig::new(100, eps),
+            Err(RangeError::DomainNotPowerOfTwo(100))
+        ));
+        assert!(matches!(
+            HaarConfig::new(1, eps),
+            Err(RangeError::DomainTooSmall(1))
+        ));
     }
 
     #[test]

@@ -64,14 +64,23 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(RangeError::DomainNotPowerOfFanout { domain: 100, fanout: 4 }
-            .to_string()
-            .contains("100"));
+        assert!(RangeError::DomainNotPowerOfFanout {
+            domain: 100,
+            fanout: 4
+        }
+        .to_string()
+        .contains("100"));
         assert!(RangeError::DomainNotPowerOfTwo(6).to_string().contains('6'));
         assert!(RangeError::FanoutTooSmall(1).to_string().contains('1'));
-        assert!(RangeError::DomainTooSmall(1).to_string().contains("at least 2"));
-        assert!(RangeError::from(OracleError::EmptyDomain).to_string().contains("oracle"));
-        assert!(RangeError::ReportShapeMismatch.to_string().contains("shape"));
+        assert!(RangeError::DomainTooSmall(1)
+            .to_string()
+            .contains("at least 2"));
+        assert!(RangeError::from(OracleError::EmptyDomain)
+            .to_string()
+            .contains("oracle"));
+        assert!(RangeError::ReportShapeMismatch
+            .to_string()
+            .contains("shape"));
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl HaarOueReport {
     pub fn depth(&self) -> u32 {
         self.depth
     }
+
+    /// The perturbed `2M`-cell vector (wire encoding).
+    #[must_use]
+    pub fn inner(&self) -> &OueReport {
+        &self.inner
+    }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    #[must_use]
+    pub fn from_parts(depth: u32, inner: OueReport) -> Self {
+        Self { depth, inner }
+    }
 }
 
 fn build_level_oracles(config: &HaarConfig) -> Result<Vec<Oue>, RangeError> {
@@ -73,16 +85,14 @@ impl HaarOueClient {
     /// # Errors
     ///
     /// Returns an error if `value` is outside the domain.
-    pub fn report(
-        &self,
-        value: usize,
-        rng: &mut dyn RngCore,
-    ) -> Result<HaarOueReport, RangeError> {
+    pub fn report(&self, value: usize, rng: &mut dyn RngCore) -> Result<HaarOueReport, RangeError> {
         if value >= self.config.domain {
-            return Err(RangeError::Oracle(ldp_freq_oracle::OracleError::ValueOutOfDomain {
-                value,
-                domain: self.config.domain,
-            }));
+            return Err(RangeError::Oracle(
+                ldp_freq_oracle::OracleError::ValueOutOfDomain {
+                    value,
+                    domain: self.config.domain,
+                },
+            ));
         }
         let depth = rng.random_range(0..self.config.height);
         let (node, sign) = coefficient_of(value, depth, self.config.height);
@@ -108,6 +118,21 @@ impl HaarOueServer {
     pub fn new(config: HaarConfig) -> Result<Self, RangeError> {
         let levels = build_level_oracles(&config)?;
         Ok(Self { config, levels })
+    }
+
+    /// Merges another shard's per-level accumulators into this one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards over a different domain.
+    pub fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.domain != self.config.domain {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b)?;
+        }
+        Ok(())
     }
 
     /// Accumulates one user report.
@@ -164,7 +189,10 @@ impl HaarOueServer {
             .iter()
             .map(|oracle| {
                 let cells = oracle.estimate();
-                cells.chunks_exact(2).map(|pair| pair[0] - pair[1]).collect()
+                cells
+                    .chunks_exact(2)
+                    .map(|pair| pair[0] - pair[1])
+                    .collect()
             })
             .collect();
         HaarEstimate::from_pyramid(HaarPyramid::from_parts(self.config.height, 1.0, diffs))
@@ -192,7 +220,11 @@ mod tests {
             server.absorb(&r).unwrap();
         }
         let est = server.estimate();
-        assert!((est.range(16, 47) - 1.0).abs() < 0.1, "got {}", est.range(16, 47));
+        assert!(
+            (est.range(16, 47) - 1.0).abs() < 0.1,
+            "got {}",
+            est.range(16, 47)
+        );
         assert!((est.range(0, 63) - 1.0).abs() < 1e-12);
     }
 
@@ -215,8 +247,7 @@ mod tests {
     #[test]
     fn rejects_shape_mismatches() {
         let mut rng = StdRng::seed_from_u64(203);
-        let client =
-            HaarOueClient::new(HaarConfig::new(64, Epsilon::new(1.0)).unwrap()).unwrap();
+        let client = HaarOueClient::new(HaarConfig::new(64, Epsilon::new(1.0)).unwrap()).unwrap();
         let mut server =
             HaarOueServer::new(HaarConfig::new(4, Epsilon::new(1.0)).unwrap()).unwrap();
         loop {

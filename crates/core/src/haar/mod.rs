@@ -46,6 +46,18 @@ impl HaarHrrReport {
     pub fn depth(&self) -> u32 {
         self.depth
     }
+
+    /// The HRR-perturbed coefficient (wire encoding).
+    #[must_use]
+    pub fn inner(&self) -> HrrReport {
+        self.inner
+    }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    #[must_use]
+    pub fn from_parts(depth: u32, inner: HrrReport) -> Self {
+        Self { depth, inner }
+    }
 }
 
 /// Sign of item `z`'s Haar coefficient at internal-node depth `d` within a
@@ -90,16 +102,14 @@ impl HaarHrrClient {
     /// # Errors
     ///
     /// Returns an error if `value` is outside the domain.
-    pub fn report(
-        &self,
-        value: usize,
-        rng: &mut dyn RngCore,
-    ) -> Result<HaarHrrReport, RangeError> {
+    pub fn report(&self, value: usize, rng: &mut dyn RngCore) -> Result<HaarHrrReport, RangeError> {
         if value >= self.config.domain {
-            return Err(RangeError::Oracle(ldp_freq_oracle::OracleError::ValueOutOfDomain {
-                value,
-                domain: self.config.domain,
-            }));
+            return Err(RangeError::Oracle(
+                ldp_freq_oracle::OracleError::ValueOutOfDomain {
+                    value,
+                    domain: self.config.domain,
+                },
+            ));
         }
         let depth = rng.random_range(0..self.config.height);
         let (node, sign) = coefficient_of(value, depth, self.config.height);
@@ -204,7 +214,9 @@ impl HaarHrrServer {
     #[must_use]
     pub fn estimate(&self) -> HaarEstimate {
         let diffs: Vec<Vec<f64>> = self.levels.iter().map(PointOracle::estimate).collect();
-        HaarEstimate { pyramid: HaarPyramid::from_parts(self.config.height, 1.0, diffs) }
+        HaarEstimate {
+            pyramid: HaarPyramid::from_parts(self.config.height, 1.0, diffs),
+        }
     }
 }
 
@@ -285,7 +297,11 @@ mod tests {
         }
         assert_eq!(server.num_reports(), n as u64);
         let est = server.estimate();
-        assert!((est.range(16, 47) - 1.0).abs() < 0.1, "got {}", est.range(16, 47));
+        assert!(
+            (est.range(16, 47) - 1.0).abs() < 0.1,
+            "got {}",
+            est.range(16, 47)
+        );
         assert!(est.range(48, 63).abs() < 0.1);
         // Total mass is hardcoded to exactly 1 (the 0th coefficient).
         assert!((est.range(0, 63) - 1.0).abs() < 1e-12);
@@ -313,7 +329,9 @@ mod tests {
         let config = HaarConfig::new(128, eps).unwrap();
         let mut server = HaarHrrServer::new(config).unwrap();
         let mut rng = StdRng::seed_from_u64(93);
-        server.absorb_population(&vec![500u64; 128], &mut rng).unwrap();
+        server
+            .absorb_population(&vec![500u64; 128], &mut rng)
+            .unwrap();
         let est = server.estimate();
         let flat = est.to_frequency_estimate();
         for (a, b) in [(0, 127), (5, 90), (64, 64), (32, 95)] {
@@ -344,8 +362,7 @@ mod tests {
     fn rejects_shape_mismatches() {
         let mut rng = StdRng::seed_from_u64(95);
         let big = HaarHrrClient::new(HaarConfig::new(64, Epsilon::new(1.0)).unwrap()).unwrap();
-        let mut small =
-            HaarHrrServer::new(HaarConfig::new(4, Epsilon::new(1.0)).unwrap()).unwrap();
+        let mut small = HaarHrrServer::new(HaarConfig::new(4, Epsilon::new(1.0)).unwrap()).unwrap();
         // Find a report whose depth is out of range for the small server.
         loop {
             let r = big.report(10, &mut rng).unwrap();

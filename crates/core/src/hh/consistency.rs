@@ -92,7 +92,9 @@ mod tests {
         *tree.get_mut(0, 0) = 1.0;
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.01
         };
         for d in 1..=shape.height() {

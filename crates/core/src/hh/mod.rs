@@ -30,9 +30,7 @@ use crate::estimate::{FrequencyEstimate, RangeEstimate};
 /// Validates and normalizes per-level sampling weights (length `h`, all
 /// positive).
 fn normalize_level_weights(weights: &[f64], height: u32) -> Result<Vec<f64>, RangeError> {
-    if weights.len() != height as usize
-        || weights.iter().any(|&w| !w.is_finite() || w <= 0.0)
-    {
+    if weights.len() != height as usize || weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
         return Err(RangeError::ReportShapeMismatch);
     }
     let total: f64 = weights.iter().sum();
@@ -53,6 +51,18 @@ impl HhReport {
     #[must_use]
     pub fn depth(&self) -> u32 {
         self.depth
+    }
+
+    /// The perturbed one-hot node vector (wire encoding).
+    #[must_use]
+    pub fn inner(&self) -> &AnyReport {
+        &self.inner
+    }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    #[must_use]
+    pub fn from_parts(depth: u32, inner: AnyReport) -> Self {
+        Self { depth, inner }
     }
 }
 
@@ -91,7 +101,12 @@ impl HhClient {
         let encoders = build_level_oracles(&config)?;
         let shape = config.shape();
         let level_probs = vec![1.0 / f64::from(config.height); config.height as usize];
-        Ok(Self { config, shape, encoders, level_probs })
+        Ok(Self {
+            config,
+            shape,
+            encoders,
+            level_probs,
+        })
     }
 
     /// Builds a client with a *non-uniform* level-sampling distribution
@@ -106,7 +121,12 @@ impl HhClient {
         let level_probs = normalize_level_weights(weights, config.height)?;
         let encoders = build_level_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, encoders, level_probs })
+        Ok(Self {
+            config,
+            shape,
+            encoders,
+            level_probs,
+        })
     }
 
     /// Perturbs one user's value: samples a level (uniformly by default)
@@ -118,10 +138,12 @@ impl HhClient {
     /// Returns an error if `value` is outside the domain.
     pub fn report(&self, value: usize, rng: &mut dyn RngCore) -> Result<HhReport, RangeError> {
         if value >= self.config.domain {
-            return Err(RangeError::Oracle(ldp_freq_oracle::OracleError::ValueOutOfDomain {
-                value,
-                domain: self.config.domain,
-            }));
+            return Err(RangeError::Oracle(
+                ldp_freq_oracle::OracleError::ValueOutOfDomain {
+                    value,
+                    domain: self.config.domain,
+                },
+            ));
         }
         let u: f64 = rng.random();
         let mut acc = 0.0;
@@ -158,7 +180,12 @@ impl HhServer {
         let levels = build_level_oracles(&config)?;
         let shape = config.shape();
         let level_probs = vec![1.0 / f64::from(config.height); config.height as usize];
-        Ok(Self { config, shape, levels, level_probs })
+        Ok(Self {
+            config,
+            shape,
+            levels,
+            level_probs,
+        })
     }
 
     /// Builds a server whose population simulation scatters users over
@@ -173,7 +200,12 @@ impl HhServer {
         let level_probs = normalize_level_weights(weights, config.height)?;
         let levels = build_level_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, levels, level_probs })
+        Ok(Self {
+            config,
+            shape,
+            levels,
+            level_probs,
+        })
     }
 
     /// The configuration this server was built from.
@@ -189,9 +221,7 @@ impl HhServer {
     ///
     /// Rejects shards with a different tree shape or oracle.
     pub fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
-        if other.config.domain != self.config.domain
-            || other.config.fanout != self.config.fanout
-        {
+        if other.config.domain != self.config.domain || other.config.fanout != self.config.fanout {
             return Err(RangeError::ReportShapeMismatch);
         }
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
@@ -229,9 +259,13 @@ impl HhServer {
             return Err(RangeError::ReportShapeMismatch);
         }
         let h = self.config.height as usize;
-        let uniform = self.level_probs.iter().all(|&p| (p - self.level_probs[0]).abs() < 1e-15);
-        let mut level_counts: Vec<Vec<u64>> =
-            (1..=self.config.height).map(|d| vec![0; self.shape.nodes_at_depth(d)]).collect();
+        let uniform = self
+            .level_probs
+            .iter()
+            .all(|&p| (p - self.level_probs[0]).abs() < 1e-15);
+        let mut level_counts: Vec<Vec<u64>> = (1..=self.config.height)
+            .map(|d| vec![0; self.shape.nodes_at_depth(d)])
+            .collect();
         let sink = |z: usize, level_idx: usize, count: u64| {
             let depth = level_idx as u32 + 1;
             let node = self.shape.ancestor_at_depth(z, depth);
@@ -270,7 +304,10 @@ impl HhServer {
             let depth = i as u32 + 1;
             tree.level_mut(depth).copy_from_slice(&oracle.estimate());
         }
-        HhEstimate { tree, consistent: false }
+        HhEstimate {
+            tree,
+            consistent: false,
+        }
     }
 
     /// Reconstructs the estimate tree and applies constrained inference
@@ -324,8 +361,10 @@ impl HhEstimate {
         let mut worst = 0.0f64;
         for d in 0..shape.height() {
             for idx in 0..shape.nodes_at_depth(d) {
-                let child_sum: f64 =
-                    shape.children(d, idx).map(|c| *self.tree.get(d + 1, c)).sum();
+                let child_sum: f64 = shape
+                    .children(d, idx)
+                    .map(|c| *self.tree.get(d + 1, c))
+                    .sum();
                 worst = worst.max((self.tree.get(d, idx) - child_sum).abs());
             }
         }
@@ -395,7 +434,11 @@ mod tests {
         }
         assert_eq!(server.num_reports(), n as u64);
         let est = server.estimate_consistent();
-        assert!((est.range(16, 47) - 1.0).abs() < 0.1, "got {}", est.range(16, 47));
+        assert!(
+            (est.range(16, 47) - 1.0).abs() < 0.1,
+            "got {}",
+            est.range(16, 47)
+        );
         assert!(est.range(48, 63).abs() < 0.1);
     }
 
@@ -421,11 +464,16 @@ mod tests {
         let config = HhConfig::new(256, 4, eps).unwrap();
         let mut server = HhServer::new(config).unwrap();
         let mut rng = StdRng::seed_from_u64(74);
-        server.absorb_population(&uniform_counts(256, 500), &mut rng).unwrap();
+        server
+            .absorb_population(&uniform_counts(256, 500), &mut rng)
+            .unwrap();
 
         let raw = server.estimate();
         assert!(!raw.is_consistent());
-        assert!(raw.consistency_violation() > 1e-6, "noise should break consistency");
+        assert!(
+            raw.consistency_violation() > 1e-6,
+            "noise should break consistency"
+        );
 
         let ci = server.estimate_consistent();
         assert!(ci.is_consistent());
@@ -447,7 +495,9 @@ mod tests {
         let config = HhConfig::new(64, 8, eps).unwrap();
         let mut server = HhServer::new(config).unwrap();
         let mut rng = StdRng::seed_from_u64(75);
-        server.absorb_population(&uniform_counts(64, 2_000), &mut rng).unwrap();
+        server
+            .absorb_population(&uniform_counts(64, 2_000), &mut rng)
+            .unwrap();
         let ci = server.estimate_consistent();
         let shape = ci.tree().shape();
         for d in 0..=shape.height() {
@@ -468,7 +518,11 @@ mod tests {
         }
         server.absorb_population(&counts, &mut rng).unwrap();
         let est = server.estimate_consistent();
-        assert!((est.range(0, 127) - 0.75).abs() < 0.05, "got {}", est.range(0, 127));
+        assert!(
+            (est.range(0, 127) - 0.75).abs() < 0.05,
+            "got {}",
+            est.range(0, 127)
+        );
     }
 
     #[test]

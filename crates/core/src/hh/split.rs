@@ -37,6 +37,18 @@ impl HhSplitReport {
     pub fn num_levels(&self) -> usize {
         self.layers.len()
     }
+
+    /// The per-level perturbed node vectors, shallowest level first.
+    #[must_use]
+    pub fn layers(&self) -> &[AnyReport] {
+        &self.layers
+    }
+
+    /// Rebuilds a report from transmitted per-level layers (wire decoding).
+    #[must_use]
+    pub fn from_layers(layers: Vec<AnyReport>) -> Self {
+        Self { layers }
+    }
 }
 
 fn build_split_oracles(config: &HhConfig) -> Result<Vec<AnyOracle>, RangeError> {
@@ -67,7 +79,11 @@ impl HhSplitClient {
     pub fn new(config: HhConfig) -> Result<Self, RangeError> {
         let encoders = build_split_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, encoders })
+        Ok(Self {
+            config,
+            shape,
+            encoders,
+        })
     }
 
     /// Perturbs one user's value at every level.
@@ -75,21 +91,21 @@ impl HhSplitClient {
     /// # Errors
     ///
     /// Returns an error if `value` is outside the domain.
-    pub fn report(
-        &self,
-        value: usize,
-        rng: &mut dyn RngCore,
-    ) -> Result<HhSplitReport, RangeError> {
+    pub fn report(&self, value: usize, rng: &mut dyn RngCore) -> Result<HhSplitReport, RangeError> {
         if value >= self.config.domain {
-            return Err(RangeError::Oracle(ldp_freq_oracle::OracleError::ValueOutOfDomain {
-                value,
-                domain: self.config.domain,
-            }));
+            return Err(RangeError::Oracle(
+                ldp_freq_oracle::OracleError::ValueOutOfDomain {
+                    value,
+                    domain: self.config.domain,
+                },
+            ));
         }
         let layers = (1..=self.config.height)
             .map(|d| {
                 let node = self.shape.ancestor_at_depth(value, d);
-                self.encoders[d as usize - 1].encode(node, rng).map_err(RangeError::from)
+                self.encoders[d as usize - 1]
+                    .encode(node, rng)
+                    .map_err(RangeError::from)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(HhSplitReport { layers })
@@ -113,17 +129,44 @@ impl HhSplitServer {
     pub fn new(config: HhConfig) -> Result<Self, RangeError> {
         let levels = build_split_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, levels })
+        Ok(Self {
+            config,
+            shape,
+            levels,
+        })
+    }
+
+    /// Merges another shard's per-level accumulators into this one
+    /// (distributed aggregation over disjoint user cohorts).
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards with a different tree shape or oracle.
+    pub fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.domain != self.config.domain || other.config.fanout != self.config.fanout {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b)?;
+        }
+        Ok(())
     }
 
     /// Accumulates one user's multi-level report.
     ///
     /// # Errors
     ///
-    /// Rejects reports with the wrong number of layers.
+    /// Rejects reports with the wrong number of layers or any layer of the
+    /// wrong shape — validated up front, before any level accumulator is
+    /// touched, so a rejected report never leaves partially absorbed state
+    /// (a report counted at some levels but not others would corrupt the
+    /// per-level normalization and break exact shard merging).
     pub fn absorb(&mut self, report: &HhSplitReport) -> Result<(), RangeError> {
         if report.layers.len() != self.config.height as usize {
             return Err(RangeError::ReportShapeMismatch);
+        }
+        for (oracle, layer) in self.levels.iter().zip(&report.layers) {
+            oracle.validate(layer)?;
         }
         for (oracle, layer) in self.levels.iter_mut().zip(&report.layers) {
             oracle.absorb(layer)?;
@@ -168,9 +211,13 @@ impl HhSplitServer {
         let mut tree = FlatTree::new(self.shape);
         *tree.get_mut(0, 0) = 1.0;
         for (i, oracle) in self.levels.iter().enumerate() {
-            tree.level_mut(i as u32 + 1).copy_from_slice(&oracle.estimate());
+            tree.level_mut(i as u32 + 1)
+                .copy_from_slice(&oracle.estimate());
         }
-        HhEstimate { tree, consistent: false }
+        HhEstimate {
+            tree,
+            consistent: false,
+        }
     }
 
     /// Reconstructs the estimate tree with constrained inference.
@@ -257,6 +304,47 @@ mod tests {
             splitting_mse > 2.0 * sampling_mse,
             "splitting {splitting_mse:.3e} should be well above sampling {sampling_mse:.3e}"
         );
+    }
+
+    #[test]
+    fn poisoned_layer_leaves_no_partial_state() {
+        // A report whose first layer is valid but whose second is not must
+        // be rejected atomically: absorbing it cannot bump any level.
+        let mut rng = StdRng::seed_from_u64(175);
+        let config = HhConfig::new(16, 2, Epsilon::new(1.0)).unwrap();
+        let client = HhSplitClient::new(config.clone()).unwrap();
+        let mut server = HhSplitServer::new(config.clone()).unwrap();
+        let good = client.report(3, &mut rng).unwrap();
+        server.absorb(&good).unwrap();
+        let before = server
+            .estimate()
+            .to_frequency_estimate()
+            .frequencies()
+            .to_vec();
+
+        let mut layers = client.report(5, &mut rng).unwrap().layers().to_vec();
+        // Replace the depth-2 layer with one from a mismatched (wider)
+        // oracle — exactly what a hostile wire frame could carry.
+        let alien = HhSplitClient::new(HhConfig::new(64, 2, Epsilon::new(1.0)).unwrap())
+            .unwrap()
+            .report(0, &mut rng)
+            .unwrap();
+        layers[1] = alien.layers()[3].clone();
+        let poison = HhSplitReport::from_layers(layers);
+
+        assert!(server.absorb(&poison).is_err());
+        assert_eq!(server.num_reports(), 1, "poison report must not be counted");
+        let after = server
+            .estimate()
+            .to_frequency_estimate()
+            .frequencies()
+            .to_vec();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "state changed by rejected report"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod estimate;
 pub mod flat;
 pub mod haar;
 pub mod hh;
+pub mod mergeable;
 pub mod multidim;
 pub mod postprocess;
 pub mod quantile;
@@ -45,6 +46,7 @@ pub use haar::calibration::{HaarOueClient, HaarOueReport, HaarOueServer};
 pub use haar::{HaarEstimate, HaarHrrClient, HaarHrrReport, HaarHrrServer};
 pub use hh::split::{HhSplitClient, HhSplitReport, HhSplitServer};
 pub use hh::{HhClient, HhEstimate, HhReport, HhServer};
+pub use mergeable::MergeableServer;
 pub use multidim::{Hh2dClient, Hh2dConfig, Hh2dEstimate, Hh2dReport, Hh2dServer};
 pub use postprocess::{isotonic_cdf, isotonic_regression, project_nonnegative_simplex};
 pub use quantile::{deciles, quantile, true_quantile};

@@ -1,0 +1,263 @@
+//! Mergeable aggregator state — the substrate for sharded, distributed
+//! aggregation.
+//!
+//! Every mechanism's server accumulates *sufficient statistics* that are
+//! plain integer sums over user reports (noisy bit counts for OUE/SUE,
+//! support counts for OLH, signed coefficient sums for HRR). Sums are
+//! associative and commutative, so a population can be split across any
+//! number of independent shards — each absorbing its own cohort — and the
+//! shard states added together afterwards. The merged state is *identical*
+//! (bit-for-bit, not just statistically) to what a single server absorbing
+//! every report in sequence would hold, which is what makes the sharded
+//! service in `ldp-service` a pure performance change with no accuracy
+//! semantics of its own.
+//!
+//! [`MergeableServer`] captures that contract behind one trait so generic
+//! infrastructure (shard pools, load generators, snapshot builders) can be
+//! written once for all six mechanisms.
+
+use crate::error::RangeError;
+use crate::flat::FlatServer;
+use crate::haar::calibration::{HaarOueReport, HaarOueServer};
+use crate::haar::{HaarHrrReport, HaarHrrServer};
+use crate::hh::split::{HhSplitReport, HhSplitServer};
+use crate::hh::{HhReport, HhServer};
+use crate::multidim::{Hh2dReport, Hh2dServer};
+use ldp_freq_oracle::AnyReport;
+
+/// An aggregator whose state from disjoint user cohorts can be combined
+/// exactly.
+///
+/// # Contract
+///
+/// For any partition of a report sequence into shards, absorbing each
+/// shard into its own fresh server and merging the results must leave the
+/// same state as absorbing the full sequence into one server:
+///
+/// ```text
+/// merge(absorb_all(s₁, A), absorb_all(s₂, B))  ==  absorb_all(s, A ++ B)
+/// ```
+///
+/// In particular `merge` is associative and commutative, and the order in
+/// which reports are absorbed never matters. Implementations uphold this
+/// by keeping only integer sufficient statistics; the service crate's
+/// property tests check it for every mechanism.
+pub trait MergeableServer: Clone + Send {
+    /// The per-user report type this server absorbs.
+    type Report: Clone + Send + Sync;
+
+    /// Accumulates one user report.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reports whose shape does not match this server.
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError>;
+
+    /// Adds another shard's accumulated state into this one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards built from a different configuration.
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError>;
+
+    /// Total number of reports reflected in this state.
+    fn num_reports(&self) -> u64;
+}
+
+impl MergeableServer for FlatServer {
+    type Report = AnyReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        FlatServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        FlatServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        FlatServer::num_reports(self)
+    }
+}
+
+impl MergeableServer for HhServer {
+    type Report = HhReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        HhServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        HhServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        HhServer::num_reports(self)
+    }
+}
+
+impl MergeableServer for HhSplitServer {
+    type Report = HhSplitReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        HhSplitServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        HhSplitServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        HhSplitServer::num_reports(self)
+    }
+}
+
+impl MergeableServer for HaarHrrServer {
+    type Report = HaarHrrReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        HaarHrrServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        HaarHrrServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        HaarHrrServer::num_reports(self)
+    }
+}
+
+impl MergeableServer for HaarOueServer {
+    type Report = HaarOueReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        HaarOueServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        HaarOueServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        HaarOueServer::num_reports(self)
+    }
+}
+
+impl MergeableServer for Hh2dServer {
+    type Report = Hh2dReport;
+
+    fn absorb(&mut self, report: &Self::Report) -> Result<(), RangeError> {
+        Hh2dServer::absorb(self, report)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        Hh2dServer::merge(self, other)
+    }
+
+    fn num_reports(&self) -> u64 {
+        Hh2dServer::num_reports(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FlatConfig, HaarConfig, HhConfig};
+    use crate::estimate::RangeEstimate;
+    use crate::flat::FlatClient;
+    use crate::haar::HaarHrrClient;
+    use crate::hh::HhClient;
+    use ldp_freq_oracle::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generic helper exercising the trait contract through a `dyn`-free
+    /// generic path: shard-merge equals sequential absorb exactly.
+    fn assert_sharded_equals_sequential<S, F, R>(
+        make: F,
+        reports: &[S::Report],
+        shards: usize,
+        estimate: R,
+    ) where
+        S: MergeableServer,
+        F: Fn() -> S,
+        R: Fn(&S) -> Vec<f64>,
+    {
+        let mut sequential = make();
+        for r in reports {
+            sequential.absorb(r).unwrap();
+        }
+
+        let mut pool: Vec<S> = (0..shards).map(|_| make()).collect();
+        for (i, r) in reports.iter().enumerate() {
+            pool[i % shards].absorb(r).unwrap();
+        }
+        let mut merged = pool.remove(0);
+        for shard in &pool {
+            merged.merge(shard).unwrap();
+        }
+
+        assert_eq!(sequential.num_reports(), merged.num_reports());
+        let a = estimate(&sequential);
+        let b = estimate(&merged);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "merged estimate differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_sharding_is_exact() {
+        let eps = Epsilon::new(1.1);
+        let config = FlatConfig::new(32, eps).unwrap();
+        let client = FlatClient::new(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(301);
+        let reports: Vec<_> = (0..500)
+            .map(|i| client.report(i % 32, &mut rng).unwrap())
+            .collect();
+        assert_sharded_equals_sequential(
+            || FlatServer::new(&config).unwrap(),
+            &reports,
+            4,
+            |s: &FlatServer| s.estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn hh_sharding_is_exact() {
+        let eps = Epsilon::new(1.1);
+        let config = HhConfig::new(64, 4, eps).unwrap();
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(302);
+        let reports: Vec<_> = (0..500)
+            .map(|i| client.report(i % 64, &mut rng).unwrap())
+            .collect();
+        assert_sharded_equals_sequential(
+            || HhServer::new(config.clone()).unwrap(),
+            &reports,
+            3,
+            |s: &HhServer| s.estimate_consistent().to_frequency_estimate().cdf(),
+        );
+    }
+
+    #[test]
+    fn haar_sharding_is_exact() {
+        let eps = Epsilon::new(1.1);
+        let config = HaarConfig::new(64, eps).unwrap();
+        let client = HaarHrrClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(303);
+        let reports: Vec<_> = (0..500)
+            .map(|i| client.report(i % 64, &mut rng).unwrap())
+            .collect();
+        assert_sharded_equals_sequential(
+            || HaarHrrServer::new(config.clone()).unwrap(),
+            &reports,
+            5,
+            |s: &HaarHrrServer| s.estimate().to_frequency_estimate().cdf(),
+        );
+    }
+}

@@ -62,15 +62,24 @@ impl Hh2dConfig {
         if fanout < 2 {
             return Err(RangeError::FanoutTooSmall(fanout));
         }
-        let height = ldp_transforms::exact_log(side, fanout)
-            .ok_or(RangeError::DomainNotPowerOfFanout { domain: side, fanout })?;
+        let height =
+            ldp_transforms::exact_log(side, fanout).ok_or(RangeError::DomainNotPowerOfFanout {
+                domain: side,
+                fanout,
+            })?;
         if height == 0 {
             return Err(RangeError::DomainTooSmall(side));
         }
         if oracle.requires_power_of_two() && !fanout.is_power_of_two() {
             return Err(RangeError::DomainNotPowerOfTwo(fanout));
         }
-        Ok(Self { side, fanout, height, epsilon, oracle })
+        Ok(Self {
+            side,
+            fanout,
+            height,
+            epsilon,
+            oracle,
+        })
     }
 
     /// Number of sampled depth pairs: `(h+1)² − 1`.
@@ -87,7 +96,9 @@ impl Hh2dConfig {
     /// Enumerates depth pairs in a fixed order (skipping `(0,0)`).
     fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         let h = self.height;
-        (0..=h).flat_map(move |dx| (0..=h).map(move |dy| (dx, dy))).filter(|&p| p != (0, 0))
+        (0..=h)
+            .flat_map(move |dx| (0..=h).map(move |dy| (dx, dy)))
+            .filter(|&p| p != (0, 0))
     }
 
     fn pair_index(&self, dx: u32, dy: u32) -> usize {
@@ -109,6 +120,18 @@ impl Hh2dReport {
     #[must_use]
     pub fn depths(&self) -> (u32, u32) {
         (self.dx, self.dy)
+    }
+
+    /// The perturbed grid-cell vector (wire encoding).
+    #[must_use]
+    pub fn inner(&self) -> &AnyReport {
+        &self.inner
+    }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    #[must_use]
+    pub fn from_parts(dx: u32, dy: u32, inner: AnyReport) -> Self {
+        Self { dx, dy, inner }
     }
 }
 
@@ -140,7 +163,11 @@ impl Hh2dClient {
     pub fn new(config: Hh2dConfig) -> Result<Self, RangeError> {
         let encoders = build_grid_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, encoders })
+        Ok(Self {
+            config,
+            shape,
+            encoders,
+        })
     }
 
     /// Perturbs one user's point `(x, y)`.
@@ -155,10 +182,12 @@ impl Hh2dClient {
         rng: &mut dyn RngCore,
     ) -> Result<Hh2dReport, RangeError> {
         if x >= self.config.side || y >= self.config.side {
-            return Err(RangeError::Oracle(ldp_freq_oracle::OracleError::ValueOutOfDomain {
-                value: x.max(y),
-                domain: self.config.side,
-            }));
+            return Err(RangeError::Oracle(
+                ldp_freq_oracle::OracleError::ValueOutOfDomain {
+                    value: x.max(y),
+                    domain: self.config.side,
+                },
+            ));
         }
         let k = rng.random_range(0..self.config.num_grids());
         let (dx, dy) = self.config.pairs().nth(k).expect("pair index in range");
@@ -187,7 +216,26 @@ impl Hh2dServer {
     pub fn new(config: Hh2dConfig) -> Result<Self, RangeError> {
         let grids = build_grid_oracles(&config)?;
         let shape = config.shape();
-        Ok(Self { config, shape, grids })
+        Ok(Self {
+            config,
+            shape,
+            grids,
+        })
+    }
+
+    /// Merges another shard's per-grid accumulators into this one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards with a different side length or fanout.
+    pub fn merge(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.side != self.config.side || other.config.fanout != self.config.fanout {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        for (a, b) in self.grids.iter_mut().zip(&other.grids) {
+            a.merge(b)?;
+        }
+        Ok(())
     }
 
     /// Accumulates one report.
@@ -281,8 +329,7 @@ impl Hh2dEstimate {
     ///
     /// Panics on invalid rectangle bounds.
     pub fn rectangle(&self, x_lo: usize, x_hi: usize, y_lo: usize, y_hi: usize) -> f64 {
-        if (x_lo, x_hi) == (0, self.config.side - 1) && (y_lo, y_hi) == (0, self.config.side - 1)
-        {
+        if (x_lo, x_hi) == (0, self.config.side - 1) && (y_lo, y_hi) == (0, self.config.side - 1) {
             return 1.0; // the (0,0) grid: the whole domain, known exactly
         }
         let xs = decompose_range(&self.shape, x_lo, x_hi);

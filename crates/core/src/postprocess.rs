@@ -143,7 +143,11 @@ mod tests {
         let dist =
             |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
         let d_proj = dist(&raw, &proj);
-        for other in [vec![1.0, 0.0, 0.0], vec![0.4, 0.3, 0.3], vec![0.7, 0.3, 0.0]] {
+        for other in [
+            vec![1.0, 0.0, 0.0],
+            vec![0.4, 0.3, 0.3],
+            vec![0.7, 0.3, 0.0],
+        ] {
             assert!(d_proj <= dist(&raw, &other) + EPS, "beaten by {other:?}");
         }
     }

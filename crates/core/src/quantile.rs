@@ -21,7 +21,10 @@ use crate::estimate::RangeEstimate;
 ///
 /// Panics unless `0 ≤ phi ≤ 1`.
 pub fn quantile<E: RangeEstimate + ?Sized>(estimate: &E, phi: f64) -> usize {
-    assert!((0.0..=1.0).contains(&phi), "phi must be in [0,1], got {phi}");
+    assert!(
+        (0.0..=1.0).contains(&phi),
+        "phi must be in [0,1], got {phi}"
+    );
     let d = estimate.domain();
     let mut lo = 0usize;
     let mut hi = d - 1;
@@ -39,7 +42,9 @@ pub fn quantile<E: RangeEstimate + ?Sized>(estimate: &E, phi: f64) -> usize {
 /// The nine deciles φ ∈ {0.1, …, 0.9} (the paper's Figure 9 workload).
 #[must_use]
 pub fn deciles<E: RangeEstimate + ?Sized>(estimate: &E) -> Vec<usize> {
-    (1..=9).map(|i| quantile(estimate, f64::from(i) / 10.0)).collect()
+    (1..=9)
+        .map(|i| quantile(estimate, f64::from(i) / 10.0))
+        .collect()
 }
 
 /// The φ-quantile of an *exact* distribution given as a CDF — ground truth

@@ -112,8 +112,11 @@ mod tests {
         let r = 1 << 10;
         let bound = hh_ci_range_variance_bound(vf, 8, d, r);
         let expected = 0.5 * 10.0 * 16.0; // log2 r · log2 D / 2... times 9/ (2·9)
-        // (B+1)/2 · log8 r · log8 D = 9/2 · (10/3) · (16/3) = 9·10·16/(2·9) = 80.
-        assert!((bound - expected).abs() < 1e-9, "bound {bound} vs {expected}");
+                                          // (B+1)/2 · log8 r · log8 D = 9/2 · (10/3) · (16/3) = 9·10·16/(2·9) = 80.
+        assert!(
+            (bound - expected).abs() < 1e-9,
+            "bound {bound} vs {expected}"
+        );
     }
 
     #[test]

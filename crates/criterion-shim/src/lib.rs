@@ -1,0 +1,168 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! API this workspace's benches use (the build environment is offline).
+//!
+//! Semantics: each benchmark closure is warmed up once, then timed over an
+//! adaptive number of iterations (targeting ~50 ms of wall time per
+//! benchmark, capped) and the mean time per iteration is printed. There is
+//! no statistical analysis, HTML report, or baseline comparison — the goal
+//! is that `cargo bench` compiles, runs every bench, and prints useful
+//! numbers, with the same source-level API as upstream.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall time per benchmark measurement.
+const TARGET: Duration = Duration::from_millis(50);
+/// Iteration cap so very cheap closures don't spin for long.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, upstream's two-part id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    last: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then an adaptively sized
+    /// timed batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = started.elapsed();
+        self.last = Some(total / u32::try_from(iters).unwrap_or(u32::MAX));
+        self.iters = iters;
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        last: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match b.last {
+        Some(per_iter) => {
+            println!(
+                "bench: {full_name:<56} {per_iter:>12.2?}/iter  ({} iters)",
+                b.iters
+            );
+        }
+        None => println!("bench: {full_name:<56} (no measurement)"),
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tuning knob; accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream tuning knob; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; we need nothing).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), |b| f(b));
+        self
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of group-runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

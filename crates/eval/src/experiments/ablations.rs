@@ -29,7 +29,9 @@ pub fn run(ctx: &EvalContext) -> Table {
     let workload = QueryWorkload::All;
     let mut table = Table::new(
         format!("Ablations of the paper's design choices, D = {domain} (e^eps = 3)"),
-        ["ablation", "variant", "mse_x1000", "sd_x1000"].map(String::from).to_vec(),
+        ["ablation", "variant", "mse_x1000", "sd_x1000"]
+            .map(String::from)
+            .to_vec(),
     );
 
     let record = |table: &mut Table, ablation: &str, variant: &str, mses: &[f64]| {
@@ -66,16 +68,31 @@ pub fn run(ctx: &EvalContext) -> Table {
             let est = p.estimate_consistent().to_frequency_estimate();
             splitting.push(mse_exact(&prefix_errors(&est, &ds), workload));
 
-            let mut w = HhServer::with_level_weights(config.clone(), &skewed)
-                .expect("weighted server");
+            let mut w =
+                HhServer::with_level_weights(config.clone(), &skewed).expect("weighted server");
             w.absorb_population(ds.counts(), &mut rng).expect("absorb");
             let est = w.estimate_consistent().to_frequency_estimate();
             nonuniform.push(mse_exact(&prefix_errors(&est, &ds), workload));
         }
         record(&mut table, "budget", "level-sampling (paper)", &sampling);
-        record(&mut table, "budget", "eps-splitting (centralized-style)", &splitting);
-        record(&mut table, "level-weights", "uniform 1/h (Lemma 4.4)", &sampling);
-        record(&mut table, "level-weights", "geometric (skewed to leaves)", &nonuniform);
+        record(
+            &mut table,
+            "budget",
+            "eps-splitting (centralized-style)",
+            &splitting,
+        );
+        record(
+            &mut table,
+            "level-weights",
+            "uniform 1/h (Lemma 4.4)",
+            &sampling,
+        );
+        record(
+            &mut table,
+            "level-weights",
+            "geometric (skewed to leaves)",
+            &nonuniform,
+        );
     }
 
     // 3: fanout sweep, raw vs CI.
@@ -104,9 +121,12 @@ pub fn run(ctx: &EvalContext) -> Table {
 
     // 4: level-oracle choice at the CI-optimal fanout region (SUE = basic
     // RAPPOR, the unoptimized baseline OUE improves on).
-    for oracle in [FrequencyOracle::Oue, FrequencyOracle::Hrr, FrequencyOracle::Sue] {
-        let config =
-            HhConfig::with_oracle(domain, 4, eps, oracle).expect("valid config");
+    for oracle in [
+        FrequencyOracle::Oue,
+        FrequencyOracle::Hrr,
+        FrequencyOracle::Sue,
+    ] {
+        let config = HhConfig::with_oracle(domain, 4, eps, oracle).expect("valid config");
         let mut mses = Vec::new();
         for rep in 0..ctx.repetitions {
             let config_id = 0xab30 + oracle as u64;

@@ -46,14 +46,20 @@ pub fn run(ctx: &EvalContext) -> Table {
     let eps = paper_epsilon();
     let mut table = Table::new(
         "Figure 4: MSE (x1000) vs branching factor, per range length r (e^eps = 3)",
-        ["D", "r", "method", "B", "mse_x1000", "sd_x1000"].map(String::from).to_vec(),
+        ["D", "r", "method", "B", "mse_x1000", "sd_x1000"]
+            .map(String::from)
+            .to_vec(),
     );
 
     for (di, &domain) in ctx.domains.iter().enumerate() {
         let rs = lengths_for(domain);
         let mut series: Vec<Series> = Vec::new();
-        let push = |method: &str, fanout: String, r: usize, rep: u32, mse: f64,
-                        series: &mut Vec<Series>| {
+        let push = |method: &str,
+                    fanout: String,
+                    r: usize,
+                    rep: u32,
+                    mse: f64,
+                    series: &mut Vec<Series>| {
             if let Some(s) = series
                 .iter_mut()
                 .find(|s| s.method == method && s.fanout == fanout && s.r == r)
@@ -79,7 +85,9 @@ pub fn run(ctx: &EvalContext) -> Table {
             {
                 let config = FlatConfig::new(domain, eps).expect("valid flat config");
                 let mut server = FlatServer::new(&config).expect("flat server");
-                server.absorb_population(ds.counts(), &mut rng).expect("flat absorb");
+                server
+                    .absorb_population(ds.counts(), &mut rng)
+                    .expect("flat absorb");
                 let errors = prefix_errors(&server.estimate(), &ds);
                 for &r in &rs {
                     let mse = mse_exact(&errors, QueryWorkload::FixedLength { r });
@@ -98,16 +106,14 @@ pub fn run(ctx: &EvalContext) -> Table {
                     let config = HhConfig::with_oracle(domain, fanout, eps, oracle)
                         .expect("valid HH config");
                     let mut server = HhServer::new(config).expect("HH server");
-                    server.absorb_population(ds.counts(), &mut rng).expect("HH absorb");
+                    server
+                        .absorb_population(ds.counts(), &mut rng)
+                        .expect("HH absorb");
 
                     let raw = server.estimate();
                     for &r in &rs {
-                        let mse = mse_strided(
-                            &raw,
-                            &ds,
-                            QueryWorkload::FixedLength { r },
-                            MAX_QUERIES,
-                        );
+                        let mse =
+                            mse_strided(&raw, &ds, QueryWorkload::FixedLength { r }, MAX_QUERIES);
                         push(
                             &format!("Tree{oracle}"),
                             fanout.to_string(),
@@ -138,7 +144,9 @@ pub fn run(ctx: &EvalContext) -> Table {
             {
                 let mech = ldp_ranges::HaarConfig::new(domain, eps).expect("haar config");
                 let mut server = ldp_ranges::HaarHrrServer::new(mech).expect("haar server");
-                server.absorb_population(ds.counts(), &mut rng).expect("haar absorb");
+                server
+                    .absorb_population(ds.counts(), &mut rng)
+                    .expect("haar absorb");
                 let flat = server.estimate().to_frequency_estimate();
                 let errors = prefix_errors(&flat, &ds);
                 for &r in &rs {
@@ -177,9 +185,15 @@ mod tests {
         // HaarHRR.
         let methods: std::collections::HashSet<&str> =
             table.rows().iter().map(|r| r[2].as_str()).collect();
-        for m in
-            ["FlatOUE", "TreeOUE", "TreeOUECI", "TreeHRR", "TreeHRRCI", "TreeOLH", "HaarHRR"]
-        {
+        for m in [
+            "FlatOUE",
+            "TreeOUE",
+            "TreeOUECI",
+            "TreeHRR",
+            "TreeHRRCI",
+            "TreeOLH",
+            "HaarHRR",
+        ] {
             assert!(methods.contains(m), "missing {m}: {methods:?}");
         }
         // Fanouts for D=64 capped at 64: {2, 4, 8}.

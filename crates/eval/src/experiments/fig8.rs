@@ -45,9 +45,10 @@ pub fn run(ctx: &EvalContext) -> Table {
             for rep in 0..ctx.repetitions {
                 let ds = cauchy_dataset(ctx, domain, p, config_id, rep);
                 let mut rng = StdRng::seed_from_u64(ctx.run_seed(config_id ^ 0x8888, rep));
-                for (mech, sink) in
-                    [(hhc4, &mut hh_mses), (RangeMechanism::HaarHrr, &mut haar_mses)]
-                {
+                for (mech, sink) in [
+                    (hhc4, &mut hh_mses),
+                    (RangeMechanism::HaarHrr, &mut haar_mses),
+                ] {
                     let est = run_mechanism(mech, eps, &ds, &mut rng).expect("mechanism runs");
                     let BuiltEstimate::Frequencies(freqs) = est else {
                         unreachable!("both methods are prefix-decomposable")

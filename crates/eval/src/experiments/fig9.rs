@@ -30,9 +30,16 @@ pub fn run(ctx: &EvalContext) -> Table {
     let domain = *ctx.domains.iter().max().expect("at least one domain");
     let mut table = Table::new(
         format!("Figure 9: decile errors, D = {domain} (e^eps = 3)"),
-        ["P", "phi", "method", "value_err", "abs_value_err", "quantile_err"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "P",
+            "phi",
+            "method",
+            "value_err",
+            "abs_value_err",
+            "quantile_err",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let methods: [(&str, RangeMechanism); 2] = [
         (

@@ -113,8 +113,7 @@ mod tests {
     fn method_availability_follows_domain() {
         let labels: Vec<String> = methods_for(1 << 8).into_iter().map(|(l, _)| l).collect();
         assert_eq!(labels, vec!["HHc2", "HHc4", "HHc16", "HaarHRR"]);
-        let labels22: Vec<String> =
-            methods_for(1 << 22).into_iter().map(|(l, _)| l).collect();
+        let labels22: Vec<String> = methods_for(1 << 22).into_iter().map(|(l, _)| l).collect();
         assert_eq!(labels22, vec!["HHc2", "HHc4", "HaarHRR"]);
         // D = 64: log2 = 6, 16 = 2^4 does not divide.
         let labels64: Vec<String> = methods_for(64).into_iter().map(|(l, _)| l).collect();
@@ -131,6 +130,9 @@ mod tests {
         // Error decreases as eps grows (first vs last row, HHc2 column).
         let first: f64 = table.rows()[0][2].parse().unwrap();
         let last: f64 = table.rows()[epsilon_sweep().len() - 1][2].parse().unwrap();
-        assert!(first > last, "eps=0.2 MSE {first} should exceed eps=1.4 MSE {last}");
+        assert!(
+            first > last,
+            "eps=0.2 MSE {first} should exceed eps=1.4 MSE {last}"
+        );
     }
 }

@@ -33,8 +33,11 @@ mod tests {
         // §4.7: prefix queries should usually be no harder than arbitrary
         // ranges; require that on average (individual cells are noisy).
         let avg = |t: &Table, col: usize| -> f64 {
-            let vals: Vec<f64> =
-                t.rows().iter().filter_map(|r| r[col].parse::<f64>().ok()).collect();
+            let vals: Vec<f64> = t
+                .rows()
+                .iter()
+                .filter_map(|r| r[col].parse::<f64>().ok())
+                .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         for col in [2usize, 3, 5] {

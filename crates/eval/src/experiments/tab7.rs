@@ -40,7 +40,11 @@ pub fn run(ctx: &EvalContext) -> Table {
     // Centralized noise is cheap to sample; use generous repetitions.
     let reps = ctx.repetitions.max(8) * 4;
     let mut headers = vec!["method".to_string()];
-    headers.extend(DOMAINS.iter().map(|d| format!("D=2^{}", d.trailing_zeros())));
+    headers.extend(
+        DOMAINS
+            .iter()
+            .map(|d| format!("D=2^{}", d.trailing_zeros())),
+    );
     let mut table = Table::new(
         "Figure 7: centralized average range variance (count^2 units), eps = 1",
         headers,
@@ -67,18 +71,20 @@ pub fn run(ctx: &EvalContext) -> Table {
             let west = wavelet.release(ds.counts(), &mut rng);
             w_mses.push(mse_exact(&prefix_errors(&west, &ds), QueryWorkload::All) * n * n);
 
-            let h16est =
-                ldp_ranges::FrequencyEstimate::new(hh16.release(ds.counts(), true, &mut rng)
+            let h16est = ldp_ranges::FrequencyEstimate::new(
+                hh16.release(ds.counts(), true, &mut rng)
                     .tree()
                     .leaves()
-                    .to_vec());
+                    .to_vec(),
+            );
             h16_mses.push(mse_exact(&prefix_errors(&h16est, &ds), QueryWorkload::All) * n * n);
 
-            let h2est =
-                ldp_ranges::FrequencyEstimate::new(hh2.release(ds.counts(), true, &mut rng)
+            let h2est = ldp_ranges::FrequencyEstimate::new(
+                hh2.release(ds.counts(), true, &mut rng)
                     .tree()
                     .leaves()
-                    .to_vec());
+                    .to_vec(),
+            );
             h2_mses.push(mse_exact(&prefix_errors(&h2est, &ds), QueryWorkload::All) * n * n);
         }
         wavelet_means.push(mean_and_sd(&w_mses).0);
@@ -94,9 +100,16 @@ pub fn run(ctx: &EvalContext) -> Table {
     table.push_row(row("Wavelet", &wavelet_means));
     table.push_row(row("HHc16", &hh16_means));
     table.push_row(row("HHc2", &hh2_means));
-    let ratios_w: Vec<f64> =
-        wavelet_means.iter().zip(&hh16_means).map(|(w, h)| w / h).collect();
-    let ratios_2: Vec<f64> = hh2_means.iter().zip(&hh16_means).map(|(a, h)| a / h).collect();
+    let ratios_w: Vec<f64> = wavelet_means
+        .iter()
+        .zip(&hh16_means)
+        .map(|(w, h)| w / h)
+        .collect();
+    let ratios_2: Vec<f64> = hh2_means
+        .iter()
+        .zip(&hh16_means)
+        .map(|(a, h)| a / h)
+        .collect();
     table.push_row(row("Wavelet/HHc16", &ratios_w));
     table.push_row(row("HHc2/HHc16", &ratios_2));
     table

@@ -22,9 +22,8 @@ pub mod runner;
 
 pub use context::EvalContext;
 pub use metrics::{
-    mean_and_sd, mse, mse_all_ranges_exact, mse_exact, mse_fixed_length_exact,
-    mse_prefixes_exact, mse_spaced_starts_exact, mse_strided, prefix_errors, quantile_errors,
-    QuantileErrors,
+    mean_and_sd, mse, mse_all_ranges_exact, mse_exact, mse_fixed_length_exact, mse_prefixes_exact,
+    mse_spaced_starts_exact, mse_strided, prefix_errors, quantile_errors, QuantileErrors,
 };
 pub use report::Table;
 pub use runner::{run_mechanism, valid_fanouts, BuiltEstimate};

@@ -18,7 +18,11 @@ pub fn mse<E: RangeEstimate + ?Sized>(
     dataset: &Dataset,
     workload: QueryWorkload,
 ) -> f64 {
-    assert_eq!(estimate.domain(), dataset.domain(), "estimate/dataset domain mismatch");
+    assert_eq!(
+        estimate.domain(),
+        dataset.domain(),
+        "estimate/dataset domain mismatch"
+    );
     let mut total = 0.0f64;
     let mut count = 0u64;
     for q in workload.queries(dataset.domain()) {

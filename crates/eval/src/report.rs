@@ -15,7 +15,11 @@ impl Table {
     /// Creates an empty table.
     #[must_use]
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        Self { title: title.into(), headers, rows: Vec::new() }
+        Self {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

@@ -68,7 +68,11 @@ pub fn run_mechanism(
             server.absorb_population(dataset.counts(), rng)?;
             Ok(BuiltEstimate::Frequencies(server.estimate()))
         }
-        RangeMechanism::Hierarchical { fanout, oracle, consistent } => {
+        RangeMechanism::Hierarchical {
+            fanout,
+            oracle,
+            consistent,
+        } => {
             let config = HhConfig::with_oracle(domain, fanout, epsilon, oracle)?;
             let mut server = HhServer::new(config)?;
             server.absorb_population(dataset.counts(), rng)?;
@@ -86,7 +90,9 @@ pub fn run_mechanism(
             let config = HaarConfig::new(domain, epsilon)?;
             let mut server = HaarHrrServer::new(config)?;
             server.absorb_population(dataset.counts(), rng)?;
-            Ok(BuiltEstimate::Frequencies(server.estimate().to_frequency_estimate()))
+            Ok(BuiltEstimate::Frequencies(
+                server.estimate().to_frequency_estimate(),
+            ))
         }
     }
 }

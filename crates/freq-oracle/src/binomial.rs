@@ -150,7 +150,11 @@ mod tests {
     fn moments(samples: &[u64]) -> (f64, f64) {
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         (mean, var)
     }
 
@@ -165,7 +169,9 @@ mod tests {
     #[test]
     fn small_n_moments() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<u64> = (0..60_000).map(|_| sample_binomial(&mut rng, 20, 0.3)).collect();
+        let samples: Vec<u64> = (0..60_000)
+            .map(|_| sample_binomial(&mut rng, 20, 0.3))
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - 6.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.2).abs() < 0.15, "var {var}");
@@ -177,7 +183,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 1_000_000u64;
         let p = 1e-5;
-        let samples: Vec<u64> = (0..40_000).map(|_| sample_binomial(&mut rng, n, p)).collect();
+        let samples: Vec<u64> = (0..40_000)
+            .map(|_| sample_binomial(&mut rng, n, p))
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
         assert!((var - 10.0).abs() < 0.5, "var {var}");
@@ -188,20 +196,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 1u64 << 26;
         let p = 0.25;
-        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, n, p)).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, n, p))
+            .collect();
         let (mean, var) = moments(&samples);
         let true_mean = n as f64 * p;
         let true_var = n as f64 * p * (1.0 - p);
-        assert!((mean / true_mean - 1.0).abs() < 1e-3, "mean {mean} vs {true_mean}");
-        assert!((var / true_var - 1.0).abs() < 0.05, "var {var} vs {true_var}");
+        assert!(
+            (mean / true_mean - 1.0).abs() < 1e-3,
+            "mean {mean} vs {true_mean}"
+        );
+        assert!(
+            (var / true_var - 1.0).abs() < 0.05,
+            "var {var} vs {true_var}"
+        );
     }
 
     #[test]
     fn symmetry_path_moments() {
         // p > 0.5 goes through the complement branch.
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<u64> =
-            (0..40_000).map(|_| sample_binomial(&mut rng, 1000, 0.9)).collect();
+        let samples: Vec<u64> = (0..40_000)
+            .map(|_| sample_binomial(&mut rng, 1000, 0.9))
+            .collect();
         let (mean, var) = moments(&samples);
         assert!((mean - 900.0).abs() < 1.0, "mean {mean}");
         assert!((var - 90.0).abs() < 4.0, "var {var}");
@@ -242,8 +259,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
     }

@@ -37,7 +37,10 @@ impl fmt::Display for OracleError {
                 write!(f, "value {value} outside domain of size {domain}")
             }
             Self::ReportDomainMismatch { report, server } => {
-                write!(f, "report encoded for domain {report}, server expects {server}")
+                write!(
+                    f,
+                    "report encoded for domain {report}, server expects {server}"
+                )
             }
         }
     }
@@ -51,11 +54,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(OracleError::EmptyDomain.to_string().contains("at least one"));
-        assert!(OracleError::DomainNotPowerOfTwo(6).to_string().contains('6'));
-        let e = OracleError::ValueOutOfDomain { value: 9, domain: 8 };
+        assert!(OracleError::EmptyDomain
+            .to_string()
+            .contains("at least one"));
+        assert!(OracleError::DomainNotPowerOfTwo(6)
+            .to_string()
+            .contains('6'));
+        let e = OracleError::ValueOutOfDomain {
+            value: 9,
+            domain: 8,
+        };
         assert!(e.to_string().contains("9"));
-        let e = OracleError::ReportDomainMismatch { report: 4, server: 8 };
+        let e = OracleError::ReportDomainMismatch {
+            report: 4,
+            server: 8,
+        };
         assert!(e.to_string().contains("4"));
     }
 }

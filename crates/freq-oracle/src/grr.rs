@@ -32,7 +32,10 @@ impl Grr {
     /// Panics if `k < 2`.
     #[must_use]
     pub fn new(k: usize, eps: Epsilon) -> Self {
-        Self { k, p: grr_keep_prob(eps, k) }
+        Self {
+            k,
+            p: grr_keep_prob(eps, k),
+        }
     }
 
     /// Number of categories.
@@ -85,7 +88,9 @@ mod tests {
         assert!((grr.keep_prob() - 0.5).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(21);
         let trials = 40_000;
-        let kept = (0..trials).filter(|_| grr.perturb(2, &mut rng) == 2).count();
+        let kept = (0..trials)
+            .filter(|_| grr.perturb(2, &mut rng) == 2)
+            .count();
         let rate = kept as f64 / f64::from(trials);
         assert!((rate - 0.5).abs() < 0.01, "kept rate {rate}");
     }
@@ -103,7 +108,10 @@ mod tests {
         for (v, &b) in buckets.iter().enumerate() {
             let rate = b as f64 / trials as f64;
             let expect = if v == 1 { grr.keep_prob() } else { lie };
-            assert!((rate - expect).abs() < 0.01, "value {v}: {rate} vs {expect}");
+            assert!(
+                (rate - expect).abs() < 0.01,
+                "value {v}: {rate} vs {expect}"
+            );
         }
     }
 

@@ -45,6 +45,24 @@ impl HrrReport {
     pub fn bit(&self) -> i8 {
         self.bit
     }
+
+    /// The domain size this report was encoded against.
+    #[must_use]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < domain` and `bit` is ±1.
+    #[must_use]
+    pub fn from_parts(domain: usize, index: usize, bit: i8) -> Self {
+        assert!(index < domain, "index {index} outside domain {domain}");
+        assert!(bit == 1 || bit == -1, "bit must be ±1, got {bit}");
+        Self { domain, index, bit }
+    }
 }
 
 /// The HRR frequency oracle.
@@ -122,12 +140,23 @@ impl Hrr {
     ) -> Result<HrrReport, OracleError> {
         debug_assert!(sign == 1 || sign == -1);
         if value >= self.domain {
-            return Err(OracleError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(OracleError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let index = rng.random_range(0..self.domain);
         let coeff = hadamard_entry(value, index) * sign;
-        let bit = if rng.random::<f64>() < self.p { coeff } else { -coeff };
-        Ok(HrrReport { domain: self.domain, index, bit })
+        let bit = if rng.random::<f64>() < self.p {
+            coeff
+        } else {
+            -coeff
+        };
+        Ok(HrrReport {
+            domain: self.domain,
+            index,
+            bit,
+        })
     }
 
     /// Absorbs an aggregate cohort with *signed* one-hot inputs:
@@ -161,8 +190,11 @@ impl Hrr {
         // m_j = Σ_z (plus_z − minus_z)·(−1)^{⟨z,j⟩}: one FWHT over the
         // signed counts gives, for every index, how many users hold a +1
         // coefficient: A_j = (total + m_j)/2.
-        let mut m: Vec<f64> =
-            plus.iter().zip(minus.iter()).map(|(&a, &b)| a as f64 - b as f64).collect();
+        let mut m: Vec<f64> = plus
+            .iter()
+            .zip(minus.iter())
+            .map(|(&a, &b)| a as f64 - b as f64)
+            .collect();
         fwht(&mut m);
         // Scatter users over indices (exact multinomial), then simulate the
         // binary randomized response of each index's cohort in aggregate.
@@ -175,8 +207,8 @@ impl Hrr {
             let n_plus = sample_binomial(rng, nj, frac_plus);
             let n_minus = nj - n_plus;
             // +1 reports: truthful plus-holders and lying minus-holders.
-            let t = sample_binomial(rng, n_plus, self.p)
-                + sample_binomial(rng, n_minus, 1.0 - self.p);
+            let t =
+                sample_binomial(rng, n_plus, self.p) + sample_binomial(rng, n_minus, 1.0 - self.p);
             self.sums[j] += 2 * t as i64 - nj as i64;
         }
         self.reports += total;
@@ -190,8 +222,7 @@ impl Hrr {
         if self.reports == 0 {
             return vec![0.0; self.domain];
         }
-        let scale =
-            self.domain as f64 / (self.reports as f64 * (2.0 * self.p - 1.0));
+        let scale = self.domain as f64 / (self.reports as f64 * (2.0 * self.p - 1.0));
         self.sums.iter().map(|&s| s as f64 * scale).collect()
     }
 }
@@ -257,7 +288,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_domains() {
-        assert_eq!(Hrr::new(0, Epsilon::new(1.0)).unwrap_err(), OracleError::EmptyDomain);
+        assert_eq!(
+            Hrr::new(0, Epsilon::new(1.0)).unwrap_err(),
+            OracleError::EmptyDomain
+        );
         assert_eq!(
             Hrr::new(12, Epsilon::new(1.0)).unwrap_err(),
             OracleError::DomainNotPowerOfTwo(12)
@@ -328,7 +362,9 @@ mod tests {
         let reps = 60;
         for _ in 0..reps {
             let mut oracle = Hrr::new(4, eps).unwrap();
-            oracle.absorb_population_signed(&plus, &minus, &mut rng).unwrap();
+            oracle
+                .absorb_population_signed(&plus, &minus, &mut rng)
+                .unwrap();
             assert_eq!(oracle.num_reports(), 5_000);
             for (m, e) in mean.iter_mut().zip(oracle.estimate()) {
                 *m += e / f64::from(reps);

@@ -55,8 +55,8 @@ pub use hrr::{Hrr, HrrReport};
 pub use olh::{Olh, OlhReport};
 pub use oracle::{FrequencyOracle, PointOracle};
 pub use oue::{Oue, OueReport};
-pub use sue::{sue_probs, sue_variance, Sue};
 pub use params::{binary_rr_keep_prob, grr_keep_prob, olh_hash_range, oue_probs, Epsilon};
+pub use sue::{sue_probs, sue_variance, Sue};
 pub use variance::{frequency_oracle_variance, hrr_exact_variance, psi};
 
 /// A frequency oracle of any of the three kinds, behind one concrete type.
@@ -125,6 +125,35 @@ impl AnyOracle {
         }
     }
 
+    /// Checks — without mutating any state — that `report` has the kind
+    /// and shape this oracle's `absorb` would accept. Lets multi-oracle
+    /// aggregators (e.g. the budget-split server, which absorbs one layer
+    /// per level) validate an entire report *before* touching any
+    /// accumulator, so a mid-report rejection can never leave partially
+    /// absorbed state behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] exactly when `absorb`
+    /// would.
+    pub fn validate(&self, report: &AnyReport) -> Result<(), OracleError> {
+        let (report_shape, server_shape) = match (self, report) {
+            (Self::Oue(o), AnyReport::Oue(r)) => (r.domain(), o.domain()),
+            (Self::Sue(o), AnyReport::Sue(r)) => (r.domain(), o.domain()),
+            (Self::Hrr(o), AnyReport::Hrr(r)) => (r.domain(), o.domain()),
+            (Self::Olh(o), AnyReport::Olh(r)) => (r.hash().range(), o.hash_range()),
+            (s, _) => (0, s.domain()),
+        };
+        if report_shape == server_shape {
+            Ok(())
+        } else {
+            Err(OracleError::ReportDomainMismatch {
+                report: report_shape,
+                server: server_shape,
+            })
+        }
+    }
+
     /// Which primitive this is.
     #[must_use]
     pub fn kind(&self) -> FrequencyOracle {
@@ -158,11 +187,7 @@ impl PointOracle for AnyOracle {
         }
     }
 
-    fn encode(
-        &self,
-        value: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> Result<AnyReport, OracleError> {
+    fn encode(&self, value: usize, rng: &mut dyn rand::RngCore) -> Result<AnyReport, OracleError> {
         Ok(match self {
             Self::Oue(o) => AnyReport::Oue(o.encode(value, rng)?),
             Self::Olh(o) => AnyReport::Olh(o.encode(value, rng)?),
@@ -177,7 +202,10 @@ impl PointOracle for AnyOracle {
             (Self::Olh(o), AnyReport::Olh(r)) => o.absorb(r),
             (Self::Hrr(o), AnyReport::Hrr(r)) => o.absorb(r),
             (Self::Sue(o), AnyReport::Sue(r)) => o.absorb(r),
-            (s, _) => Err(OracleError::ReportDomainMismatch { report: 0, server: s.domain() }),
+            (s, _) => Err(OracleError::ReportDomainMismatch {
+                report: 0,
+                server: s.domain(),
+            }),
         }
     }
 

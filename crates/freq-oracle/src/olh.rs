@@ -39,6 +39,21 @@ impl OlhReport {
     pub fn value(&self) -> usize {
         self.value
     }
+
+    /// Rebuilds a report from its transmitted parts (wire decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `value` lies in the hash's range.
+    #[must_use]
+    pub fn from_parts(hash: UniversalHash, value: usize) -> Self {
+        assert!(
+            value < hash.range(),
+            "hash value {value} outside range {}",
+            hash.range()
+        );
+        Self { hash, value }
+    }
 }
 
 /// The OLH frequency oracle.
@@ -65,7 +80,14 @@ impl Olh {
             return Err(OracleError::EmptyDomain);
         }
         let g = olh_hash_range(eps);
-        Ok(Self { domain, eps, g, grr: Grr::new(g, eps), support: vec![0; domain], reports: 0 })
+        Ok(Self {
+            domain,
+            eps,
+            g,
+            grr: Grr::new(g, eps),
+            support: vec![0; domain],
+            reports: 0,
+        })
     }
 
     /// The hash range `g`.
@@ -107,11 +129,17 @@ impl PointOracle for Olh {
 
     fn encode(&self, value: usize, rng: &mut dyn RngCore) -> Result<OlhReport, OracleError> {
         if value >= self.domain {
-            return Err(OracleError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(OracleError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let hash = UniversalHash::sample(self.g, rng);
         let h = hash.eval(value);
-        Ok(OlhReport { hash, value: self.grr.perturb(h, rng) })
+        Ok(OlhReport {
+            hash,
+            value: self.grr.perturb(h, rng),
+        })
     }
 
     fn absorb(&mut self, report: &OlhReport) -> Result<(), OracleError> {
@@ -168,7 +196,10 @@ impl PointOracle for Olh {
         let n = self.reports as f64;
         let inv_g = 1.0 / self.g as f64;
         let denom = self.grr.keep_prob() - inv_g;
-        self.support.iter().map(|&s| (s as f64 / n - inv_g) / denom).collect()
+        self.support
+            .iter()
+            .map(|&s| (s as f64 / n - inv_g) / denom)
+            .collect()
     }
 
     fn theoretical_variance(&self) -> f64 {
@@ -190,7 +221,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_domain() {
-        assert_eq!(Olh::new(0, Epsilon::new(1.0)).unwrap_err(), OracleError::EmptyDomain);
+        assert_eq!(
+            Olh::new(0, Epsilon::new(1.0)).unwrap_err(),
+            OracleError::EmptyDomain
+        );
     }
 
     #[test]

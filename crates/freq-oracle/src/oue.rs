@@ -43,7 +43,10 @@ impl OueReport {
                 packed[j / 64] |= 1 << (j % 64);
             }
         }
-        Self { domain, bits: packed }
+        Self {
+            domain,
+            bits: packed,
+        }
     }
 
     /// Whether bit `j` is set.
@@ -64,6 +67,45 @@ impl OueReport {
     #[must_use]
     pub fn count_ones(&self) -> u32 {
         self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The packed 64-bit words of the bit vector (wire encoding).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a report from its packed words, returning `None` unless
+    /// `domain > 0`, `words` has exactly `⌈domain/64⌉` entries, and no bit
+    /// beyond `domain` is set — the single validation point shared by the
+    /// wire decoder and [`OueReport::from_words`].
+    #[must_use]
+    pub fn try_from_words(domain: usize, words: Vec<u64>) -> Option<Self> {
+        if domain == 0 || words.len() != domain.div_ceil(64) {
+            return None;
+        }
+        if !domain.is_multiple_of(64) {
+            let tail_mask = !0u64 << (domain % 64);
+            if words.last().copied().unwrap_or(0) & tail_mask != 0 {
+                return None;
+            }
+        }
+        Some(Self {
+            domain,
+            bits: words,
+        })
+    }
+
+    /// Rebuilds a report from its packed words (wire decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `words` has exactly `⌈domain/64⌉` entries and no bit
+    /// beyond `domain` is set.
+    #[must_use]
+    pub fn from_words(domain: usize, words: Vec<u64>) -> Self {
+        Self::try_from_words(domain, words)
+            .unwrap_or_else(|| panic!("invalid packed words for domain {domain}"))
     }
 }
 
@@ -90,7 +132,14 @@ impl Oue {
             return Err(OracleError::EmptyDomain);
         }
         let (p, q) = oue_probs(eps);
-        Ok(Self { domain, eps, p, q, counts: vec![0; domain], reports: 0 })
+        Ok(Self {
+            domain,
+            eps,
+            p,
+            q,
+            counts: vec![0; domain],
+            reports: 0,
+        })
     }
 
     /// The `(p, q)` bit-retention probabilities.
@@ -135,17 +184,27 @@ impl PointOracle for Oue {
 
     fn encode(&self, value: usize, rng: &mut dyn RngCore) -> Result<OueReport, OracleError> {
         if value >= self.domain {
-            return Err(OracleError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(OracleError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let words = self.domain.div_ceil(64);
         let mut bits = vec![0u64; words];
         for j in 0..self.domain {
-            let one = if j == value { rng.random::<f64>() < self.p } else { rng.random::<f64>() < self.q };
+            let one = if j == value {
+                rng.random::<f64>() < self.p
+            } else {
+                rng.random::<f64>() < self.q
+            };
             if one {
                 bits[j / 64] |= 1 << (j % 64);
             }
         }
-        Ok(OueReport { domain: self.domain, bits })
+        Ok(OueReport {
+            domain: self.domain,
+            bits,
+        })
     }
 
     fn absorb(&mut self, report: &OueReport) -> Result<(), OracleError> {
@@ -199,7 +258,10 @@ impl PointOracle for Oue {
         }
         let n = self.reports as f64;
         let denom = self.p - self.q;
-        self.counts.iter().map(|&c| (c as f64 / n - self.q) / denom).collect()
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 / n - self.q) / denom)
+            .collect()
     }
 
     fn theoretical_variance(&self) -> f64 {
@@ -215,7 +277,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_domain() {
-        assert_eq!(Oue::new(0, Epsilon::new(1.0)).unwrap_err(), OracleError::EmptyDomain);
+        assert_eq!(
+            Oue::new(0, Epsilon::new(1.0)).unwrap_err(),
+            OracleError::EmptyDomain
+        );
     }
 
     #[test]
@@ -224,7 +289,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
             oracle.encode(8, &mut rng),
-            Err(OracleError::ValueOutOfDomain { value: 8, domain: 8 })
+            Err(OracleError::ValueOutOfDomain {
+                value: 8,
+                domain: 8
+            })
         ));
     }
 
@@ -242,7 +310,10 @@ mod tests {
         }
         let expected = 0.5 + 63.0 * 0.25;
         let mean = ones as f64 / f64::from(reps);
-        assert!((mean - expected).abs() < 0.5, "mean ones {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean ones {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -284,7 +355,11 @@ mod tests {
         }
         for (j, &c) in counts.iter().enumerate() {
             let truth = c as f64 / n as f64;
-            assert!((sim_est[j] - truth).abs() < 0.01, "item {j}: {} vs {truth}", sim_est[j]);
+            assert!(
+                (sim_est[j] - truth).abs() < 0.01,
+                "item {j}: {} vs {truth}",
+                sim_est[j]
+            );
         }
     }
 
@@ -306,7 +381,10 @@ mod tests {
         let empirical = sq_err / f64::from(reps);
         let theory = frequency_oracle_variance(eps, n);
         let ratio = empirical / theory;
-        assert!((0.7..1.3).contains(&ratio), "empirical {empirical} vs theory {theory}");
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "empirical {empirical} vs theory {theory}"
+        );
     }
 
     #[test]
@@ -315,7 +393,10 @@ mod tests {
         let b = Oue::new(16, Epsilon::new(1.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let r = b.encode(0, &mut rng).unwrap();
-        assert!(matches!(a.absorb(&r), Err(OracleError::ReportDomainMismatch { .. })));
+        assert!(matches!(
+            a.absorb(&r),
+            Err(OracleError::ReportDomainMismatch { .. })
+        ));
     }
 
     #[test]

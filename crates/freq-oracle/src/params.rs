@@ -19,7 +19,8 @@ impl Epsilon {
     /// for a non-panicking variant.
     #[must_use]
     pub fn new(eps: f64) -> Self {
-        Self::try_new(eps).unwrap_or_else(|| panic!("epsilon must be positive and finite, got {eps}"))
+        Self::try_new(eps)
+            .unwrap_or_else(|| panic!("epsilon must be positive and finite, got {eps}"))
     }
 
     /// Validates and wraps a privacy budget, returning `None` if invalid.
@@ -36,7 +37,10 @@ impl Epsilon {
     /// Panics if `exp_eps <= 1` or is not finite.
     #[must_use]
     pub fn from_exp(exp_eps: f64) -> Self {
-        assert!(exp_eps.is_finite() && exp_eps > 1.0, "e^eps must exceed 1, got {exp_eps}");
+        assert!(
+            exp_eps.is_finite() && exp_eps > 1.0,
+            "e^eps must exceed 1, got {exp_eps}"
+        );
         Self(exp_eps.ln())
     }
 

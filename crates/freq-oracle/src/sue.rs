@@ -66,7 +66,14 @@ impl Sue {
             return Err(OracleError::EmptyDomain);
         }
         let (p, q) = sue_probs(eps);
-        Ok(Self { domain, eps, p, q, counts: vec![0; domain], reports: 0 })
+        Ok(Self {
+            domain,
+            eps,
+            p,
+            q,
+            counts: vec![0; domain],
+            reports: 0,
+        })
     }
 
     /// The symmetric `(p, q)` retention probabilities.
@@ -108,7 +115,10 @@ impl PointOracle for Sue {
 
     fn encode(&self, value: usize, rng: &mut dyn RngCore) -> Result<OueReport, OracleError> {
         if value >= self.domain {
-            return Err(OracleError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(OracleError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let mut bits = vec![false; self.domain];
         for (j, bit) in bits.iter_mut().enumerate() {
@@ -165,7 +175,10 @@ impl PointOracle for Sue {
         }
         let n = self.reports as f64;
         let denom = self.p - self.q;
-        self.counts.iter().map(|&c| (c as f64 / n - self.q) / denom).collect()
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 / n - self.q) / denom)
+            .collect()
     }
 
     fn theoretical_variance(&self) -> f64 {

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use ldp_freq_oracle::binomial::sample_binomial;
 use ldp_freq_oracle::{
-    binary_rr_keep_prob, grr_keep_prob, oue_probs, sue_probs, AnyOracle, Epsilon,
-    FrequencyOracle, PointOracle,
+    binary_rr_keep_prob, grr_keep_prob, oue_probs, sue_probs, AnyOracle, Epsilon, FrequencyOracle,
+    PointOracle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,203 @@
+//! A minimal, dependency-free drop-in for the subset of the `proptest` API
+//! this workspace's property tests use (the build environment is offline).
+//!
+//! The real proptest does guided generation and shrinking; this shim does
+//! straightforward random sampling: each `proptest!` test body runs for a
+//! fixed number of cases with inputs drawn from the declared strategies
+//! using a deterministic per-test RNG, so failures are reproducible.
+//! `prop_assert*` map onto the standard assertion macros (a failure panics
+//! with the generated inputs' values in scope via the assertion message),
+//! and `prop_assume!` skips the current case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each property runs.
+pub const NUM_CASES: u32 = 48;
+
+/// Anything that can produce a value for a `proptest!` parameter.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize, f64);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeStrategy, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeStrategy,
+    }
+
+    /// Vector of values from `element`, with length drawn from `size`
+    /// (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeStrategy>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Length specification for [`collection::vec`].
+pub enum SizeStrategy {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// Length drawn uniformly from the half-open range.
+    Between(usize, usize),
+}
+
+impl SizeStrategy {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            Self::Fixed(n) => n,
+            Self::Between(lo, hi) => rng.random_range(lo..hi),
+        }
+    }
+}
+
+impl From<usize> for SizeStrategy {
+    fn from(n: usize) -> Self {
+        Self::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeStrategy {
+    fn from(r: Range<usize>) -> Self {
+        Self::Between(r.start, r.end)
+    }
+}
+
+/// Deterministic per-test RNG; seeded from the test name so adding tests
+/// does not perturb existing ones.
+#[must_use]
+pub fn case_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running [`NUM_CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut prop_rng = $crate::case_rng(stringify!($name));
+            for _prop_case in 0..$crate::NUM_CASES {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a property body (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u32..17, f in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategies_honor_sizes(
+            fixed in collection::vec(0u64..10, 7),
+            ranged in collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!(fixed.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types of the aggregation service.
+
+use std::fmt;
+
+use ldp_ranges::RangeError;
+
+/// Errors surfaced by the wire codec.
+///
+/// Decoding never panics on attacker-controlled bytes: every malformed
+/// input maps to one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The frame does not start with the `LQ` magic bytes.
+    BadMagic([u8; 2]),
+    /// The frame's format version is not one this build understands.
+    UnsupportedVersion(u8),
+    /// Unknown top-level report kind tag.
+    UnknownKind(u8),
+    /// Unknown frequency-oracle subtype tag.
+    UnknownOracleTag(u8),
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    BadVarint,
+    /// A declared size exceeds the codec's sanity cap
+    /// ([`crate::wire::MAX_WIRE_DOMAIN`]).
+    SizeOverCap(u64),
+    /// Structurally valid frame whose fields violate report invariants
+    /// (index out of domain, sign byte not 0/1, stray bits past the
+    /// domain, hash value out of range...).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame truncated"),
+            Self::BadMagic(m) => write!(f, "bad magic bytes {m:02x?}"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            Self::UnknownKind(k) => write!(f, "unknown report kind {k}"),
+            Self::UnknownOracleTag(t) => write!(f, "unknown oracle tag {t}"),
+            Self::BadVarint => write!(f, "malformed varint"),
+            Self::SizeOverCap(n) => write!(f, "declared size {n} exceeds codec cap"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Errors surfaced by the sharded aggregation service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A report failed to decode.
+    Wire(WireError),
+    /// A report or shard was rejected by the underlying mechanism.
+    Range(RangeError),
+    /// The service was configured with zero shards.
+    NoShards,
+    /// A worker thread panicked while ingesting.
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Range(e) => write!(f, "mechanism error: {e}"),
+            Self::NoShards => write!(f, "aggregator needs at least one shard"),
+            Self::WorkerPanicked => write!(f, "ingestion worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<RangeError> for ServiceError {
+    fn from(e: RangeError) -> Self {
+        Self::Range(e)
+    }
+}

@@ -1,0 +1,100 @@
+//! # ldp-service — sharded, mergeable LDP aggregation service
+//!
+//! The mechanism crates ([`ldp_ranges`], [`ldp_freq_oracle`]) implement
+//! the SIGMOD'19 range-query mechanisms as single-threaded accumulators.
+//! This crate turns them into a service shape able to absorb traffic from
+//! millions of reporting users: a compact wire protocol, parallel
+//! shard-local aggregation, and snapshot-isolated query serving.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   clients                      service                       queries
+//!   ───────                      ───────                       ───────
+//!   value ──► mechanism client ──► wire frame ("LQ" v1)
+//!                                    │
+//!                                    ▼ (batches)
+//!                     ┌─────────────────────────────┐
+//!                     │ ShardedAggregator / LdpService │
+//!                     │  shard 0   shard 1  …  shard k │   workers decode
+//!                     │  (absorb)  (absorb)    (absorb)│   + absorb in
+//!                     └─────────────┬───────────────┘   parallel
+//!                                   │ merge (exact: integer
+//!                                   ▼        sufficient statistics)
+//!                            merged server
+//!                                   │ freeze (CI / pyramid collapse,
+//!                                   ▼         prefix sums)
+//!                            RangeSnapshot (Arc, versioned)
+//!                                   │
+//!                                   ▼
+//!                     range / prefix / point / quantile — lock-free
+//! ```
+//!
+//! * [`wire`] — the versioned binary frame format for every report type
+//!   (flat one-hots through any oracle, `HH_B` level reports, budget-split
+//!   reports, both Haar variants, 2-D grids). Total decoding: malformed
+//!   bytes produce [`error::WireError`], never a panic or an unbounded
+//!   allocation.
+//! * [`shard`] — [`ShardedAggregator`]: a pool of per-shard accumulators
+//!   fed in parallel batches from worker threads. Merging relies on
+//!   [`ldp_ranges::MergeableServer`]: every mechanism's state is an
+//!   integer sum, so shard-merge equals sequential absorption *exactly*
+//!   (bit-for-bit), making sharding a pure throughput change.
+//! * [`snapshot`] — [`RangeSnapshot`]: merged state frozen into an
+//!   immutable, prefix-summed estimate answering range/prefix/point/
+//!   quantile queries in `O(1)`/`O(log D)`, shared by `Arc`, versioned
+//!   for staleness reasoning.
+//! * [`service`] — [`LdpService`]: the live front combining round-robin
+//!   mutex-sharded ingestion with atomic snapshot publication, so queries
+//!   keep answering while reports stream in.
+//! * [`loadgen`] — replay of [`ldp_workloads::Dataset`] populations as
+//!   deterministic encoded report streams ([`EncodedStream`]), powering
+//!   the `service_throughput` benchmark and the integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ldp_service::{LdpService, ShardedAggregator, loadgen};
+//! use ldp_ranges::{HhClient, HhConfig, HhServer, Epsilon};
+//! use ldp_workloads::Dataset;
+//!
+//! let config = HhConfig::new(256, 4, Epsilon::from_exp(3.0)).unwrap();
+//! let client = HhClient::new(config.clone()).unwrap();
+//! let prototype = HhServer::new(config).unwrap();
+//!
+//! // 1. Clients encode; the load generator replays a population.
+//! let population = Dataset::from_counts(vec![100; 256]);
+//! let stream = loadgen::generate_stream(&population, 20_000, 7, |value, rng| {
+//!     client.report(value, rng).unwrap()
+//! });
+//!
+//! // 2. Shards decode + absorb in parallel, then merge exactly.
+//! let mut pool = ShardedAggregator::new(&prototype, 4).unwrap();
+//! pool.ingest_encoded(&stream).unwrap();
+//! assert_eq!(pool.num_reports(), 20_000);
+//!
+//! // 3. Freeze a snapshot and serve queries from it.
+//! let service = LdpService::new(&prototype, 4).unwrap();
+//! let snap = ldp_service::RangeSnapshot::freeze(&pool.merged().unwrap(), 1);
+//! assert!((snap.range(0, 255) - 1.0).abs() < 0.1);
+//! let median = snap.quantile(0.5);
+//! assert!(median < 256 && service.num_shards() == 4);
+//! ```
+
+pub mod error;
+pub mod loadgen;
+pub mod service;
+pub mod shard;
+pub mod snapshot;
+pub mod wire;
+
+pub use error::{ServiceError, WireError};
+pub use loadgen::{generate_stream, EncodedStream, ValueSampler};
+pub use service::LdpService;
+pub use shard::ShardedAggregator;
+pub use snapshot::{RangeSnapshot, SnapshotSource};
+pub use wire::{decode_all, decode_frame, WireReport};
+
+// Re-export the trait the whole crate is generic over, so users need only
+// this crate for the service surface.
+pub use ldp_ranges::MergeableServer;

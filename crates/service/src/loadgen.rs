@@ -1,0 +1,204 @@
+//! Load generation: replaying `ldp-workloads` populations as encoded
+//! report streams.
+//!
+//! The evaluation crates simulate aggregates directly (the paper's §5
+//! shortcut); the service instead needs realistic *per-user traffic*. The
+//! generator draws each user's value from a [`Dataset`]'s histogram,
+//! encodes it through a real mechanism client, and serializes the report
+//! into an [`EncodedStream`] — a single contiguous frame buffer plus a
+//! frame-offset index, so shard workers can slice the stream without
+//! re-scanning it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ldp_workloads::Dataset;
+
+use crate::wire::WireReport;
+
+/// A batch of wire-encoded reports: back-to-back frames plus an offset
+/// index (`offsets[i]..offsets[i+1]` is frame `i`).
+#[derive(Debug, Clone)]
+pub struct EncodedStream {
+    buf: Vec<u8>,
+    /// Invariant: never empty — always starts with a leading 0.
+    offsets: Vec<usize>,
+}
+
+impl Default for EncodedStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EncodedStream {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends one report as a frame.
+    pub fn push<T: WireReport>(&mut self, report: &T) {
+        report.encode_frame(&mut self.buf);
+        self.offsets.push(self.buf.len());
+    }
+
+    /// Appends one already-encoded frame verbatim (relaying received
+    /// bytes without re-encoding). No validation happens here; a
+    /// malformed frame surfaces as a decode error at ingest time.
+    pub fn push_raw(&mut self, frame: &[u8]) {
+        self.buf.extend_from_slice(frame);
+        self.offsets.push(self.buf.len());
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the stream holds no frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The raw bytes of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn frame(&self, i: usize) -> &[u8] {
+        &self.buf[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The whole concatenated frame buffer.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Mean encoded bytes per report (the wire format's compactness
+    /// metric; e.g. `HaarHRR` frames stay ~10 bytes where flat OUE frames
+    /// grow with `D/8`).
+    #[must_use]
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.buf.len() as f64 / self.len() as f64
+        }
+    }
+}
+
+/// Draws user values i.i.d. from a dataset's empirical distribution —
+/// a thin handle over [`Dataset::sample_value`], which reuses the
+/// dataset's own precomputed prefix sums.
+#[derive(Debug, Clone)]
+pub struct ValueSampler {
+    dataset: Dataset,
+}
+
+impl ValueSampler {
+    /// Builds the sampler from a population histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population (nothing to replay).
+    #[must_use]
+    pub fn new(dataset: &Dataset) -> Self {
+        assert!(
+            dataset.population() > 0,
+            "cannot replay an empty population"
+        );
+        Self {
+            dataset: dataset.clone(),
+        }
+    }
+
+    /// Draws one value, distributed as the dataset's histogram.
+    pub fn draw<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dataset.sample_value(rng)
+    }
+}
+
+/// Generates `users` wire-encoded reports whose values replay `dataset`'s
+/// distribution, using `encode` to run the mechanism's client side.
+///
+/// The stream is deterministic in `seed`, so benchmarks and tests can
+/// replay identical traffic at different shard counts.
+pub fn generate_stream<T, F>(
+    dataset: &Dataset,
+    users: u64,
+    seed: u64,
+    mut encode: F,
+) -> EncodedStream
+where
+    T: WireReport,
+    F: FnMut(usize, &mut StdRng) -> T,
+{
+    let sampler = ValueSampler::new(dataset);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = EncodedStream::new();
+    for _ in 0..users {
+        let value = sampler.draw(&mut rng);
+        let report = encode(value, &mut rng);
+        stream.push(&report);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_freq_oracle::Epsilon;
+    use ldp_ranges::{HaarConfig, HaarHrrClient};
+
+    #[test]
+    fn sampler_tracks_histogram() {
+        let ds = Dataset::from_counts(vec![0, 5_000, 0, 15_000]);
+        let sampler = ValueSampler::new(&ds);
+        let mut rng = StdRng::seed_from_u64(601);
+        let mut hits = [0u32; 4];
+        for _ in 0..20_000 {
+            hits[sampler.draw(&mut rng)] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        assert_eq!(hits[2], 0);
+        let frac1 = f64::from(hits[1]) / 20_000.0;
+        assert!((frac1 - 0.25).abs() < 0.02, "frac {frac1}");
+    }
+
+    #[test]
+    fn generated_stream_is_deterministic_and_indexed() {
+        let ds = Dataset::from_counts(vec![100; 32]);
+        let config = HaarConfig::new(32, Epsilon::new(1.1)).unwrap();
+        let client = HaarHrrClient::new(config).unwrap();
+        let make = |seed| generate_stream(&ds, 200, seed, |v, rng| client.report(v, rng).unwrap());
+        let a = make(7);
+        let b = make(7);
+        let c = make(8);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        assert_ne!(a.as_bytes(), c.as_bytes());
+        // Offsets tile the buffer.
+        let mut total = 0;
+        for i in 0..a.len() {
+            assert!(!a.frame(i).is_empty());
+            total += a.frame(i).len();
+        }
+        assert_eq!(total, a.total_bytes());
+        assert!(a.mean_frame_bytes() > 4.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The live service front: concurrent ingestion with snapshot-isolated
+//! query serving.
+//!
+//! [`LdpService`] wires the pieces together for long-running use:
+//!
+//! * **Ingestion** — each shard sits behind its own mutex; submitters
+//!   pick a shard round-robin, so writers contend only `1/num_shards` of
+//!   the time and the service can absorb traffic from many threads at
+//!   once.
+//! * **Query serving** — readers never touch shard state. They clone an
+//!   `Arc` to the latest published [`RangeSnapshot`] and answer queries
+//!   lock-free against that immutable freeze.
+//! * **Publication** — [`LdpService::refresh_snapshot`] locks shards one
+//!   at a time (briefly, to clone), merges the clones, runs the expensive
+//!   estimation *outside* any lock, and atomically swaps the published
+//!   snapshot with a bumped version.
+//!
+//! Queries therefore keep answering — at a bounded staleness — while
+//! ingestion continues, which is the contract industry aggregation
+//! pipelines provide.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::error::ServiceError;
+use crate::snapshot::{RangeSnapshot, SnapshotSource};
+use crate::wire::{decode_frame, WireReport};
+
+/// A sharded LDP aggregation service with snapshot-isolated reads.
+pub struct LdpService<S: SnapshotSource> {
+    shards: Vec<Mutex<S>>,
+    next_shard: AtomicUsize,
+    published: RwLock<Arc<RangeSnapshot>>,
+    version: AtomicU64,
+    /// Serializes refreshes end to end (clone → estimate → publish) so a
+    /// slow refresher can never overwrite a newer snapshot with staler
+    /// data; readers stay lock-free on `published`.
+    refresh: Mutex<()>,
+}
+
+impl<S: SnapshotSource> LdpService<S> {
+    /// Builds the service with `num_shards` shards cloned from the empty
+    /// `prototype`; the initial published snapshot (version 0) is the
+    /// prototype's empty-state estimate. Note that for the tree and Haar
+    /// mechanisms an *empty* server estimates the uniform distribution
+    /// with total mass pinned to 1 (their root/scaling coefficient is
+    /// exact by construction), not all zeros — readers that must
+    /// distinguish "no data yet" from real results should check
+    /// [`RangeSnapshot::num_reports`] (0) or
+    /// [`RangeSnapshot::version`] (0).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `num_shards == 0`.
+    pub fn new(prototype: &S, num_shards: usize) -> Result<Self, ServiceError> {
+        if num_shards == 0 {
+            return Err(ServiceError::NoShards);
+        }
+        let initial = Arc::new(RangeSnapshot::freeze(prototype, 0));
+        Ok(Self {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(prototype.clone()))
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+            published: RwLock::new(initial),
+            version: AtomicU64::new(0),
+            refresh: Mutex::new(()),
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Absorbs one decoded report into the next shard (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the mechanism.
+    pub fn submit(&self, report: &S::Report) -> Result<(), ServiceError> {
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        shard.absorb(report)?;
+        Ok(())
+    }
+
+    /// Decodes one wire frame and absorbs it. The buffer must hold
+    /// exactly one frame — trailing bytes (a second concatenated frame, a
+    /// partial next report) are an error, never silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire and mechanism errors.
+    pub fn submit_frame(&self, frame: &[u8]) -> Result<(), ServiceError>
+    where
+        S::Report: WireReport,
+    {
+        let (report, used) = decode_frame::<S::Report>(frame)?;
+        if used != frame.len() {
+            return Err(crate::error::WireError::Malformed("trailing bytes after frame").into());
+        }
+        self.submit(&report)
+    }
+
+    /// Total reports across all shards right now (racy by nature while
+    /// writers are active; exact when quiesced).
+    #[must_use]
+    pub fn num_reports(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex poisoned").num_reports())
+            .sum()
+    }
+
+    /// The most recently published snapshot (lock-free once cloned).
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<RangeSnapshot> {
+        Arc::clone(&self.published.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Merges current shard state and publishes a fresh snapshot,
+    /// returning it. Shards are locked one at a time only long enough to
+    /// clone; estimation runs unlocked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge failures (impossible for shards built by
+    /// [`LdpService::new`]).
+    pub fn refresh_snapshot(&self) -> Result<Arc<RangeSnapshot>, ServiceError> {
+        // Serialize the whole clone → merge → estimate → publish sequence;
+        // without this, a refresher that cloned earlier (staler data)
+        // could publish after — and overwrite — a fresher snapshot.
+        let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+        let mut merged: Option<S> = None;
+        for shard in &self.shards {
+            let copy = shard.lock().expect("shard mutex poisoned").clone();
+            match &mut merged {
+                None => merged = Some(copy),
+                Some(m) => m.merge(&copy)?,
+            }
+        }
+        let merged = merged.expect("at least one shard");
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
+        *self.published.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_freq_oracle::Epsilon;
+    use ldp_ranges::{HaarConfig, HaarHrrClient, HaarHrrServer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        let config = HaarConfig::new(64, Epsilon::from_exp(3.0)).unwrap();
+        let client = HaarHrrClient::new(config.clone()).unwrap();
+        let prototype = HaarHrrServer::new(config).unwrap();
+        let service = LdpService::new(&prototype, 4).unwrap();
+        assert_eq!(service.num_shards(), 4);
+        assert_eq!(service.snapshot().version(), 0);
+
+        let writers = 4u64;
+        let per_writer = 2_000u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let service = &service;
+                let client = &client;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(800 + w);
+                    for i in 0..per_writer {
+                        let v = 16 + (i as usize % 32);
+                        let r = client.report(v, &mut rng).unwrap();
+                        service.submit(&r).unwrap();
+                    }
+                });
+            }
+            // A reader refreshing and querying while writers run: the
+            // snapshot must always be internally consistent.
+            let service = &service;
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let snap = service.refresh_snapshot().unwrap();
+                    let total = snap.range(0, 63);
+                    assert!((total - 1.0).abs() < 1e-9 || snap.num_reports() == 0);
+                    let _ = snap.quantile(0.5);
+                }
+            });
+        });
+
+        assert_eq!(service.num_reports(), writers * per_writer);
+        let final_snap = service.refresh_snapshot().unwrap();
+        assert_eq!(final_snap.num_reports(), writers * per_writer);
+        assert!(final_snap.version() >= 20);
+        assert!((final_snap.range(16, 47) - 1.0).abs() < 0.1);
+        // Old handles keep answering after newer publications.
+        let old = service.snapshot();
+        service.refresh_snapshot().unwrap();
+        assert!(old.version() < service.snapshot().version());
+        let _ = old.range(0, 63);
+    }
+}

@@ -1,0 +1,286 @@
+//! Parallel shard-local aggregation.
+//!
+//! A [`ShardedAggregator`] owns a pool of per-shard accumulators (any
+//! [`MergeableServer`]) and feeds them from worker threads: each ingest
+//! call splits its batch into one contiguous chunk per shard and absorbs
+//! the chunks concurrently with `std::thread::scope`. Because every
+//! mechanism's state is a plain sum ([`MergeableServer`]'s contract),
+//! [`ShardedAggregator::merged`] returns *exactly* the state a
+//! single-threaded server would hold after absorbing the same reports in
+//! any order — sharding is a pure throughput change.
+//!
+//! The expensive step for encoded traffic is wire decoding plus absorb;
+//! [`ShardedAggregator::ingest_encoded`] runs both on the workers, which
+//! is where multi-core scaling shows up in the `service_throughput`
+//! benchmark.
+
+use ldp_ranges::MergeableServer;
+
+use crate::error::ServiceError;
+use crate::loadgen::EncodedStream;
+use crate::wire::{decode_frame, WireReport};
+
+/// A pool of independently fed, mergeable shard accumulators.
+#[derive(Debug, Clone)]
+pub struct ShardedAggregator<S: MergeableServer> {
+    shards: Vec<S>,
+}
+
+impl<S: MergeableServer> ShardedAggregator<S> {
+    /// Builds a pool of `num_shards` shards, each a clone of the (empty)
+    /// `prototype`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `num_shards == 0`.
+    pub fn new(prototype: &S, num_shards: usize) -> Result<Self, ServiceError> {
+        if num_shards == 0 {
+            return Err(ServiceError::NoShards);
+        }
+        Ok(Self {
+            shards: vec![prototype.clone(); num_shards],
+        })
+    }
+
+    /// Number of shards in the pool.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the shard states (used by tests and the snapshot
+    /// layer).
+    #[must_use]
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// Total reports across all shards.
+    #[must_use]
+    pub fn num_reports(&self) -> u64 {
+        self.shards.iter().map(MergeableServer::num_reports).sum()
+    }
+
+    /// Absorbs a batch of decoded reports, one contiguous chunk per shard,
+    /// in parallel. **All-or-nothing**: on error, no report from the batch
+    /// is kept (workers absorb into shard clones that are committed only
+    /// when every chunk succeeds), so a failed batch can be retried or
+    /// discarded without double-counting or losing reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's absorb error; a panicking worker
+    /// surfaces as [`ServiceError::WorkerPanicked`]. The aggregator state
+    /// is unchanged on error.
+    pub fn ingest(&mut self, reports: &[S::Report]) -> Result<(), ServiceError> {
+        self.run_sharded(reports.len(), |shard, lo, hi| {
+            for report in &reports[lo..hi] {
+                shard.absorb(report)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Decodes and absorbs a stream of encoded frames in parallel; both
+    /// the codec work and the absorb work land on the shard workers.
+    /// **All-or-nothing**, like [`ShardedAggregator::ingest`]: a malformed
+    /// frame anywhere in the stream leaves the aggregator untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode or absorb error; state is unchanged on
+    /// error.
+    pub fn ingest_encoded(&mut self, stream: &EncodedStream) -> Result<(), ServiceError>
+    where
+        S::Report: WireReport,
+    {
+        self.run_sharded(stream.len(), |shard, lo, hi| {
+            for i in lo..hi {
+                let frame = stream.frame(i);
+                let (report, used) = decode_frame::<S::Report>(frame)?;
+                if used != frame.len() {
+                    // A frame slot holding more than one frame's bytes
+                    // (e.g. a sloppy push_raw) would silently drop the
+                    // excess — surface it instead.
+                    return Err(
+                        crate::error::WireError::Malformed("trailing bytes after frame").into(),
+                    );
+                }
+                shard.absorb(&report)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Splits `0..n` into one contiguous slice per shard and runs `work`
+    /// on each (shard, range) pair concurrently — against *clones* of the
+    /// shards, swapped in only if every chunk succeeds. The clone is one
+    /// accumulator state per shard (O(domain), independent of batch size),
+    /// the price of batch atomicity.
+    fn run_sharded<F>(&mut self, n: usize, work: F) -> Result<(), ServiceError>
+    where
+        F: Fn(&mut S, usize, usize) -> Result<(), ServiceError> + Sync,
+    {
+        let num_shards = self.shards.len();
+        let per_shard = n.div_ceil(num_shards.max(1));
+        if num_shards == 1 || per_shard == 0 {
+            let mut staged = self.shards[0].clone();
+            work(&mut staged, 0, n)?;
+            self.shards[0] = staged;
+            return Ok(());
+        }
+        let mut staged: Vec<S> = self.shards.clone();
+        let work = &work;
+        let mut results: Vec<Result<(), ServiceError>> = Vec::with_capacity(num_shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = staged
+                .iter_mut()
+                .enumerate()
+                .map(|(k, shard)| {
+                    let lo = (k * per_shard).min(n);
+                    let hi = ((k + 1) * per_shard).min(n);
+                    scope.spawn(move || work(shard, lo, hi))
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().unwrap_or(Err(ServiceError::WorkerPanicked)));
+            }
+        });
+        results.into_iter().collect::<Result<(), ServiceError>>()?;
+        self.shards = staged;
+        Ok(())
+    }
+
+    /// Folds every shard into one server — exactly the state of a
+    /// sequential server that absorbed all ingested reports.
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for shards built by [`ShardedAggregator::new`] (all
+    /// clones of one prototype); an error indicates corrupted state.
+    pub fn merged(&self) -> Result<S, ServiceError> {
+        let mut merged = self.shards[0].clone();
+        for shard in &self.shards[1..] {
+            merged.merge(shard)?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_freq_oracle::Epsilon;
+    use ldp_ranges::{HhClient, HhConfig, HhServer, MergeableServer, RangeEstimate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reports(n: usize, seed: u64, config: &HhConfig) -> Vec<ldp_ranges::HhReport> {
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| client.report(i % config.domain, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_ingest_equals_sequential_absorb() {
+        let config = HhConfig::new(64, 4, Epsilon::new(1.1)).unwrap();
+        let prototype = HhServer::new(config.clone()).unwrap();
+        let batch = reports(1_000, 501, &config);
+
+        let mut sequential = prototype.clone();
+        for r in &batch {
+            MergeableServer::absorb(&mut sequential, r).unwrap();
+        }
+
+        for shards in [1usize, 2, 4, 7] {
+            let mut agg = ShardedAggregator::new(&prototype, shards).unwrap();
+            agg.ingest(&batch).unwrap();
+            assert_eq!(agg.num_shards(), shards);
+            assert_eq!(agg.num_reports(), batch.len() as u64);
+            let merged = agg.merged().unwrap();
+            let a = sequential.estimate_consistent().to_frequency_estimate();
+            let b = merged.estimate_consistent().to_frequency_estimate();
+            for z in 0..64 {
+                assert!(
+                    a.point(z).to_bits() == b.point(z).to_bits(),
+                    "{shards} shards: leaf {z} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_batches_leave_state_untouched() {
+        let config = HhConfig::new(64, 4, Epsilon::new(1.1)).unwrap();
+        let prototype = HhServer::new(config.clone()).unwrap();
+        let mut agg = ShardedAggregator::new(&prototype, 4).unwrap();
+        agg.ingest(&reports(100, 503, &config)).unwrap();
+        let baseline = agg.merged().unwrap().estimate().to_frequency_estimate();
+
+        // Typed path: a report with an impossible depth fails absorb
+        // mid-batch; nothing from the batch may stick.
+        let mut bad_batch = reports(50, 504, &config);
+        let alien = bad_batch[0].inner().clone();
+        bad_batch[25] = ldp_ranges::HhReport::from_parts(99, alien);
+        assert!(agg.ingest(&bad_batch).is_err());
+        assert_eq!(agg.num_reports(), 100, "failed batch leaked reports");
+
+        // Encoded path: one malformed frame poisons the whole stream.
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(505);
+        let mut stream = crate::loadgen::EncodedStream::new();
+        for i in 0..50 {
+            stream.push(&client.report(i % 64, &mut rng).unwrap());
+        }
+        stream.push_raw(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        assert!(agg.ingest_encoded(&stream).is_err());
+        assert_eq!(
+            agg.num_reports(),
+            100,
+            "failed encoded batch leaked reports"
+        );
+
+        // A frame slot carrying two concatenated frames (sloppy push_raw)
+        // must error, not silently drop the second report.
+        use crate::wire::WireReport;
+        let mut doubled = crate::loadgen::EncodedStream::new();
+        let mut two = client.report(1, &mut rng).unwrap().to_frame();
+        two.extend_from_slice(&client.report(2, &mut rng).unwrap().to_frame());
+        doubled.push_raw(&two);
+        assert!(agg.ingest_encoded(&doubled).is_err());
+        assert_eq!(agg.num_reports(), 100, "doubled frame leaked reports");
+
+        let after = agg.merged().unwrap().estimate().to_frequency_estimate();
+        for z in 0..64 {
+            assert!(
+                baseline.point(z).to_bits() == after.point(z).to_bits(),
+                "estimate changed at leaf {z} after rejected batches"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let config = HhConfig::new(16, 4, Epsilon::new(1.0)).unwrap();
+        let prototype = HhServer::new(config).unwrap();
+        assert!(matches!(
+            ShardedAggregator::new(&prototype, 0),
+            Err(ServiceError::NoShards)
+        ));
+    }
+
+    #[test]
+    fn small_batches_and_empty_batches_work() {
+        let config = HhConfig::new(16, 4, Epsilon::new(1.0)).unwrap();
+        let prototype = HhServer::new(config.clone()).unwrap();
+        let mut agg = ShardedAggregator::new(&prototype, 8).unwrap();
+        agg.ingest(&[]).unwrap();
+        assert_eq!(agg.num_reports(), 0);
+        // Fewer reports than shards.
+        agg.ingest(&reports(3, 502, &config)).unwrap();
+        assert_eq!(agg.num_reports(), 3);
+        agg.merged().unwrap();
+    }
+}

@@ -1,0 +1,176 @@
+//! The snapshot query layer: frozen, immutable estimates served
+//! concurrently while ingestion continues.
+//!
+//! Estimation (constrained inference, transform inversion, prefix-sum
+//! construction) is much more expensive than absorbing a report, and the
+//! raw shard accumulators mutate constantly. The service therefore
+//! separates the two: [`RangeSnapshot`] freezes a merged server's state
+//! into a fully materialized, query-optimized handle — per-item
+//! frequencies plus prefix sums — answering range, prefix, point and
+//! quantile queries in `O(1)`/`O(log D)` with no locks at all. Snapshots
+//! are cheap to share (`Arc`) and carry a monotonically increasing
+//! version plus the report count they reflect, so readers can reason
+//! about staleness.
+
+use ldp_ranges::{
+    quantile, FlatServer, FrequencyEstimate, HaarHrrServer, HaarOueServer, HhServer, HhSplitServer,
+    MergeableServer, RangeEstimate,
+};
+
+/// Servers whose merged state can be frozen into a 1-D frequency
+/// snapshot.
+///
+/// Implementations pick their mechanism's best estimator (constrained
+/// inference for the hierarchical families, pyramid collapse for Haar),
+/// so a snapshot is exactly what the underlying mechanism would publish.
+pub trait SnapshotSource: MergeableServer {
+    /// Materializes the per-item frequency estimate of the current state.
+    fn frequency_estimate(&self) -> FrequencyEstimate;
+}
+
+impl SnapshotSource for FlatServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        self.estimate()
+    }
+}
+
+impl SnapshotSource for HhServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        self.estimate_consistent().to_frequency_estimate()
+    }
+}
+
+impl SnapshotSource for HhSplitServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        self.estimate_consistent().to_frequency_estimate()
+    }
+}
+
+impl SnapshotSource for HaarHrrServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        self.estimate().to_frequency_estimate()
+    }
+}
+
+impl SnapshotSource for HaarOueServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        self.estimate().to_frequency_estimate()
+    }
+}
+
+/// An immutable, query-ready freeze of merged aggregator state.
+#[derive(Debug, Clone)]
+pub struct RangeSnapshot {
+    estimate: FrequencyEstimate,
+    num_reports: u64,
+    version: u64,
+}
+
+impl RangeSnapshot {
+    /// Freezes a server's current state.
+    #[must_use]
+    pub fn freeze<S: SnapshotSource>(server: &S, version: u64) -> Self {
+        Self {
+            estimate: server.frequency_estimate(),
+            num_reports: server.num_reports(),
+            version,
+        }
+    }
+
+    /// Builds a snapshot directly from a materialized estimate.
+    #[must_use]
+    pub fn from_estimate(estimate: FrequencyEstimate, num_reports: u64, version: u64) -> Self {
+        Self {
+            estimate,
+            num_reports,
+            version,
+        }
+    }
+
+    /// Domain size `D`.
+    #[must_use]
+    pub fn domain(&self) -> usize {
+        self.estimate.domain()
+    }
+
+    /// Reports reflected in this snapshot.
+    #[must_use]
+    pub fn num_reports(&self) -> u64 {
+        self.num_reports
+    }
+
+    /// Monotone publication version (0 = the empty initial snapshot).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Estimated fraction of users with value in the inclusive `[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid bounds.
+    #[must_use]
+    pub fn range(&self, a: usize, b: usize) -> f64 {
+        self.estimate.range(a, b)
+    }
+
+    /// Estimated prefix fraction `R[0, b]`.
+    #[must_use]
+    pub fn prefix(&self, b: usize) -> f64 {
+        self.estimate.prefix(b)
+    }
+
+    /// Estimated frequency of one item.
+    #[must_use]
+    pub fn point(&self, z: usize) -> f64 {
+        self.estimate.point(z)
+    }
+
+    /// Estimated φ-quantile (binary search over the estimated CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ phi ≤ 1`.
+    #[must_use]
+    pub fn quantile(&self, phi: f64) -> usize {
+        quantile(&self.estimate, phi)
+    }
+
+    /// The underlying frequency estimate.
+    #[must_use]
+    pub fn estimate(&self) -> &FrequencyEstimate {
+        &self.estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_freq_oracle::Epsilon;
+    use ldp_ranges::{HhClient, HhConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_matches_direct_estimation() {
+        let config = HhConfig::new(64, 4, Epsilon::from_exp(3.0)).unwrap();
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut server = HhServer::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(701);
+        for i in 0..2_000 {
+            let r = client.report(16 + (i % 32), &mut rng).unwrap();
+            server.absorb(&r).unwrap();
+        }
+        let snap = RangeSnapshot::freeze(&server, 3);
+        assert_eq!(snap.version(), 3);
+        assert_eq!(snap.num_reports(), 2_000);
+        assert_eq!(snap.domain(), 64);
+        let direct = server.estimate_consistent().to_frequency_estimate();
+        for (a, b) in [(0, 63), (16, 47), (5, 5)] {
+            assert_eq!(snap.range(a, b).to_bits(), direct.range(a, b).to_bits());
+        }
+        assert_eq!(snap.quantile(0.5), quantile(&direct, 0.5));
+        assert!((snap.prefix(63) - 1.0).abs() < 0.05);
+    }
+}

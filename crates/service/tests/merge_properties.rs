@@ -1,0 +1,217 @@
+//! Property tests for the merge semantics underpinning the sharded
+//! service: for every mechanism, shard-merge is associative, commutative,
+//! and bit-identical to single-threaded absorption.
+
+use proptest::prelude::*;
+
+use ldp_freq_oracle::{Epsilon, FrequencyOracle};
+use ldp_ranges::{
+    FlatClient, FlatConfig, FlatServer, HaarConfig, HaarHrrClient, HaarHrrServer, HaarOueClient,
+    HaarOueServer, Hh2dClient, Hh2dConfig, Hh2dServer, HhClient, HhConfig, HhServer, HhSplitClient,
+    HhSplitServer, MergeableServer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ORACLES: [FrequencyOracle; 4] = [
+    FrequencyOracle::Oue,
+    FrequencyOracle::Olh,
+    FrequencyOracle::Hrr,
+    FrequencyOracle::Sue,
+];
+
+/// Absorbs `reports` into `shards` fresh servers round-robin, merges
+/// right-to-left and left-to-right (associativity + commutativity probe),
+/// absorbs sequentially into one server, and asserts all three states
+/// estimate identically.
+fn check_merge_invariants<S, F, E>(make: F, reports: &[S::Report], shards: usize, estimate: E)
+where
+    S: MergeableServer,
+    F: Fn() -> S,
+    E: Fn(&S) -> Vec<f64>,
+{
+    let mut sequential = make();
+    for r in reports {
+        sequential.absorb(r).unwrap();
+    }
+
+    let mut pool: Vec<S> = (0..shards).map(|_| make()).collect();
+    for (i, r) in reports.iter().enumerate() {
+        pool[i % shards].absorb(r).unwrap();
+    }
+
+    // Left fold: ((s0 ⊕ s1) ⊕ s2) ⊕ …
+    let mut left = pool[0].clone();
+    for s in &pool[1..] {
+        left.merge(s).unwrap();
+    }
+    // Reversed fold: ((s_k ⊕ s_{k-1}) ⊕ …) ⊕ s0 — different order and
+    // grouping; equality with the left fold witnesses associativity +
+    // commutativity on this input.
+    let mut right = pool[shards - 1].clone();
+    for s in pool[..shards - 1].iter().rev() {
+        right.merge(s).unwrap();
+    }
+
+    let seq_e = estimate(&sequential);
+    let left_e = estimate(&left);
+    let right_e = estimate(&right);
+    assert_eq!(sequential.num_reports(), left.num_reports());
+    assert_eq!(sequential.num_reports(), right.num_reports());
+    for ((a, b), c) in seq_e.iter().zip(&left_e).zip(&right_e) {
+        assert!(a.to_bits() == b.to_bits(), "left fold differs: {a} vs {b}");
+        assert!(a.to_bits() == c.to_bits(), "right fold differs: {a} vs {c}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn flat_merge_is_exact_for_every_oracle(
+        seed in 0u64..5_000,
+        n in 1usize..300,
+        shards in 1usize..7,
+        oracle_idx in 0usize..4,
+    ) {
+        let eps = Epsilon::new(1.1);
+        let config = FlatConfig::with_oracle(32, eps, ORACLES[oracle_idx]).unwrap();
+        let client = FlatClient::new(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> =
+            (0..n).map(|i| client.report(i % 32, &mut rng).unwrap()).collect();
+        check_merge_invariants(
+            || FlatServer::new(&config).unwrap(),
+            &reports,
+            shards,
+            |s: &FlatServer| s.estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn hh_merge_is_exact(
+        seed in 0u64..5_000,
+        n in 1usize..300,
+        shards in 1usize..7,
+        oracle_idx in 0usize..4,
+    ) {
+        let eps = Epsilon::new(0.9);
+        let config = HhConfig::with_oracle(64, 4, eps, ORACLES[oracle_idx]).unwrap();
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> =
+            (0..n).map(|i| client.report((i * 7) % 64, &mut rng).unwrap()).collect();
+        check_merge_invariants(
+            || HhServer::new(config.clone()).unwrap(),
+            &reports,
+            shards,
+            |s: &HhServer| s.estimate_consistent().to_frequency_estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn hh_split_merge_is_exact(
+        seed in 0u64..5_000,
+        n in 1usize..150,
+        shards in 1usize..6,
+    ) {
+        let eps = Epsilon::new(1.4);
+        let config = HhConfig::new(64, 2, eps).unwrap();
+        let client = HhSplitClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> =
+            (0..n).map(|i| client.report((i * 5) % 64, &mut rng).unwrap()).collect();
+        check_merge_invariants(
+            || HhSplitServer::new(config.clone()).unwrap(),
+            &reports,
+            shards,
+            |s: &HhSplitServer| {
+                s.estimate_consistent().to_frequency_estimate().frequencies().to_vec()
+            },
+        );
+    }
+
+    #[test]
+    fn haar_hrr_merge_is_exact(
+        seed in 0u64..5_000,
+        n in 1usize..300,
+        shards in 1usize..7,
+    ) {
+        let eps = Epsilon::new(1.1);
+        let config = HaarConfig::new(128, eps).unwrap();
+        let client = HaarHrrClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> =
+            (0..n).map(|i| client.report((i * 11) % 128, &mut rng).unwrap()).collect();
+        check_merge_invariants(
+            || HaarHrrServer::new(config.clone()).unwrap(),
+            &reports,
+            shards,
+            |s: &HaarHrrServer| s.estimate().to_frequency_estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn haar_oue_merge_is_exact(
+        seed in 0u64..5_000,
+        n in 1usize..200,
+        shards in 1usize..6,
+    ) {
+        let eps = Epsilon::new(0.8);
+        let config = HaarConfig::new(64, eps).unwrap();
+        let client = HaarOueClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> =
+            (0..n).map(|i| client.report((i * 3) % 64, &mut rng).unwrap()).collect();
+        check_merge_invariants(
+            || HaarOueServer::new(config.clone()).unwrap(),
+            &reports,
+            shards,
+            |s: &HaarOueServer| s.estimate().to_frequency_estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn hh2d_merge_is_exact(
+        seed in 0u64..5_000,
+        n in 1usize..150,
+        shards in 1usize..6,
+    ) {
+        let eps = Epsilon::new(1.1);
+        let config = Hh2dConfig::new(16, 2, eps).unwrap();
+        let client = Hh2dClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> = (0..n)
+            .map(|i| client.report(i % 16, (i * 3) % 16, &mut rng).unwrap())
+            .collect();
+        check_merge_invariants(
+            || Hh2dServer::new(config.clone()).unwrap(),
+            &reports,
+            shards,
+            |s: &Hh2dServer| {
+                // Probe the 2-D estimate over a panel of rectangles.
+                let est = s.estimate();
+                [(0, 15, 0, 15), (0, 7, 8, 15), (3, 12, 2, 9), (5, 5, 5, 5)]
+                    .iter()
+                    .map(|&(a, b, c, d)| est.rectangle(a, b, c, d))
+                    .collect()
+            },
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shapes(seed in 0u64..1_000) {
+        let _ = seed;
+        let eps = Epsilon::new(1.0);
+        let mut a = HhServer::new(HhConfig::new(64, 2, eps).unwrap()).unwrap();
+        let b = HhServer::new(HhConfig::new(64, 4, eps).unwrap()).unwrap();
+        prop_assert!(a.merge(&b).is_err());
+        let mut x = HaarOueServer::new(HaarConfig::new(64, eps).unwrap()).unwrap();
+        let y = HaarOueServer::new(HaarConfig::new(32, eps).unwrap()).unwrap();
+        prop_assert!(x.merge(&y).is_err());
+        let mut p = Hh2dServer::new(Hh2dConfig::new(16, 2, eps).unwrap()).unwrap();
+        let q = Hh2dServer::new(Hh2dConfig::new(8, 2, eps).unwrap()).unwrap();
+        prop_assert!(p.merge(&q).is_err());
+        let mut s = HhSplitServer::new(HhConfig::new(16, 2, eps).unwrap()).unwrap();
+        let t = HhSplitServer::new(HhConfig::new(16, 4, eps).unwrap()).unwrap();
+        prop_assert!(s.merge(&t).is_err());
+    }
+}

@@ -43,7 +43,10 @@ impl DyadicNode {
 /// Panics if `a > b` or `b` is outside the domain.
 pub fn decompose_range(shape: &CompleteTree, a: usize, b: usize) -> Vec<DyadicNode> {
     let domain = shape.domain();
-    assert!(a <= b && b < domain, "invalid range [{a}, {b}] for domain {domain}");
+    assert!(
+        a <= b && b < domain,
+        "invalid range [{a}, {b}] for domain {domain}"
+    );
     let fanout = shape.fanout();
 
     let mut nodes = Vec::new();
@@ -56,12 +59,18 @@ pub fn decompose_range(shape: &CompleteTree, a: usize, b: usize) -> Vec<DyadicNo
     while lo < hi {
         let parent = size * fanout;
         while !lo.is_multiple_of(parent) && lo < hi {
-            nodes.push(DyadicNode { depth, index: lo / size });
+            nodes.push(DyadicNode {
+                depth,
+                index: lo / size,
+            });
             lo += size;
         }
         while !hi.is_multiple_of(parent) && lo < hi {
             hi -= size;
-            nodes.push(DyadicNode { depth, index: hi / size });
+            nodes.push(DyadicNode {
+                depth,
+                index: hi / size,
+            });
         }
         if lo >= hi {
             break;
@@ -86,7 +95,13 @@ mod tests {
     use super::*;
 
     fn blocks(shape: &CompleteTree, nodes: &[DyadicNode]) -> Vec<(usize, usize)> {
-        nodes.iter().map(|n| { let r = n.block(shape); (r.start, r.end - 1) }).collect()
+        nodes
+            .iter()
+            .map(|n| {
+                let r = n.block(shape);
+                (r.start, r.end - 1)
+            })
+            .collect()
     }
 
     #[test]
@@ -112,7 +127,13 @@ mod tests {
     fn point_query_is_single_leaf() {
         let shape = CompleteTree::new(8, 64);
         let nodes = decompose_range(&shape, 37, 37);
-        assert_eq!(nodes, vec![DyadicNode { depth: 2, index: 37 }]);
+        assert_eq!(
+            nodes,
+            vec![DyadicNode {
+                depth: 2,
+                index: 37
+            }]
+        );
     }
 
     fn check_partition(shape: &CompleteTree, a: usize, b: usize) {

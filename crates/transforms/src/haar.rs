@@ -26,7 +26,10 @@
 /// Panics if the length is not a power of two.
 pub fn haar_forward(x: &[f64]) -> Vec<f64> {
     let n = x.len();
-    assert!(n.is_power_of_two(), "Haar transform requires a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "Haar transform requires a power-of-two length, got {n}"
+    );
     let mut out = vec![0.0; n];
     let mut sums = x.to_vec();
     let mut width = n; // number of block sums currently held in `sums`
@@ -56,7 +59,10 @@ pub fn haar_forward(x: &[f64]) -> Vec<f64> {
 /// Panics if the length is not a power of two.
 pub fn haar_inverse(c: &[f64]) -> Vec<f64> {
     let n = c.len();
-    assert!(n.is_power_of_two(), "Haar transform requires a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "Haar transform requires a power-of-two length, got {n}"
+    );
     // Rebuild block sums top-down, starting from the grand total.
     let mut sums = vec![0.0; n];
     sums[0] = c[0] * (n as f64).sqrt();
@@ -99,7 +105,10 @@ impl HaarPyramid {
     /// Panics if the length is not a power of two.
     pub fn from_leaves(x: &[f64]) -> Self {
         let n = x.len();
-        assert!(n.is_power_of_two(), "HaarPyramid requires a power-of-two length, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "HaarPyramid requires a power-of-two length, got {n}"
+        );
         let height = n.trailing_zeros();
         let mut diffs: Vec<Vec<f64>> = (0..height).map(|d| vec![0.0; 1 << d]).collect();
         let mut sums = x.to_vec();
@@ -112,7 +121,11 @@ impl HaarPyramid {
                 sums[t] = l + r;
             }
         }
-        Self { height, total: sums[0], diffs }
+        Self {
+            height,
+            total: sums[0],
+            diffs,
+        }
     }
 
     /// Assembles a pyramid from externally estimated parts (the aggregator
@@ -123,11 +136,19 @@ impl HaarPyramid {
     ///
     /// Panics unless `diffs.len() == height` and `diffs[d].len() == 2^d`.
     pub fn from_parts(height: u32, total: f64, diffs: Vec<Vec<f64>>) -> Self {
-        assert_eq!(diffs.len(), height as usize, "need one diff level per tree depth");
+        assert_eq!(
+            diffs.len(),
+            height as usize,
+            "need one diff level per tree depth"
+        );
         for (d, level) in diffs.iter().enumerate() {
             assert_eq!(level.len(), 1 << d, "level {d} must have 2^{d} nodes");
         }
-        Self { height, total, diffs }
+        Self {
+            height,
+            total,
+            diffs,
+        }
     }
 
     /// Domain size `D = 2^h`.
@@ -174,7 +195,11 @@ impl HaarPyramid {
         for d in 0..self.height {
             let d_u = self.diffs[d as usize][t];
             let bit = (i >> (self.height - 1 - d)) & 1;
-            s = if bit == 0 { (s + d_u) / 2.0 } else { (s - d_u) / 2.0 };
+            s = if bit == 0 {
+                (s + d_u) / 2.0
+            } else {
+                (s - d_u) / 2.0
+            };
             t = 2 * t + bit;
         }
         s
@@ -207,7 +232,11 @@ impl HaarPyramid {
     ///
     /// Panics if `a > b` or `b` is outside the domain.
     pub fn range_sum(&self, a: usize, b: usize) -> f64 {
-        assert!(a <= b && b < self.len(), "invalid range [{a}, {b}] for domain {}", self.len());
+        assert!(
+            a <= b && b < self.len(),
+            "invalid range [{a}, {b}] for domain {}",
+            self.len()
+        );
         self.range_rec(0, 0, self.total, a, b + 1)
     }
 
@@ -332,7 +361,9 @@ mod tests {
         let q = HaarPyramid::from_parts(
             p.height(),
             p.total(),
-            (0..p.height()).map(|d| (0..1usize << d).map(|t| p.diff(d, t)).collect()).collect(),
+            (0..p.height())
+                .map(|d| (0..1usize << d).map(|t| p.diff(d, t)).collect())
+                .collect(),
         );
         assert_eq!(p, q);
     }

@@ -43,7 +43,10 @@ pub fn hadamard_entry(i: usize, j: usize) -> i8 {
 /// otherwise).
 pub fn fwht(data: &mut [f64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FWHT requires a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FWHT requires a power-of-two length, got {n}"
+    );
     let mut half = 1;
     while half < n {
         let step = half * 2;

@@ -17,13 +17,13 @@
 //! crates.
 
 pub mod dyadic;
-pub mod hadamard;
 pub mod haar;
+pub mod hadamard;
 pub mod tree;
 
 pub use dyadic::{decompose_range, DyadicNode};
-pub use hadamard::{fwht, fwht_inverse, hadamard_entry};
 pub use haar::{haar_forward, haar_inverse, HaarPyramid};
+pub use hadamard::{fwht, fwht_inverse, hadamard_entry};
 pub use tree::{CompleteTree, FlatTree};
 
 /// Returns `log_b(n)` when `n` is an exact power of `b`, and `None`

@@ -118,7 +118,9 @@ impl CompleteTree {
     /// Node indices along the path of `leaf`, from root (depth 0) to leaf
     /// (depth h): element `d` is the index of the depth-`d` ancestor.
     pub fn path_of_leaf(&self, leaf: usize) -> Vec<usize> {
-        (0..=self.height).map(|d| self.ancestor_at_depth(leaf, d)).collect()
+        (0..=self.height)
+            .map(|d| self.ancestor_at_depth(leaf, d))
+            .collect()
     }
 }
 
@@ -138,7 +140,10 @@ pub struct FlatTree<T> {
 impl<T: Clone + Default> FlatTree<T> {
     /// Allocates a tree filled with `T::default()`.
     pub fn new(shape: CompleteTree) -> Self {
-        Self { shape, data: vec![T::default(); shape.total_nodes()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.total_nodes()],
+        }
     }
 }
 
@@ -201,13 +206,22 @@ impl FlatTree<f64> {
     /// are exact subtree sums — the "dyadic decomposition with internal node
     /// weights" of Figure 2(a).
     pub fn from_leaf_sums(shape: CompleteTree, leaf_values: &[f64]) -> Self {
-        assert_eq!(leaf_values.len(), shape.domain(), "leaf count must equal domain size");
-        let mut tree = Self { shape, data: vec![0.0; shape.total_nodes()] };
+        assert_eq!(
+            leaf_values.len(),
+            shape.domain(),
+            "leaf count must equal domain size"
+        );
+        let mut tree = Self {
+            shape,
+            data: vec![0.0; shape.total_nodes()],
+        };
         tree.level_mut(shape.height()).copy_from_slice(leaf_values);
         for depth in (0..shape.height()).rev() {
             for idx in 0..shape.nodes_at_depth(depth) {
-                let sum: f64 =
-                    shape.children(depth, idx).map(|c| *tree.get(depth + 1, c)).sum();
+                let sum: f64 = shape
+                    .children(depth, idx)
+                    .map(|c| *tree.get(depth + 1, c))
+                    .sum();
                 *tree.get_mut(depth, idx) = sum;
             }
         }

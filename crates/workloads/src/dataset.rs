@@ -1,6 +1,6 @@
 //! Populations of private user values and their exact ground truth.
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 use ldp_freq_oracle::binomial::sample_multinomial;
 
@@ -33,7 +33,11 @@ impl Dataset {
             acc += c;
             prefix.push(acc);
         }
-        Self { counts, prefix, total: acc }
+        Self {
+            counts,
+            prefix,
+            total: acc,
+        }
     }
 
     /// Builds a dataset from raw user values.
@@ -59,12 +63,7 @@ impl Dataset {
     ///
     /// Panics on a zero-size domain.
     #[must_use]
-    pub fn sample(
-        kind: DistributionKind,
-        domain: usize,
-        n: u64,
-        rng: &mut dyn RngCore,
-    ) -> Self {
+    pub fn sample(kind: DistributionKind, domain: usize, n: u64, rng: &mut dyn RngCore) -> Self {
         let pmf = kind.pmf(domain);
         Self::from_counts(sample_multinomial(rng, n, &pmf))
     }
@@ -114,13 +113,35 @@ impl Dataset {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// True cumulative distribution `cdf[z] = R[0,z]`.
     #[must_use]
     pub fn cdf(&self) -> Vec<f64> {
-        (0..self.counts.len()).map(|z| self.true_prefix(z)).collect()
+        (0..self.counts.len())
+            .map(|z| self.true_prefix(z))
+            .collect()
+    }
+
+    /// Draws one user's value, distributed as this population's histogram
+    /// (inverse-CDF over the precomputed prefix sums, `O(log D)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population (there is no value to draw).
+    pub fn sample_value<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(
+            self.total > 0,
+            "cannot sample a value from an empty population"
+        );
+        let r = rng.random_range(0..self.total);
+        // Smallest z with prefix[z + 1] > r, i.e. the value whose count
+        // block contains the r-th user.
+        self.prefix[1..].partition_point(|&c| c <= r)
     }
 
     /// True φ-quantile: the smallest index whose prefix fraction reaches φ.

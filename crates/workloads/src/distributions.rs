@@ -22,13 +22,19 @@ impl CauchyParams {
     /// The paper's default: `P = 0.4`, scale `D/10`.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { center_fraction: 0.4, scale_fraction: 0.1 }
+        Self {
+            center_fraction: 0.4,
+            scale_fraction: 0.1,
+        }
     }
 
     /// A Cauchy centered at fraction `p` with the default scale.
     #[must_use]
     pub fn centered_at(p: f64) -> Self {
-        Self { center_fraction: p, scale_fraction: 0.1 }
+        Self {
+            center_fraction: p,
+            scale_fraction: 0.1,
+        }
     }
 }
 
@@ -66,20 +72,30 @@ impl DistributionKind {
         assert!(domain > 0, "domain must be non-empty");
         let d = domain as f64;
         let raw: Vec<f64> = match *self {
-            Self::Cauchy(CauchyParams { center_fraction, scale_fraction }) => {
+            Self::Cauchy(CauchyParams {
+                center_fraction,
+                scale_fraction,
+            }) => {
                 assert!(scale_fraction > 0.0, "Cauchy scale must be positive");
                 let x0 = center_fraction * d;
                 let gamma = scale_fraction * d;
                 // Mass of cell z is F(z+1) − F(z) for the continuous CDF
                 // F(x) = 1/2 + atan((x − x0)/γ)/π.
                 let cdf = |x: f64| 0.5 + ((x - x0) / gamma).atan() / std::f64::consts::PI;
-                (0..domain).map(|z| cdf(z as f64 + 1.0) - cdf(z as f64)).collect()
+                (0..domain)
+                    .map(|z| cdf(z as f64 + 1.0) - cdf(z as f64))
+                    .collect()
             }
             Self::Zipf { exponent } => {
                 assert!(exponent > 0.0, "Zipf exponent must be positive");
-                (0..domain).map(|z| ((z + 1) as f64).powf(-exponent)).collect()
+                (0..domain)
+                    .map(|z| ((z + 1) as f64).powf(-exponent))
+                    .collect()
             }
-            Self::Gaussian { center_fraction, sd_fraction } => {
+            Self::Gaussian {
+                center_fraction,
+                sd_fraction,
+            } => {
                 assert!(sd_fraction > 0.0, "Gaussian sd must be positive");
                 let mu = center_fraction * d;
                 let sd = sd_fraction * d;
@@ -112,7 +128,10 @@ mod tests {
         for kind in [
             DistributionKind::Cauchy(CauchyParams::paper_default()),
             DistributionKind::Zipf { exponent: 1.1 },
-            DistributionKind::Gaussian { center_fraction: 0.5, sd_fraction: 0.2 },
+            DistributionKind::Gaussian {
+                center_fraction: 0.5,
+                sd_fraction: 0.2,
+            },
             DistributionKind::Uniform,
         ] {
             for domain in [2usize, 256, 1 << 12] {
@@ -172,8 +191,11 @@ mod tests {
 
     #[test]
     fn gaussian_is_symmetric_around_center() {
-        let pmf =
-            DistributionKind::Gaussian { center_fraction: 0.5, sd_fraction: 0.1 }.pmf(256);
+        let pmf = DistributionKind::Gaussian {
+            center_fraction: 0.5,
+            sd_fraction: 0.1,
+        }
+        .pmf(256);
         for off in 1..100usize {
             let a = pmf[128 - off];
             let b = pmf[127 + off];

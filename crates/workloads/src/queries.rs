@@ -42,7 +42,10 @@ pub fn all_ranges(domain: usize) -> impl Iterator<Item = RangeQuery> {
 ///
 /// Panics unless `1 ≤ r ≤ D`.
 pub fn ranges_of_length(domain: usize, r: usize) -> impl Iterator<Item = RangeQuery> {
-    assert!(r >= 1 && r <= domain, "invalid length {r} for domain {domain}");
+    assert!(
+        r >= 1 && r <= domain,
+        "invalid length {r} for domain {domain}"
+    );
     (0..=domain - r).map(move |a| RangeQuery { a, b: a + r - 1 })
 }
 

@@ -27,7 +27,10 @@ fn main() {
     // Usage time: mixture of a big casual mass near zero and a heavy-user
     // bump — modeled as a left-centered Cauchy.
     let dataset = Dataset::sample(
-        DistributionKind::Cauchy(CauchyParams { center_fraction: 0.08, scale_fraction: 0.12 }),
+        DistributionKind::Cauchy(CauchyParams {
+            center_fraction: 0.08,
+            scale_fraction: 0.12,
+        }),
         domain,
         fleet,
         &mut rng,
@@ -41,7 +44,10 @@ fn main() {
         .expect("population histogram matches domain");
     let haar = server.estimate();
 
-    println!("fleet of {fleet} devices, eps = {}, domain = {domain} minutes\n", eps.value());
+    println!(
+        "fleet of {fleet} devices, eps = {}, domain = {domain} minutes\n",
+        eps.value()
+    );
 
     println!("engagement band          truth    estimate");
     for (label, a, b) in [
@@ -73,7 +79,9 @@ fn main() {
     // does not.
     let flat_config = FlatConfig::new(domain, eps).expect("flat config");
     let mut flat_server = FlatServer::new(&flat_config).expect("flat server");
-    flat_server.absorb_population(dataset.counts(), &mut rng).expect("absorb");
+    flat_server
+        .absorb_population(dataset.counts(), &mut rng)
+        .expect("absorb");
     let flat = flat_server.estimate();
 
     let flat_err = prefix_errors(&flat, &dataset);

@@ -35,14 +35,26 @@ fn models() -> [ClassModel; 2] {
         // Non-clickers: older-skewed ages, short sessions.
         ClassModel {
             prior: 0.7,
-            age: DistributionKind::Gaussian { center_fraction: 0.65, sd_fraction: 0.15 },
-            session: DistributionKind::Gaussian { center_fraction: 0.2, sd_fraction: 0.1 },
+            age: DistributionKind::Gaussian {
+                center_fraction: 0.65,
+                sd_fraction: 0.15,
+            },
+            session: DistributionKind::Gaussian {
+                center_fraction: 0.2,
+                sd_fraction: 0.1,
+            },
         },
         // Clickers: younger, longer sessions.
         ClassModel {
             prior: 0.3,
-            age: DistributionKind::Gaussian { center_fraction: 0.35, sd_fraction: 0.12 },
-            session: DistributionKind::Gaussian { center_fraction: 0.55, sd_fraction: 0.15 },
+            age: DistributionKind::Gaussian {
+                center_fraction: 0.35,
+                sd_fraction: 0.12,
+            },
+            session: DistributionKind::Gaussian {
+                center_fraction: 0.55,
+                sd_fraction: 0.15,
+            },
         },
     ]
 }
@@ -105,9 +117,7 @@ fn main() {
             let score = |use_private: bool, c: usize| -> f64 {
                 let prior = ms[c].prior;
                 if use_private {
-                    prior
-                        * likelihood(&private[c].0, age)
-                        * likelihood(&private[c].1, sess)
+                    prior * likelihood(&private[c].0, age) * likelihood(&private[c].1, sess)
                 } else {
                     let (a0, b0) = window(age);
                     let (a1, b1) = window(sess);
@@ -148,5 +158,7 @@ fn main() {
         "agreement with Bayes-optimal rule:              {private_correct_vs_bayes}/{total} = {:.1}%",
         100.0 * f64::from(private_correct_vs_bayes) / f64::from(total)
     );
-    println!("\n(every likelihood was answered by an LDP range query; no raw attribute left a device)");
+    println!(
+        "\n(every likelihood was answered by an LDP range query; no raw attribute left a device)"
+    );
 }

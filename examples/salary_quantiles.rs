@@ -40,15 +40,22 @@ fn main() {
     // Run both recommended mechanisms on the same population.
     let hh_config = HhConfig::new(domain, 4, eps).expect("HH config");
     let mut hh_server = HhServer::new(hh_config).expect("HH server");
-    hh_server.absorb_population(dataset.counts(), &mut rng).expect("absorb");
+    hh_server
+        .absorb_population(dataset.counts(), &mut rng)
+        .expect("absorb");
     let hh = hh_server.estimate_consistent().to_frequency_estimate();
 
     let haar_config = HaarConfig::new(domain, eps).expect("Haar config");
     let mut haar_server = HaarHrrServer::new(haar_config).expect("Haar server");
-    haar_server.absorb_population(dataset.counts(), &mut rng).expect("absorb");
+    haar_server
+        .absorb_population(dataset.counts(), &mut rng)
+        .expect("absorb");
     let haar = haar_server.estimate().to_frequency_estimate();
 
-    println!("{workforce} employees, $500 buckets, eps = {}\n", eps.value());
+    println!(
+        "{workforce} employees, $500 buckets, eps = {}\n",
+        eps.value()
+    );
     println!("decile      truth        HHc4         HaarHRR");
     for i in 1..=9u32 {
         let phi = f64::from(i) / 10.0;

@@ -8,8 +8,8 @@
 //! queries — district densities, marginals, a coarse heatmap — without
 //! access to any individual location.
 
-use ldp_range_queries::ranges::{Hh2dConfig, Hh2dServer};
 use ldp_range_queries::prelude::*;
+use ldp_range_queries::ranges::{Hh2dConfig, Hh2dServer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -72,7 +72,13 @@ fn main() {
 
     println!("district                       truth    estimate");
     for (label, x0, x1, y0, y1) in [
-        ("downtown  [8,24]x[12,28]   ", 8usize, 24usize, 12usize, 28usize),
+        (
+            "downtown  [8,24]x[12,28]   ",
+            8usize,
+            24usize,
+            12usize,
+            28usize,
+        ),
         ("suburb    [36,52]x[40,56]  ", 36, 52, 40, 56),
         ("riverside [0,63]x[0,7]     ", 0, 63, 0, 7),
         ("west half [0,31]x[0,63]    ", 0, 31, 0, 63),
@@ -89,7 +95,10 @@ fn main() {
     for bx in 0..8 {
         let mut row = String::new();
         for by in 0..8 {
-            let v = est.rectangle(bx * 8, bx * 8 + 7, by * 8, by * 8 + 7).max(0.0) * 100.0;
+            let v = est
+                .rectangle(bx * 8, bx * 8 + 7, by * 8, by * 8 + 7)
+                .max(0.0)
+                * 100.0;
             row.push_str(&format!("{v:>6.2}"));
         }
         println!("{row}");

@@ -15,6 +15,9 @@
 //! * [`workloads`] — synthetic data generators and query workloads.
 //! * [`eval`] — the experiment harness that regenerates every table and
 //!   figure of the paper's evaluation section.
+//! * [`service`] — the sharded aggregation service: a versioned wire
+//!   format for every report type, parallel shard-local ingestion with
+//!   exact merging, and snapshot-isolated range/prefix/quantile serving.
 //!
 //! ## Quick start
 //!
@@ -48,17 +51,16 @@ pub use cdp_baselines as centralized;
 pub use ldp_eval as eval;
 pub use ldp_freq_oracle as oracle;
 pub use ldp_ranges as ranges;
+pub use ldp_service as service;
 pub use ldp_transforms as transforms;
 pub use ldp_workloads as workloads;
 
 /// Convenient glob-import surface covering the common types.
 pub mod prelude {
-    pub use ldp_freq_oracle::{
-        AnyOracle, Epsilon, FrequencyOracle, Hrr, Olh, Oue, PointOracle,
-    };
+    pub use ldp_freq_oracle::{AnyOracle, Epsilon, FrequencyOracle, Hrr, Olh, Oue, PointOracle};
     pub use ldp_ranges::{
         quantile, FlatClient, FlatConfig, FlatServer, HaarConfig, HaarHrrClient, HaarHrrServer,
-        HhClient, HhConfig, HhServer, RangeEstimate, RangeMechanism,
+        HhClient, HhConfig, HhServer, MergeableServer, RangeEstimate, RangeMechanism,
     };
     pub use ldp_workloads::{CauchyParams, Dataset, DistributionKind, QueryWorkload};
 }

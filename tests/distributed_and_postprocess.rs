@@ -1,10 +1,8 @@
 //! Integration: sharded (distributed) aggregation and estimate
 //! post-processing.
 
-use ldp_range_queries::ranges::{
-    isotonic_cdf, project_nonnegative_simplex, FrequencyEstimate,
-};
 use ldp_range_queries::prelude::*;
+use ldp_range_queries::ranges::{isotonic_cdf, project_nonnegative_simplex, FrequencyEstimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,7 +19,12 @@ fn cauchy(domain: usize, n: u64, seed: u64) -> Dataset {
 /// Splits a histogram into `k` disjoint shards (round-robin by count).
 fn shard(counts: &[u64], k: u64) -> Vec<Vec<u64>> {
     (0..k)
-        .map(|s| counts.iter().map(|&c| c / k + u64::from(c % k > s)).collect())
+        .map(|s| {
+            counts
+                .iter()
+                .map(|&c| c / k + u64::from(c % k > s))
+                .collect()
+        })
         .collect()
 }
 
@@ -111,8 +114,7 @@ fn simplex_projection_never_hurts_range_accuracy_much() {
             est.frequencies().iter().any(|&f| f < 0.0),
             "noisy flat estimates should have negative cells at eps=0.5"
         );
-        let projected =
-            FrequencyEstimate::new(project_nonnegative_simplex(est.frequencies(), 1.0));
+        let projected = FrequencyEstimate::new(project_nonnegative_simplex(est.frequencies(), 1.0));
         for (a, b) in [(0, 20), (30, 90), (100, 127)] {
             let t = ds.true_range(a, b);
             raw_sq += (est.range(a, b) - t).powi(2);

@@ -116,8 +116,9 @@ fn tree_methods_beat_flat_on_long_ranges_at_scale() {
 
     let reps = 5;
     let r = domain / 2;
-    let probe: Vec<(usize, usize)> =
-        (0..64).map(|i| (i * (domain - r) / 64, i * (domain - r) / 64 + r - 1)).collect();
+    let probe: Vec<(usize, usize)> = (0..64)
+        .map(|i| (i * (domain - r) / 64, i * (domain - r) / 64 + r - 1))
+        .collect();
 
     let mse_of = |est: &dyn RangeEstimate, ds: &Dataset| -> f64 {
         probe

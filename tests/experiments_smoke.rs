@@ -18,8 +18,12 @@ fn ctx() -> EvalContext {
 fn fig4_flat_loses_badly_on_long_ranges() {
     let table = experiments::fig4::run(&ctx());
     // Pull (method → mse) for the longest range length present.
-    let max_r: usize =
-        table.rows().iter().map(|r| r[1].parse::<usize>().unwrap()).max().unwrap();
+    let max_r: usize = table
+        .rows()
+        .iter()
+        .map(|r| r[1].parse::<usize>().unwrap())
+        .max()
+        .unwrap();
     let mse_of = |method: &str| -> f64 {
         table
             .rows()
@@ -35,7 +39,10 @@ fn fig4_flat_loses_badly_on_long_ranges() {
         flat > 3.0 * hh_ci,
         "flat {flat} should lose to consistent HH {hh_ci} on r = {max_r}"
     );
-    assert!(flat > 3.0 * haar, "flat {flat} should lose to HaarHRR {haar}");
+    assert!(
+        flat > 3.0 * haar,
+        "flat {flat} should lose to HaarHRR {haar}"
+    );
 }
 
 #[test]
@@ -81,11 +88,7 @@ fn tab7_reproduces_centralized_ordering() {
     // Wavelet ≈ HHc2, both well above HHc16 — the exact opposite of the
     // local finding, which is the point of Figure 7.
     let get = |label: &str| -> Vec<f64> {
-        table
-            .rows()
-            .iter()
-            .find(|r| r[0] == label)
-            .unwrap()[1..]
+        table.rows().iter().find(|r| r[0] == label).unwrap()[1..]
             .iter()
             .map(|c| c.parse().unwrap())
             .collect()
@@ -97,7 +100,10 @@ fn tab7_reproduces_centralized_ordering() {
         assert!(wavelet[i] > 1.5 * hh16[i], "wavelet should lose centrally");
         assert!(hh2[i] > 1.5 * hh16[i], "HHc2 should lose centrally");
         let near = (wavelet[i] / hh2[i] - 1.0).abs();
-        assert!(near < 0.5, "wavelet and HHc2 should be close, off by {near}");
+        assert!(
+            near < 0.5,
+            "wavelet and HHc2 should be close, off by {near}"
+        );
     }
 }
 
@@ -105,13 +111,19 @@ fn tab7_reproduces_centralized_ordering() {
 fn fig8_accuracy_is_stable_across_centers() {
     let table = experiments::fig8::run(&ctx());
     for col in [2usize, 3] {
-        let vals: Vec<f64> =
-            table.rows().iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
+        let vals: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|r| r[col].parse::<f64>().unwrap())
+            .collect();
         let max = vals.iter().cloned().fold(0.0, f64::max);
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         // "the change in distribution does not make any noticeable
         // difference" — allow generous noise at tiny scale.
-        assert!(max / min.max(1e-9) < 25.0, "column {col} varies wildly: {vals:?}");
+        assert!(
+            max / min.max(1e-9) < 25.0,
+            "column {col} varies wildly: {vals:?}"
+        );
     }
 }
 

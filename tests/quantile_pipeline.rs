@@ -8,7 +8,12 @@ use rand::SeedableRng;
 
 fn dataset(p: f64, domain: usize, n: u64, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset::sample(DistributionKind::Cauchy(CauchyParams::centered_at(p)), domain, n, &mut rng)
+    Dataset::sample(
+        DistributionKind::Cauchy(CauchyParams::centered_at(p)),
+        domain,
+        n,
+        &mut rng,
+    )
 }
 
 fn mechanisms() -> Vec<(&'static str, RangeMechanism)> {
@@ -100,7 +105,14 @@ fn binary_search_uses_logarithmically_many_prefix_queries() {
     }
     let ds = dataset(0.4, 1 << 12, 1 << 16, 27);
     let est = ldp_range_queries::ranges::FrequencyEstimate::new(ds.true_frequencies());
-    let counting = Counting { inner: &est, calls: std::cell::Cell::new(0) };
+    let counting = Counting {
+        inner: &est,
+        calls: std::cell::Cell::new(0),
+    };
     let _ = quantile(&counting, 0.5);
-    assert!(counting.calls.get() <= 12, "used {} prefix queries", counting.calls.get());
+    assert!(
+        counting.calls.get() <= 12,
+        "used {} prefix queries",
+        counting.calls.get()
+    );
 }

@@ -113,8 +113,12 @@ fn eq3_haar_error_is_flat_in_r_and_below_bound() {
     let bound = theory::haar_range_variance_bound(vf, DOMAIN);
     let mut mses = Vec::new();
     for r in [8usize, 32, 128, 224] {
-        let m = empirical_fixed_length_mse(RangeMechanism::HaarHrr, eps, &ds, r, 10, 400 + r as u64);
-        assert!(m < bound, "r={r}: measured {m:.3e} exceeds Eq.(3) bound {bound:.3e}");
+        let m =
+            empirical_fixed_length_mse(RangeMechanism::HaarHrr, eps, &ds, r, 10, 400 + r as u64);
+        assert!(
+            m < bound,
+            "r={r}: measured {m:.3e} exceeds Eq.(3) bound {bound:.3e}"
+        );
         mses.push(m);
     }
     // Flat in r: max/min within a small factor (noise + fringe effects).
@@ -133,13 +137,9 @@ fn prefix_queries_are_easier_than_ranges() {
     let mut range_mse = 0.0;
     let mut prefix_mse = 0.0;
     for _ in 0..reps {
-        let est = ldp_range_queries::eval::run_mechanism(
-            RangeMechanism::HaarHrr,
-            eps,
-            &ds,
-            &mut rng,
-        )
-        .unwrap();
+        let est =
+            ldp_range_queries::eval::run_mechanism(RangeMechanism::HaarHrr, eps, &ds, &mut rng)
+                .unwrap();
         // Compare same-length queries: prefixes [0, r-1] vs interior
         // ranges of the same length.
         let r = 100;
