@@ -1,0 +1,79 @@
+//! The benchmark regression gate: compares a fresh `BENCH_results.json`
+//! against a committed baseline and exits non-zero on any gated metric
+//! regressing beyond tolerance (or disappearing).
+//!
+//! ```text
+//! cargo run -p ldp-bench --release --bin bench_gate -- BENCH_seed.json BENCH_results.json
+//! LDP_BENCH_TOLERANCE=0.5 cargo run -p ldp-bench --release --bin bench_gate
+//! ```
+//!
+//! Direction comes from metric names (`*_per_sec` higher-better, `*_ns`
+//! lower-better; see `ldp_bench::metrics`), so committing a metric to the
+//! baseline is what opts it into gating.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ldp_bench::metrics::{gate, parse_flat_json, tolerance_from_env, Verdict};
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_seed.json".into());
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_results.json".into());
+    let tolerance = tolerance_from_env();
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# bench_gate: {fresh_path} vs baseline {baseline_path}, tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<44}  {:>14}  {:>14}  verdict",
+        "metric", "baseline", "fresh"
+    );
+    let mut failures = 0u32;
+    for row in gate(&baseline, &fresh, tolerance) {
+        let fresh_text = row
+            .fresh
+            .map_or_else(|| "missing".to_string(), |v| format!("{v:.1}"));
+        let verdict = match &row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Ungated => "context",
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING"
+            }
+            Verdict::Regressed(msg) => {
+                failures += 1;
+                eprintln!("bench_gate: REGRESSION: {msg}");
+                "REGRESSED"
+            }
+        };
+        println!(
+            "{:<44}  {:>14.1}  {:>14}  {verdict}",
+            row.name, row.baseline, fresh_text
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} gated metric(s) regressed");
+        ExitCode::FAILURE
+    } else {
+        println!("# all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use ldp_bench::metrics::BenchMetrics;
 use ldp_freq_oracle::Epsilon;
 use ldp_ranges::{HhClient, HhConfig, HhServer, RangeEstimate};
 use ldp_service::{RangeSnapshot, ShardedAggregator};
@@ -75,6 +76,11 @@ fn main() {
         gen_started.elapsed(),
     );
 
+    let mut metrics = BenchMetrics::new();
+    metrics.record("service_users", users as f64);
+    metrics.record("service_domain", domain as f64);
+    metrics.record("service_mean_frame_bytes", stream.mean_frame_bytes());
+
     println!(
         "{:>7}  {:>12}  {:>14}  {:>9}",
         "shards", "ingest", "reports/sec", "speedup"
@@ -89,6 +95,7 @@ fn main() {
         let rate = stream.len() as f64 / elapsed.as_secs_f64();
         let speedup = rate / *base_rate.get_or_insert(rate);
         println!("{shards:>7}  {elapsed:>12.2?}  {rate:>14.0}  {speedup:>8.2}x");
+        metrics.record(&format!("service_shards{shards}_reports_per_sec"), rate);
 
         assert_eq!(
             pool.num_reports(),
@@ -121,4 +128,13 @@ fn main() {
         snap.range(a, b),
         snap.quantile(0.5),
     );
+
+    match metrics.write_to_env_path() {
+        Ok(Some(path)) => println!("# metrics written to {path}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("service_throughput: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -8,6 +8,8 @@
 //! LDP_FULL_SCALE=1 cargo run -p ldp-bench --release --bin fig4   # paper scale
 //! ```
 
+pub mod metrics;
+
 use ldp_eval::{EvalContext, Table};
 
 /// Runs one experiment entry point and prints its table with a scale

@@ -1,5 +1,5 @@
 //! Privelet: centralized differential privacy in the Haar wavelet domain
-//! (Xiao, Wang & Gehrke, TKDE 2011 — reference [29] of the paper).
+//! (Xiao, Wang & Gehrke, TKDE 2011 — reference \[29\] of the paper).
 //!
 //! The trusted aggregator computes the exact orthonormal Haar transform of
 //! the count histogram and perturbs each coefficient with Laplace noise

@@ -94,6 +94,17 @@ impl FlatServer {
         Ok(self.oracle.merge(&other.oracle)?)
     }
 
+    /// Removes a previously merged accumulator — the exact inverse of
+    /// [`FlatServer::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards of mismatched shape, or state that was never merged
+    /// into this one.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        Ok(self.oracle.subtract(&other.oracle)?)
+    }
+
     /// Number of reports absorbed.
     #[must_use]
     pub fn num_reports(&self) -> u64 {

@@ -230,6 +230,26 @@ impl HhServer {
         Ok(())
     }
 
+    /// Removes a previously merged shard's per-level accumulators — the
+    /// exact inverse of [`HhServer::merge`]. Staged against a copy so an
+    /// underflow at any level leaves this server untouched.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards of mismatched shape, or state that was never merged
+    /// into this one.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.domain != self.config.domain || other.config.fanout != self.config.fanout {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        let mut staged = self.levels.clone();
+        for (a, b) in staged.iter_mut().zip(&other.levels) {
+            a.subtract(b)?;
+        }
+        self.levels = staged;
+        Ok(())
+    }
+
     /// Accumulates one user report at its sampled level.
     ///
     /// # Errors

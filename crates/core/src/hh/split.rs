@@ -152,6 +152,26 @@ impl HhSplitServer {
         Ok(())
     }
 
+    /// Removes a previously merged shard's per-level accumulators — the
+    /// exact inverse of [`HhSplitServer::merge`]. Staged against a copy so
+    /// an underflow at any level leaves this server untouched.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards of mismatched shape, or state that was never merged
+    /// into this one.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.domain != self.config.domain || other.config.fanout != self.config.fanout {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        let mut staged = self.levels.clone();
+        for (a, b) in staged.iter_mut().zip(&other.levels) {
+            a.subtract(b)?;
+        }
+        self.levels = staged;
+        Ok(())
+    }
+
     /// Accumulates one user's multi-level report.
     ///
     /// # Errors

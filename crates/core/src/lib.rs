@@ -19,7 +19,7 @@
 //!   with consistency by design.
 //!
 //! On top of any mechanism's [`RangeEstimate`]: prefix queries (§4.7),
-//! quantile search ([`quantile`]), and the two-dimensional extension
+//! quantile search ([`quantile()`]), and the two-dimensional extension
 //! ([`multidim`], §6). The [`theory`] module carries the paper's
 //! closed-form bounds for cross-checking; every server also offers an
 //! `absorb_population` fast path — the statistically-equivalent simulation
@@ -46,7 +46,7 @@ pub use haar::calibration::{HaarOueClient, HaarOueReport, HaarOueServer};
 pub use haar::{HaarEstimate, HaarHrrClient, HaarHrrReport, HaarHrrServer};
 pub use hh::split::{HhSplitClient, HhSplitReport, HhSplitServer};
 pub use hh::{HhClient, HhEstimate, HhReport, HhServer};
-pub use mergeable::MergeableServer;
+pub use mergeable::{MergeableServer, SubtractableServer};
 pub use multidim::{Hh2dClient, Hh2dConfig, Hh2dEstimate, Hh2dReport, Hh2dServer};
 pub use postprocess::{isotonic_cdf, isotonic_regression, project_nonnegative_simplex};
 pub use quantile::{deciles, quantile, true_quantile};

@@ -64,6 +64,39 @@ pub trait MergeableServer: Clone + Send {
     fn num_reports(&self) -> u64;
 }
 
+/// A mergeable aggregator whose merges can also be *undone* exactly.
+///
+/// # Contract
+///
+/// `subtract` is the bit-identical inverse of [`MergeableServer::merge`]:
+/// for any states `a` and `b` of the same shape,
+///
+/// ```text
+/// merge(a, b).subtract(b)  ==  a        (bit-for-bit)
+/// ```
+///
+/// This holds because every mechanism's state is a vector of integer
+/// sufficient statistics — integer addition is exactly invertible, with
+/// none of the rounding drift a float accumulator would pick up. The
+/// capability is what makes sliding-window aggregation cheap: a window of
+/// `K` epochs retires its oldest epoch with one `subtract` (`O(state)`)
+/// instead of re-merging the surviving `K − 1` epochs from scratch.
+///
+/// Subtracting state that was never merged in is a contract violation;
+/// implementations detect it where the integers can witness it (a count
+/// would go negative, a report total would underflow) and reject with an
+/// error, leaving the accumulator unchanged.
+pub trait SubtractableServer: MergeableServer {
+    /// Removes another accumulator's state from this one — the exact
+    /// inverse of [`MergeableServer::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects accumulators built from a different configuration, and
+    /// state that was detectably never merged into this one.
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError>;
+}
+
 impl MergeableServer for FlatServer {
     type Report = AnyReport;
 
@@ -160,6 +193,42 @@ impl MergeableServer for Hh2dServer {
     }
 }
 
+impl SubtractableServer for FlatServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        FlatServer::subtract(self, other)
+    }
+}
+
+impl SubtractableServer for HhServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        HhServer::subtract(self, other)
+    }
+}
+
+impl SubtractableServer for HhSplitServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        HhSplitServer::subtract(self, other)
+    }
+}
+
+impl SubtractableServer for HaarHrrServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        HaarHrrServer::subtract(self, other)
+    }
+}
+
+impl SubtractableServer for HaarOueServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        HaarOueServer::subtract(self, other)
+    }
+}
+
+impl SubtractableServer for Hh2dServer {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        Hh2dServer::subtract(self, other)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +311,97 @@ mod tests {
             3,
             |s: &HhServer| s.estimate_consistent().to_frequency_estimate().cdf(),
         );
+    }
+
+    /// `merge(a, b).subtract(b) ≡ a` bit-for-bit, and subtracting the
+    /// same state twice underflows rather than corrupting.
+    fn assert_subtract_inverts_merge<S, F, R>(make: F, reports: &[S::Report], estimate: R)
+    where
+        S: SubtractableServer,
+        F: Fn() -> S,
+        R: Fn(&S) -> Vec<f64>,
+    {
+        let split = reports.len() / 2;
+        let mut a = make();
+        for r in &reports[..split] {
+            a.absorb(r).unwrap();
+        }
+        let mut b = make();
+        for r in &reports[split..] {
+            b.absorb(r).unwrap();
+        }
+        let before = estimate(&a);
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        merged.subtract(&b).unwrap();
+        assert_eq!(a.num_reports(), merged.num_reports());
+        for (x, y) in before.iter().zip(&estimate(&merged)) {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "subtract did not invert merge: {x} vs {y}"
+            );
+        }
+        // `b` is gone from `merged`; removing it again must be rejected
+        // (unless b is empty, in which case it is a no-op).
+        if b.num_reports() > 0 {
+            assert!(merged.subtract(&b).is_err(), "double subtraction allowed");
+        }
+    }
+
+    #[test]
+    fn flat_subtract_inverts_merge() {
+        let eps = Epsilon::new(1.1);
+        let config = FlatConfig::new(32, eps).unwrap();
+        let client = FlatClient::new(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(311);
+        let reports: Vec<_> = (0..400)
+            .map(|i| client.report(i % 32, &mut rng).unwrap())
+            .collect();
+        assert_subtract_inverts_merge(
+            || FlatServer::new(&config).unwrap(),
+            &reports,
+            |s: &FlatServer| s.estimate().frequencies().to_vec(),
+        );
+    }
+
+    #[test]
+    fn hh_subtract_inverts_merge() {
+        let eps = Epsilon::new(1.1);
+        let config = HhConfig::new(64, 4, eps).unwrap();
+        let client = HhClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(312);
+        let reports: Vec<_> = (0..400)
+            .map(|i| client.report(i % 64, &mut rng).unwrap())
+            .collect();
+        assert_subtract_inverts_merge(
+            || HhServer::new(config.clone()).unwrap(),
+            &reports,
+            |s: &HhServer| s.estimate_consistent().to_frequency_estimate().cdf(),
+        );
+    }
+
+    #[test]
+    fn haar_subtract_inverts_merge() {
+        let eps = Epsilon::new(1.1);
+        let config = HaarConfig::new(64, eps).unwrap();
+        let client = HaarHrrClient::new(config.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(313);
+        let reports: Vec<_> = (0..400)
+            .map(|i| client.report(i % 64, &mut rng).unwrap())
+            .collect();
+        assert_subtract_inverts_merge(
+            || HaarHrrServer::new(config.clone()).unwrap(),
+            &reports,
+            |s: &HaarHrrServer| s.estimate().to_frequency_estimate().cdf(),
+        );
+    }
+
+    #[test]
+    fn subtract_rejects_mismatched_shapes() {
+        let eps = Epsilon::new(1.0);
+        let mut a = HhServer::new(HhConfig::new(64, 2, eps).unwrap()).unwrap();
+        let b = HhServer::new(HhConfig::new(64, 4, eps).unwrap()).unwrap();
+        assert!(SubtractableServer::subtract(&mut a, &b).is_err());
     }
 
     #[test]

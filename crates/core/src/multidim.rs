@@ -238,6 +238,26 @@ impl Hh2dServer {
         Ok(())
     }
 
+    /// Removes a previously merged shard's per-grid accumulators — the
+    /// exact inverse of [`Hh2dServer::merge`]. Staged against a copy so an
+    /// underflow at any grid leaves this server untouched.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shards of mismatched shape, or state that was never merged
+    /// into this one.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        if other.config.side != self.config.side || other.config.fanout != self.config.fanout {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        let mut staged = self.grids.clone();
+        for (a, b) in staged.iter_mut().zip(&other.grids) {
+            a.subtract(b)?;
+        }
+        self.grids = staged;
+        Ok(())
+    }
+
     /// Accumulates one report.
     ///
     /// # Errors

@@ -24,6 +24,9 @@ pub enum OracleError {
         /// Domain the server expects.
         server: usize,
     },
+    /// A subtraction would drive an accumulator negative — the subtrahend
+    /// was never merged into this state, so removing it is meaningless.
+    SubtractUnderflow,
 }
 
 impl fmt::Display for OracleError {
@@ -41,6 +44,9 @@ impl fmt::Display for OracleError {
                     f,
                     "report encoded for domain {report}, server expects {server}"
                 )
+            }
+            Self::SubtractUnderflow => {
+                write!(f, "subtrahend state was never merged into this accumulator")
             }
         }
     }
@@ -70,5 +76,8 @@ mod tests {
             server: 8,
         };
         assert!(e.to_string().contains("4"));
+        assert!(OracleError::SubtractUnderflow
+            .to_string()
+            .contains("never merged"));
     }
 }

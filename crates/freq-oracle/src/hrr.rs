@@ -124,6 +124,33 @@ impl Hrr {
         Ok(())
     }
 
+    /// Removes a previously merged shard's coefficient sums — the exact
+    /// inverse of [`Hrr::merge`] (see [`crate::Oue::subtract`]). The ±1
+    /// sums are signed, so only the report count can witness that `other`
+    /// was never merged in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] on shape mismatch and
+    /// [`OracleError::SubtractUnderflow`] when `other` reflects more
+    /// reports than this state. The accumulator is unchanged on error.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), OracleError> {
+        if other.domain != self.domain || other.eps != self.eps {
+            return Err(OracleError::ReportDomainMismatch {
+                report: other.domain,
+                server: self.domain,
+            });
+        }
+        if self.reports < other.reports {
+            return Err(OracleError::SubtractUnderflow);
+        }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a -= b;
+        }
+        self.reports -= other.reports;
+        Ok(())
+    }
+
     /// Encodes a *signed* one-hot input `sign·e_value` (`sign ∈ {−1, +1}`).
     ///
     /// This is the primitive the Haar mechanism perturbs its wavelet levels

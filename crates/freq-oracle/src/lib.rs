@@ -125,6 +125,29 @@ impl AnyOracle {
         }
     }
 
+    /// Removes a previously merged shard of the same kind and shape — the
+    /// exact inverse of [`AnyOracle::merge`], enabling sliding-window
+    /// aggregation (retire the oldest epoch by subtraction instead of
+    /// recomputing the surviving epochs from scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] when kinds or shapes
+    /// differ and [`OracleError::SubtractUnderflow`] when `other` was
+    /// never merged into this state.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), OracleError> {
+        match (self, other) {
+            (Self::Oue(a), Self::Oue(b)) => a.subtract(b),
+            (Self::Olh(a), Self::Olh(b)) => a.subtract(b),
+            (Self::Hrr(a), Self::Hrr(b)) => a.subtract(b),
+            (Self::Sue(a), Self::Sue(b)) => a.subtract(b),
+            (s, o) => Err(OracleError::ReportDomainMismatch {
+                report: o.domain(),
+                server: s.domain(),
+            }),
+        }
+    }
+
     /// Checks — without mutating any state — that `report` has the kind
     /// and shape this oracle's `absorb` would accept. Lets multi-oracle
     /// aggregators (e.g. the budget-split server, which absorbs one layer

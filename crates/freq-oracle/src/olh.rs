@@ -114,6 +114,33 @@ impl Olh {
         self.reports += other.reports;
         Ok(())
     }
+
+    /// Removes a previously merged shard's support counts — the exact
+    /// inverse of [`Olh::merge`] (see [`crate::Oue::subtract`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] on shape mismatch and
+    /// [`OracleError::SubtractUnderflow`] if `other` was never merged into
+    /// this state. The accumulator is unchanged on error.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), OracleError> {
+        if other.domain != self.domain || other.eps != self.eps {
+            return Err(OracleError::ReportDomainMismatch {
+                report: other.domain,
+                server: self.domain,
+            });
+        }
+        if self.reports < other.reports
+            || self.support.iter().zip(&other.support).any(|(a, b)| a < b)
+        {
+            return Err(OracleError::SubtractUnderflow);
+        }
+        for (a, b) in self.support.iter_mut().zip(&other.support) {
+            *a -= b;
+        }
+        self.reports -= other.reports;
+        Ok(())
+    }
 }
 
 impl PointOracle for Olh {

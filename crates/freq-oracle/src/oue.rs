@@ -169,6 +169,35 @@ impl Oue {
         self.reports += other.reports;
         Ok(())
     }
+
+    /// Removes a previously merged shard's accumulator — the exact inverse
+    /// of [`Oue::merge`]: `merge(b)` followed by `subtract(b)` restores the
+    /// state bit-for-bit. This is what lets a sliding window retire its
+    /// oldest epoch without recomputing the surviving epochs from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] on shape mismatch and
+    /// [`OracleError::SubtractUnderflow`] if `other` holds counts this
+    /// state does not contain (it was never merged in). The accumulator is
+    /// unchanged on error.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), OracleError> {
+        if other.domain != self.domain || other.eps != self.eps {
+            return Err(OracleError::ReportDomainMismatch {
+                report: other.domain,
+                server: self.domain,
+            });
+        }
+        if self.reports < other.reports || self.counts.iter().zip(&other.counts).any(|(a, b)| a < b)
+        {
+            return Err(OracleError::SubtractUnderflow);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+        self.reports -= other.reports;
+        Ok(())
+    }
 }
 
 impl PointOracle for Oue {

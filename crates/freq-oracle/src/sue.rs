@@ -1,5 +1,5 @@
 //! Symmetric Unary Encoding (SUE) — basic one-time RAPPOR (Erlingsson et
-//! al., CCS 2014; reference [12] of the paper).
+//! al., CCS 2014; reference \[12\] of the paper).
 //!
 //! Like OUE, the user one-hot encodes her value and flips bits
 //! independently; unlike OUE the flip probabilities are *symmetric*:
@@ -98,6 +98,32 @@ impl Sue {
             *a += b;
         }
         self.reports += other.reports;
+        Ok(())
+    }
+
+    /// Removes a previously merged shard's accumulator — the exact inverse
+    /// of [`Sue::merge`] (see [`crate::Oue::subtract`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::ReportDomainMismatch`] on shape mismatch and
+    /// [`OracleError::SubtractUnderflow`] if `other` was never merged into
+    /// this state. The accumulator is unchanged on error.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), OracleError> {
+        if other.domain != self.domain || other.eps != self.eps {
+            return Err(OracleError::ReportDomainMismatch {
+                report: other.domain,
+                server: self.domain,
+            });
+        }
+        if self.reports < other.reports || self.counts.iter().zip(&other.counts).any(|(a, b)| a < b)
+        {
+            return Err(OracleError::SubtractUnderflow);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+        self.reports -= other.reports;
         Ok(())
     }
 }

@@ -59,6 +59,30 @@ pub enum ServiceError {
     NoShards,
     /// A worker thread panicked while ingesting.
     WorkerPanicked,
+    /// One frame of an all-or-nothing batch was rejected. Carries the
+    /// offending frame's position in the batch and the report type being
+    /// ingested, so a producer can locate the bad frame in its own buffer
+    /// instead of bisecting the batch.
+    BadFrame {
+        /// Zero-based position of the rejected frame within the batch.
+        index: usize,
+        /// The report type the batch was being decoded/absorbed as.
+        report_type: &'static str,
+        /// Why the frame was rejected.
+        source: Box<ServiceError>,
+    },
+    /// An epoch-tagged report named an epoch other than the one currently
+    /// open for ingestion (a stale straggler or a clock-skewed producer).
+    EpochMismatch {
+        /// Epoch id carried by the frame.
+        frame: u64,
+        /// Epoch currently open for ingestion.
+        current: u64,
+    },
+    /// The window cannot hold or produce anything: a ring was configured
+    /// with a zero window length or epoch width, or a windowed query
+    /// asked for zero epochs / ran before any epoch was sealed.
+    EmptyWindow,
 }
 
 impl fmt::Display for ServiceError {
@@ -68,11 +92,33 @@ impl fmt::Display for ServiceError {
             Self::Range(e) => write!(f, "mechanism error: {e}"),
             Self::NoShards => write!(f, "aggregator needs at least one shard"),
             Self::WorkerPanicked => write!(f, "ingestion worker panicked"),
+            Self::BadFrame {
+                index,
+                report_type,
+                source,
+            } => write!(f, "frame {index} of {report_type} batch rejected: {source}"),
+            Self::EpochMismatch { frame, current } => write!(
+                f,
+                "frame tagged for epoch {frame}, but epoch {current} is open for ingestion"
+            ),
+            Self::EmptyWindow => write!(
+                f,
+                "window is empty: zero window length/epoch width, or no epoch sealed yet"
+            ),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            Self::Range(e) => Some(e),
+            Self::BadFrame { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<WireError> for ServiceError {
     fn from(e: WireError) -> Self {

@@ -47,9 +47,18 @@
 //! * [`service`] — [`LdpService`]: the live front combining round-robin
 //!   mutex-sharded ingestion with atomic snapshot publication, so queries
 //!   keep answering while reports stream in.
+//! * [`window`] — [`EpochRing`]: time-windowed streaming aggregation.
+//!   Per-epoch accumulators in a ring, rotation that retires the oldest
+//!   epoch by *exact subtraction* ([`SubtractableServer`]) instead of a
+//!   full recompute, and [`WindowedSnapshot`] handles answering
+//!   range/prefix/quantile queries over any trailing window while
+//!   ingestion continues. Wire v2 frames carry an epoch id so stale
+//!   stragglers are rejected, not folded into the wrong window.
 //! * [`loadgen`] — replay of [`ldp_workloads::Dataset`] populations as
 //!   deterministic encoded report streams ([`EncodedStream`]), powering
-//!   the `service_throughput` benchmark and the integration tests.
+//!   the `service_throughput` benchmark and the integration tests; the
+//!   drifting variant ([`generate_drifting_epochs`]) replays a population
+//!   that shifts across epochs, the workload windowed queries exist for.
 //!
 //! ## Quick start
 //!
@@ -86,15 +95,17 @@ pub mod loadgen;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod window;
 pub mod wire;
 
 pub use error::{ServiceError, WireError};
-pub use loadgen::{generate_stream, EncodedStream, ValueSampler};
+pub use loadgen::{generate_drifting_epochs, generate_stream, EncodedStream, ValueSampler};
 pub use service::LdpService;
 pub use shard::ShardedAggregator;
 pub use snapshot::{RangeSnapshot, SnapshotSource};
-pub use wire::{decode_all, decode_frame, WireReport};
+pub use window::{EpochRing, SealedEpoch, WindowedSnapshot};
+pub use wire::{decode_all, decode_epoch_frame, decode_frame, WireReport};
 
-// Re-export the trait the whole crate is generic over, so users need only
-// this crate for the service surface.
-pub use ldp_ranges::MergeableServer;
+// Re-export the traits the whole crate is generic over, so users need
+// only this crate for the service surface.
+pub use ldp_ranges::{MergeableServer, SubtractableServer};

@@ -10,7 +10,7 @@
 //! re-scanning it.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use ldp_workloads::Dataset;
 
@@ -44,6 +44,12 @@ impl EncodedStream {
     /// Appends one report as a frame.
     pub fn push<T: WireReport>(&mut self, report: &T) {
         report.encode_frame(&mut self.buf);
+        self.offsets.push(self.buf.len());
+    }
+
+    /// Appends one report as an epoch-tagged (v2) frame.
+    pub fn push_epoch<T: WireReport>(&mut self, report: &T, epoch: u64) {
+        crate::wire::encode_epoch_frame(report, epoch, &mut self.buf);
         self.offsets.push(self.buf.len());
     }
 
@@ -157,6 +163,58 @@ where
         stream.push(&report);
     }
     stream
+}
+
+/// Timestamped replay with a drifting population: one encoded stream per
+/// epoch, all frames epoch-tagged (wire v2).
+///
+/// Epoch `e` draws each user from a mixture of the two endpoint
+/// populations: with probability `e / (epochs − 1)` from `to`, otherwise
+/// from `from`. The first epoch replays `from` exactly (a single-epoch
+/// plan is all `from`), the last replays `to`, and the mixture shifts
+/// linearly in between — so sliding-window estimates over the streams
+/// *visibly track the drift* while all-time aggregates blur it.
+/// Deterministic in `seed`, like [`generate_stream`].
+///
+/// # Panics
+///
+/// Panics when `epochs == 0` or either population is empty.
+pub fn generate_drifting_epochs<T, F>(
+    from: &Dataset,
+    to: &Dataset,
+    epochs: usize,
+    users_per_epoch: u64,
+    seed: u64,
+    mut encode: F,
+) -> Vec<EncodedStream>
+where
+    T: WireReport,
+    F: FnMut(usize, &mut StdRng) -> T,
+{
+    assert!(epochs > 0, "a drifting replay needs at least one epoch");
+    let from_sampler = ValueSampler::new(from);
+    let to_sampler = ValueSampler::new(to);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..epochs)
+        .map(|e| {
+            let t = if epochs == 1 {
+                0.0
+            } else {
+                e as f64 / (epochs - 1) as f64
+            };
+            let mut stream = EncodedStream::new();
+            for _ in 0..users_per_epoch {
+                let value = if rng.random::<f64>() < t {
+                    to_sampler.draw(&mut rng)
+                } else {
+                    from_sampler.draw(&mut rng)
+                };
+                let report = encode(value, &mut rng);
+                stream.push_epoch(&report, e as u64);
+            }
+            stream
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -22,8 +22,11 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use ldp_ranges::SubtractableServer;
+
 use crate::error::ServiceError;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
+use crate::window::{EpochRing, WindowedSnapshot};
 use crate::wire::{decode_frame, WireReport};
 
 /// A sharded LDP aggregation service with snapshot-isolated reads.
@@ -146,6 +149,139 @@ impl<S: SnapshotSource> LdpService<S> {
         let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
         *self.published.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
         Ok(snap)
+    }
+}
+
+/// The windowed streaming front: every shard holds an [`EpochRing`], so
+/// the service ingests into the open epoch, seals epochs in lockstep
+/// across shards, and answers sliding-window queries while reports keep
+/// arriving. [`LdpService::refresh_snapshot`] on a windowed service
+/// publishes the *trailing-window* estimate (retained sealed epochs plus
+/// the open one), not the all-time population.
+impl<S> LdpService<EpochRing<S>>
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    /// Builds a windowed service: `num_shards` shards, each an epoch ring
+    /// retaining `window_len` sealed epochs. Shard rings use manual
+    /// sealing only (driven by [`LdpService::seal_epoch`]) so they stay
+    /// epoch-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `num_shards == 0` and `window_len == 0`.
+    pub fn windowed(
+        prototype: &S,
+        num_shards: usize,
+        window_len: usize,
+    ) -> Result<Self, ServiceError> {
+        let ring = EpochRing::new(prototype, window_len)?;
+        Self::new(&ring, num_shards)
+    }
+
+    /// Id of the epoch currently open for ingestion.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.shards[0]
+            .lock()
+            .expect("shard mutex poisoned")
+            .current_epoch()
+    }
+
+    /// Seals the open epoch on every shard and returns its id. Holds the
+    /// refresh lock for the whole sweep so a concurrent
+    /// [`LdpService::refresh_snapshot`] or [`LdpService::window_snapshot`]
+    /// never observes half-sealed (epoch-misaligned) shards.
+    ///
+    /// Boundary semantics for concurrent submitters: an *untagged* (v1)
+    /// report racing the seal lands on one side of the boundary or the
+    /// other; a *tagged* (v2) report racing the seal may be routed to a
+    /// shard that has already advanced and be rejected with
+    /// [`ServiceError::EpochMismatch`] — rejection, not misplacement, is
+    /// the designed failure mode, and the producer resubmits under the
+    /// new epoch id (or untagged).
+    ///
+    /// # Errors
+    ///
+    /// Impossible for shards built by [`LdpService::windowed`]; an error
+    /// indicates corrupted state.
+    pub fn seal_epoch(&self) -> Result<u64, ServiceError> {
+        let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+        let mut sealed = None;
+        for shard in &self.shards {
+            let id = shard.lock().expect("shard mutex poisoned").seal_epoch()?;
+            debug_assert!(sealed.is_none_or(|s| s == id), "shards sealed out of step");
+            sealed = Some(id);
+        }
+        Ok(sealed.expect("at least one shard"))
+    }
+
+    /// Decodes one wire frame — v1 (epoch-less) or v2 (epoch-tagged) —
+    /// and absorbs it into the open epoch. A v2 tag naming any epoch
+    /// other than the open one is rejected: a stale straggler must not be
+    /// silently folded into the wrong window. This includes tagged frames
+    /// racing a concurrent [`LdpService::seal_epoch`] (see its boundary
+    /// semantics) — resubmit under the fresh epoch id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire and mechanism errors;
+    /// [`ServiceError::EpochMismatch`] for stale or future tags.
+    pub fn submit_epoch_frame(&self, frame: &[u8]) -> Result<(), ServiceError>
+    where
+        S::Report: WireReport,
+    {
+        let (epoch, report, used) = crate::wire::decode_epoch_frame::<S::Report>(frame)?;
+        if used != frame.len() {
+            return Err(crate::error::WireError::Malformed("trailing bytes after frame").into());
+        }
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        shard.absorb_tagged(epoch, &report)
+    }
+
+    /// Merges the shard rings and freezes the trailing `epochs` sealed
+    /// epochs into an immutable windowed query handle. Serialized with
+    /// sealing (see [`LdpService::seal_epoch`]); queries on the returned
+    /// snapshot are lock-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::EmptyWindow`] when `epochs == 0` or no
+    /// epoch has been sealed yet.
+    pub fn window_snapshot(&self, epochs: usize) -> Result<WindowedSnapshot, ServiceError> {
+        // Extract each shard's trailing-window server (for the common
+        // full-window query that is a clone of the shard's running merge)
+        // under the refresh guard, so a concurrent seal cannot leave the
+        // extraction straddling an epoch boundary. Merging and the
+        // expensive estimation run after the guard drops — sealing and
+        // snapshot refreshes never wait on estimation.
+        let (servers, bounds) = {
+            let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+            let mut servers = Vec::with_capacity(self.shards.len());
+            let mut bounds = None;
+            for shard in &self.shards {
+                let ring = shard.lock().expect("shard mutex poisoned");
+                servers.push(ring.window_server(epochs)?);
+                if bounds.is_none() {
+                    // Shards seal in lockstep (under this same guard), so
+                    // every shard reports identical bounds.
+                    bounds = ring.window_bounds(epochs);
+                }
+            }
+            (servers, bounds)
+        };
+        let (first, last) = bounds.ok_or(ServiceError::EmptyWindow)?;
+        let mut servers = servers.into_iter();
+        let mut merged = servers.next().expect("at least one shard");
+        for server in servers {
+            merged.merge(&server)?;
+        }
+        Ok(WindowedSnapshot::from_parts(
+            RangeSnapshot::freeze(&merged, last),
+            first,
+            last,
+        ))
     }
 }
 

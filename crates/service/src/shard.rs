@@ -69,13 +69,15 @@ impl<S: MergeableServer> ShardedAggregator<S> {
     ///
     /// # Errors
     ///
-    /// Propagates the first shard's absorb error; a panicking worker
-    /// surfaces as [`ServiceError::WorkerPanicked`]. The aggregator state
-    /// is unchanged on error.
+    /// A rejected report surfaces as [`ServiceError::BadFrame`] carrying
+    /// its batch index and report type (the lowest-indexed offender when
+    /// several shards reject); a panicking worker surfaces as
+    /// [`ServiceError::WorkerPanicked`]. The aggregator state is
+    /// unchanged on error.
     pub fn ingest(&mut self, reports: &[S::Report]) -> Result<(), ServiceError> {
         self.run_sharded(reports.len(), |shard, lo, hi| {
-            for report in &reports[lo..hi] {
-                shard.absorb(report)?;
+            for (i, report) in reports[lo..hi].iter().enumerate() {
+                shard.absorb(report).map_err(|e| (lo + i, e.into()))?;
             }
             Ok(())
         })
@@ -88,8 +90,10 @@ impl<S: MergeableServer> ShardedAggregator<S> {
     ///
     /// # Errors
     ///
-    /// Propagates the first decode or absorb error; state is unchanged on
-    /// error.
+    /// A malformed or rejected frame surfaces as
+    /// [`ServiceError::BadFrame`] carrying its frame index and report
+    /// type, so the producer can locate the offender in its own buffer
+    /// without bisecting the batch; state is unchanged on error.
     pub fn ingest_encoded(&mut self, stream: &EncodedStream) -> Result<(), ServiceError>
     where
         S::Report: WireReport,
@@ -97,16 +101,15 @@ impl<S: MergeableServer> ShardedAggregator<S> {
         self.run_sharded(stream.len(), |shard, lo, hi| {
             for i in lo..hi {
                 let frame = stream.frame(i);
-                let (report, used) = decode_frame::<S::Report>(frame)?;
+                let (report, used) = decode_frame::<S::Report>(frame).map_err(|e| (i, e.into()))?;
                 if used != frame.len() {
                     // A frame slot holding more than one frame's bytes
                     // (e.g. a sloppy push_raw) would silently drop the
                     // excess — surface it instead.
-                    return Err(
-                        crate::error::WireError::Malformed("trailing bytes after frame").into(),
-                    );
+                    let e = crate::error::WireError::Malformed("trailing bytes after frame");
+                    return Err((i, e.into()));
                 }
-                shard.absorb(&report)?;
+                shard.absorb(&report).map_err(|e| (i, e.into()))?;
             }
             Ok(())
         })
@@ -117,21 +120,27 @@ impl<S: MergeableServer> ShardedAggregator<S> {
     /// shards, swapped in only if every chunk succeeds. The clone is one
     /// accumulator state per shard (O(domain), independent of batch size),
     /// the price of batch atomicity.
+    ///
+    /// Workers report failures as `(item index, error)`; when several
+    /// shards fail, the lowest-indexed offender wins, so the surfaced
+    /// [`ServiceError::BadFrame`] is deterministic regardless of thread
+    /// timing.
     fn run_sharded<F>(&mut self, n: usize, work: F) -> Result<(), ServiceError>
     where
-        F: Fn(&mut S, usize, usize) -> Result<(), ServiceError> + Sync,
+        F: Fn(&mut S, usize, usize) -> Result<(), (usize, ServiceError)> + Sync,
     {
         let num_shards = self.shards.len();
         let per_shard = n.div_ceil(num_shards.max(1));
         if num_shards == 1 || per_shard == 0 {
             let mut staged = self.shards[0].clone();
-            work(&mut staged, 0, n)?;
+            work(&mut staged, 0, n).map_err(Self::bad_frame)?;
             self.shards[0] = staged;
             return Ok(());
         }
         let mut staged: Vec<S> = self.shards.clone();
         let work = &work;
-        let mut results: Vec<Result<(), ServiceError>> = Vec::with_capacity(num_shards);
+        let mut panicked = false;
+        let mut failures: Vec<(usize, ServiceError)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = staged
                 .iter_mut()
@@ -143,12 +152,32 @@ impl<S: MergeableServer> ShardedAggregator<S> {
                 })
                 .collect();
             for handle in handles {
-                results.push(handle.join().unwrap_or(Err(ServiceError::WorkerPanicked)));
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(failure)) => failures.push(failure),
+                    Err(_) => panicked = true,
+                }
             }
         });
-        results.into_iter().collect::<Result<(), ServiceError>>()?;
+        if panicked {
+            return Err(ServiceError::WorkerPanicked);
+        }
+        if let Some(first) = failures.into_iter().min_by_key(|(i, _)| *i) {
+            return Err(Self::bad_frame(first));
+        }
         self.shards = staged;
         Ok(())
+    }
+
+    fn bad_frame((index, error): (usize, ServiceError)) -> ServiceError {
+        // The unqualified type name ("HhReport", not the full path) is
+        // what a log line wants.
+        let full = std::any::type_name::<S::Report>();
+        ServiceError::BadFrame {
+            index,
+            report_type: full.rsplit("::").next().unwrap_or(full),
+            source: Box::new(error),
+        }
     }
 
     /// Folds every shard into one server — exactly the state of a
@@ -220,14 +249,27 @@ mod tests {
         let baseline = agg.merged().unwrap().estimate().to_frequency_estimate();
 
         // Typed path: a report with an impossible depth fails absorb
-        // mid-batch; nothing from the batch may stick.
+        // mid-batch; nothing from the batch may stick, and the error
+        // names the offending index and report type.
         let mut bad_batch = reports(50, 504, &config);
         let alien = bad_batch[0].inner().clone();
         bad_batch[25] = ldp_ranges::HhReport::from_parts(99, alien);
-        assert!(agg.ingest(&bad_batch).is_err());
+        match agg.ingest(&bad_batch).unwrap_err() {
+            ServiceError::BadFrame {
+                index,
+                report_type,
+                source,
+            } => {
+                assert_eq!(index, 25, "wrong offender index");
+                assert_eq!(report_type, "HhReport");
+                assert!(matches!(*source, ServiceError::Range(_)));
+            }
+            other => panic!("expected BadFrame, got {other}"),
+        }
         assert_eq!(agg.num_reports(), 100, "failed batch leaked reports");
 
-        // Encoded path: one malformed frame poisons the whole stream.
+        // Encoded path: one malformed frame poisons the whole stream,
+        // and its frame index is surfaced.
         let client = HhClient::new(config.clone()).unwrap();
         let mut rng = StdRng::seed_from_u64(505);
         let mut stream = crate::loadgen::EncodedStream::new();
@@ -235,7 +277,18 @@ mod tests {
             stream.push(&client.report(i % 64, &mut rng).unwrap());
         }
         stream.push_raw(&[0xDE, 0xAD, 0xBE, 0xEF]);
-        assert!(agg.ingest_encoded(&stream).is_err());
+        match agg.ingest_encoded(&stream).unwrap_err() {
+            ServiceError::BadFrame {
+                index,
+                report_type,
+                source,
+            } => {
+                assert_eq!(index, 50, "wrong offending frame index");
+                assert_eq!(report_type, "HhReport");
+                assert!(matches!(*source, ServiceError::Wire(_)));
+            }
+            other => panic!("expected BadFrame, got {other}"),
+        }
         assert_eq!(
             agg.num_reports(),
             100,
@@ -259,6 +312,25 @@ mod tests {
                 "estimate changed at leaf {z} after rejected batches"
             );
         }
+    }
+
+    #[test]
+    fn lowest_failing_index_wins_across_shards() {
+        let config = HhConfig::new(64, 4, Epsilon::new(1.1)).unwrap();
+        let prototype = HhServer::new(config.clone()).unwrap();
+        let mut agg = ShardedAggregator::new(&prototype, 4).unwrap();
+        // 100 items over 4 shards → chunks of 25. Poison shard 0 (index
+        // 10) and shard 2 (index 60): the surfaced error must name index
+        // 10 no matter which worker finishes first.
+        let mut batch = reports(100, 506, &config);
+        let alien = batch[0].inner().clone();
+        batch[10] = ldp_ranges::HhReport::from_parts(99, alien.clone());
+        batch[60] = ldp_ranges::HhReport::from_parts(99, alien);
+        match agg.ingest(&batch).unwrap_err() {
+            ServiceError::BadFrame { index, .. } => assert_eq!(index, 10),
+            other => panic!("expected BadFrame, got {other}"),
+        }
+        assert_eq!(agg.num_reports(), 0);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! self-delimiting *frame*:
 //!
 //! ```text
-//! frame   := magic(2B = "LQ")  version(1B)  kind(1B)  payload
+//! frame   := magic(2B = "LQ")  version(1B)  kind(1B)  payload        (v1)
+//!          | magic(2B = "LQ")  version(1B = 2)  kind(1B)
+//!            epoch:varint  payload                                   (v2)
 //! varint  := LEB128, at most 10 bytes, no 64-bit overflow
 //!
 //! kind 0  Flat      payload := oracle_report
@@ -35,7 +37,11 @@
 //!
 //! Version negotiation: the version byte is bumped on any incompatible
 //! change; decoders reject versions they do not know
-//! ([`WireError::UnsupportedVersion`]) rather than guessing.
+//! ([`WireError::UnsupportedVersion`]) rather than guessing. Version 2
+//! extends the header with an epoch id for the windowed streaming path
+//! ([`crate::EpochRing`]): [`decode_epoch_frame`] accepts both versions
+//! (v1 frames carry no epoch), while the strict v1 [`decode_frame`]
+//! rejects v2 frames outright.
 
 use ldp_freq_oracle::{AnyReport, HrrReport, OlhReport, OueReport, UniversalHash};
 use ldp_ranges::{HaarHrrReport, HaarOueReport, Hh2dReport, HhReport, HhSplitReport};
@@ -44,8 +50,14 @@ use crate::error::WireError;
 
 /// First magic byte (`'L'`).
 pub const MAGIC: [u8; 2] = *b"LQ";
-/// Current (and only) wire version.
+/// The original (epoch-less) wire version.
 pub const VERSION: u8 = 1;
+/// The epoch-extended wire version: identical to v1 except that one
+/// varint epoch id sits between the kind byte and the payload. Decoders
+/// that only know v1 reject these frames
+/// ([`WireError::UnsupportedVersion`]) instead of misparsing the epoch id
+/// as payload.
+pub const VERSION_EPOCH: u8 = 2;
 /// Upper bound on any declared domain/size field — the paper's largest
 /// experiments use `D = 2^22`; we leave headroom to `2^26` (the paper's
 /// *population* scale) before calling a header hostile.
@@ -425,6 +437,54 @@ pub fn decode_frame<T: WireReport>(buf: &[u8]) -> Result<(T, usize), WireError> 
     Ok((report, r.pos))
 }
 
+/// Appends one epoch-tagged (version 2) frame to `out`: the v1 header
+/// with the version byte bumped and `epoch` spliced in before the
+/// payload.
+pub fn encode_epoch_frame<T: WireReport>(report: &T, epoch: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_EPOCH);
+    out.push(T::KIND);
+    put_varint(out, epoch);
+    report.encode_payload(out);
+}
+
+/// Decodes one frame of type `T` accepting both wire versions, returning
+/// the epoch id (`None` for an epoch-less v1 frame), the report, and the
+/// number of bytes consumed.
+///
+/// Decoding stays total: the epoch id is an ordinary varint (truncation
+/// and overflow are errors, any 64-bit value is structurally valid — its
+/// freshness is the *service's* policy question, not the codec's), and
+/// every v1 rejection path applies unchanged.
+///
+/// # Errors
+///
+/// Fails on truncated input, bad magic, a version other than 1 or 2, a
+/// kind byte that does not match `T`, a malformed epoch varint, or a
+/// malformed payload.
+pub fn decode_epoch_frame<T: WireReport>(buf: &[u8]) -> Result<(Option<u64>, T, usize), WireError> {
+    let mut r = Reader::new(buf);
+    let magic = [r.u8()?, r.u8()?];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION && version != VERSION_EPOCH {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != T::KIND {
+        return Err(WireError::UnknownKind(kind));
+    }
+    let epoch = if version == VERSION_EPOCH {
+        Some(r.varint()?)
+    } else {
+        None
+    };
+    let report = T::decode_payload(&mut r)?;
+    Ok((epoch, report, r.pos))
+}
+
 /// Decodes a buffer of back-to-back frames into reports.
 ///
 /// # Errors
@@ -571,6 +631,79 @@ mod tests {
         assert!(matches!(
             decode_frame::<AnyReport>(&frame),
             Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_frames_roundtrip_and_v1_stays_epochless() {
+        let mut rng = StdRng::seed_from_u64(406);
+        let oracle = AnyOracle::new(FrequencyOracle::Hrr, 32, Epsilon::new(1.1)).unwrap();
+        let report = oracle.encode(7, &mut rng).unwrap();
+
+        for epoch in [0u64, 1, 41, u64::MAX] {
+            let mut frame = Vec::new();
+            encode_epoch_frame(&report, epoch, &mut frame);
+            let (got_epoch, decoded, used) = decode_epoch_frame::<AnyReport>(&frame).unwrap();
+            assert_eq!(got_epoch, Some(epoch));
+            assert_eq!(used, frame.len());
+            assert_eq!(decoded.to_frame(), report.to_frame());
+            // The strict v1 decoder must refuse the v2 frame, not
+            // misparse the epoch varint as payload.
+            assert!(matches!(
+                decode_frame::<AnyReport>(&frame),
+                Err(WireError::UnsupportedVersion(2))
+            ));
+        }
+
+        // A v1 frame decodes through the epoch-aware entry point with no
+        // epoch attached, consuming the same bytes either way.
+        let v1 = report.to_frame();
+        let (epoch, _, used) = decode_epoch_frame::<AnyReport>(&v1).unwrap();
+        assert_eq!(epoch, None);
+        assert_eq!(used, v1.len());
+    }
+
+    #[test]
+    fn hostile_epoch_headers_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(407);
+        let oracle = AnyOracle::new(FrequencyOracle::Hrr, 16, Epsilon::new(1.1)).unwrap();
+        let report = oracle.encode(3, &mut rng).unwrap();
+        let mut frame = Vec::new();
+        encode_epoch_frame(&report, 99, &mut frame);
+
+        // Every truncation prefix errors — including cuts inside the
+        // epoch varint.
+        for cut in 0..frame.len() {
+            assert!(
+                decode_epoch_frame::<AnyReport>(&frame[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+
+        // An epoch varint overflowing 64 bits is rejected.
+        let mut overflow = vec![MAGIC[0], MAGIC[1], VERSION_EPOCH, KIND_FLAT];
+        overflow.extend_from_slice(&[0xFF; 10]);
+        assert!(matches!(
+            decode_epoch_frame::<AnyReport>(&overflow),
+            Err(WireError::BadVarint)
+        ));
+
+        // An unknown version is rejected by the epoch-aware decoder too.
+        let mut v3 = frame.clone();
+        v3[2] = 3;
+        assert!(matches!(
+            decode_epoch_frame::<AnyReport>(&v3),
+            Err(WireError::UnsupportedVersion(3))
+        ));
+
+        // Hostile payload sizes stay capped behind the epoch header.
+        let mut huge = vec![MAGIC[0], MAGIC[1], VERSION_EPOCH, KIND_FLAT];
+        put_varint(&mut huge, 17); // epoch
+        huge.push(TAG_OUE);
+        put_varint(&mut huge, 1 << 40); // domain over the cap
+        assert!(matches!(
+            decode_epoch_frame::<AnyReport>(&huge),
+            Err(WireError::SizeOverCap(_))
         ));
     }
 

@@ -3,7 +3,7 @@
 //!
 //! For small and moderate domains the paper evaluates *all* range queries;
 //! for `D ≥ 2^20` it picks "a set of evenly-spaced starting points, and
-//! then evaluate[s] all ranges that begin at each of these points" (e.g.
+//! then evaluate\[s\] all ranges that begin at each of these points" (e.g.
 //! every `2^15` for `D = 2^20` → 17M queries). Both strategies are
 //! implemented as allocation-free iterators.
 
