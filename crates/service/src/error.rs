@@ -131,3 +131,10 @@ impl From<RangeError> for ServiceError {
         Self::Range(e)
     }
 }
+
+/// The unqualified report type name ("HhReport", not the full path) —
+/// what a [`ServiceError::BadFrame`] log line wants.
+pub(crate) fn report_type_name<R>() -> &'static str {
+    let full = std::any::type_name::<R>();
+    full.rsplit("::").next().unwrap_or(full)
+}

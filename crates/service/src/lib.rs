@@ -59,6 +59,13 @@
 //!   the `service_throughput` benchmark and the integration tests; the
 //!   drifting variant ([`generate_drifting_epochs`]) replays a population
 //!   that shifts across epochs, the workload windowed queries exist for.
+//! * [`net`] — the network tier: a std-only threaded TCP front end
+//!   ([`LdpServer`] acceptor + bounded-queue worker pool, [`LdpClient`]
+//!   blocking sessions) speaking a length-prefixed session protocol
+//!   layered on the wire frames. Because every mechanism's state is an
+//!   exact integer sufficient statistic, bytes-over-socket produce
+//!   *bit-identical* snapshots to in-process submission — the transport
+//!   is a pure function, and the differential tests enforce it.
 //!
 //! ## Quick start
 //!
@@ -92,6 +99,7 @@
 
 pub mod error;
 pub mod loadgen;
+pub mod net;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -100,6 +108,9 @@ pub mod wire;
 
 pub use error::{ServiceError, WireError};
 pub use loadgen::{generate_drifting_epochs, generate_stream, EncodedStream, ValueSampler};
+pub use net::{
+    Hello, LdpClient, LdpServer, NetConfig, NetError, Query, QueryOp, QueryReply, ServerStats,
+};
 pub use service::LdpService;
 pub use shard::ShardedAggregator;
 pub use snapshot::{RangeSnapshot, SnapshotSource};

@@ -95,6 +95,18 @@ impl EncodedStream {
         &self.buf
     }
 
+    /// The contiguous bytes of frames `lo..hi` (half-open) — what the
+    /// socket path ships as one batched REPORT message without copying
+    /// frame by frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or `hi` exceeds the frame count.
+    #[must_use]
+    pub fn frame_span(&self, lo: usize, hi: usize) -> &[u8] {
+        &self.buf[self.offsets[lo]..self.offsets[hi]]
+    }
+
     /// Mean encoded bytes per report (the wire format's compactness
     /// metric; e.g. `HaarHRR` frames stay ~10 bytes where flat OUE frames
     /// grow with `D/8`).

@@ -1,0 +1,167 @@
+//! The network front end: socket-served ingestion and query serving.
+//!
+//! Everything below the service layer is in-process; a production
+//! aggregator absorbing reports from millions of users has to do the same
+//! work across an actual network boundary. This module adds that boundary
+//! as a std-only threaded TCP stack — no async runtime, no external
+//! crates, consistent with the offline shim-crate build — and keeps it
+//! *fully testable by bit-identity*: every mechanism's state is an exact
+//! integer sufficient statistic, so bytes-over-socket must produce
+//! estimates bit-for-bit identical to in-process submission, and the
+//! differential tests in `tests/net_differential.rs` hold it to that.
+//!
+//! ```text
+//!   LdpClient ── TCP ──► acceptor ──► bounded queue ──► worker pool
+//!   (HELLO,                                             (sessions)
+//!    REPORT×n,                                              │ decode +
+//!    QUERY,                                                 ▼ submit_batch
+//!    SEAL, BYE)                               LdpService / EpochRing
+//!                                                           │ freeze
+//!                                                           ▼
+//!                                        RangeSnapshot / WindowedSnapshot
+//! ```
+//!
+//! * [`proto`] — the length-prefixed session protocol layered on the
+//!   [`crate::wire`] frames: a HELLO negotiating report kind + wire
+//!   version + epoch mode, batched REPORT messages acked per batch (a bad
+//!   frame rejects the whole batch with its index, reusing
+//!   [`crate::ServiceError::BadFrame`] semantics), QUERY messages
+//!   (range/prefix/point/quantile, optionally over a trailing window of
+//!   sealed epochs), and SEAL/BYE control. Decoding is total: hostile
+//!   bytes produce typed errors, never a panic, and declared lengths are
+//!   capped before any allocation.
+//! * [`server`] — [`LdpServer`]: one acceptor thread feeding a bounded
+//!   connection queue (backpressure, not unbounded fan-in) drained by a
+//!   worker pool that runs sessions against a shared [`crate::LdpService`]
+//!   (plain or windowed). Queries answer from snapshots and never block
+//!   ingestion; graceful shutdown drains queued work, seals the open
+//!   epoch on windowed backends, and joins every thread.
+//! * [`client`] — [`LdpClient`]: the blocking client used by the tests,
+//!   `examples/net_pipeline.rs`, the socket replay path over
+//!   [`crate::EncodedStream`], and the `net_throughput` benchmark.
+//!
+//! ## Transport is a pure function
+//!
+//! A REPORT batch is absorbed via [`crate::LdpService::submit_batch`]
+//! (staged, all-or-nothing), which commits exactly the state a direct
+//! [`crate::LdpService::submit_frame`] loop would produce. Merging is
+//! exact and order-independent, so *any* interleaving of sessions across
+//! worker threads and shards yields the same merged state — the socket
+//! path adds transport, not semantics.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+use std::fmt;
+use std::time::Duration;
+
+pub use client::LdpClient;
+pub use proto::{
+    ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError, WIRE_EPOCH, WIRE_V1,
+};
+pub use server::{LdpServer, ServerStats};
+
+use crate::error::{ServiceError, WireError};
+
+/// Tuning knobs of [`LdpServer`]. `Default` is sized for tests and
+/// laptop-scale benchmarks; a deployment raises `workers`/`queue_depth`.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Session worker threads — the bound on concurrently served
+    /// connections.
+    pub workers: usize,
+    /// Bounded depth of the accepted-connection queue; when full the
+    /// acceptor blocks (backpressure) instead of queueing unboundedly.
+    pub queue_depth: usize,
+    /// Read-timeout tick used by session loops to poll the shutdown flag
+    /// while idle.
+    pub idle_poll: Duration,
+    /// Consecutive idle ticks tolerated *mid-message* once shutdown has
+    /// begun, before the connection is abandoned — bounds how long a
+    /// half-sent message from a stalled client can delay drain.
+    pub drain_patience: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            idle_poll: Duration::from_millis(20),
+            drain_patience: 50,
+        }
+    }
+}
+
+/// Errors surfaced by the network layer (both sides).
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, bind).
+    Io(std::io::Error),
+    /// Malformed session-protocol bytes (bad magic, unknown message
+    /// type, truncated body...). Carries the codec's diagnosis.
+    Proto(WireError),
+    /// A declared message length exceeds [`proto::MAX_MESSAGE_BYTES`] —
+    /// rejected before any allocation.
+    TooLarge {
+        /// The length the peer declared.
+        declared: u64,
+    },
+    /// The peer closed the connection mid-session.
+    Disconnected,
+    /// The server answered with a typed error.
+    Remote(RemoteError),
+    /// The server answered with a well-formed message of the wrong type
+    /// for the request in flight.
+    UnexpectedReply(&'static str),
+    /// A service-layer failure while absorbing or querying.
+    Service(ServiceError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Proto(e) => write!(f, "session protocol error: {e}"),
+            Self::TooLarge { declared } => write!(
+                f,
+                "declared message length {declared} exceeds the {} byte cap",
+                proto::MAX_MESSAGE_BYTES
+            ),
+            Self::Disconnected => write!(f, "peer disconnected mid-session"),
+            Self::Remote(e) => write!(f, "server rejected request: {e}"),
+            Self::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+            Self::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Proto(e) => Some(e),
+            Self::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        Self::Proto(e)
+    }
+}
+
+impl From<ServiceError> for NetError {
+    fn from(e: ServiceError) -> Self {
+        Self::Service(e)
+    }
+}

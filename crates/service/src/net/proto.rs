@@ -1,0 +1,913 @@
+//! The length-prefixed session protocol spoken between [`super::LdpClient`]
+//! and [`super::LdpServer`].
+//!
+//! Every message on the socket is one *envelope*:
+//!
+//! ```text
+//! envelope := len(4B LE, 1 ..= MAX_MESSAGE_BYTES)  body
+//! body     := type(1B)  payload
+//!
+//! client → server
+//!   0x01 HELLO    payload := magic(2B = "LN") proto(1B = 1)
+//!                            kind(1B) wire_version(1B: 1|2) windowed(1B: 0|1)
+//!   0x02 REPORT   payload := count:varint  wire_frame × count   (back to back)
+//!   0x03 QUERY    payload := windowed(1B: 0|1) [k:varint]  op
+//!   0x04 SEAL     payload := (empty)
+//!   0x05 BYE      payload := (empty)
+//!
+//! op       := 0 RANGE a:varint b:varint
+//!           | 1 PREFIX b:varint
+//!           | 2 POINT z:varint
+//!           | 3 QUANTILE phi(8B LE f64 bits, finite, 0 ≤ φ ≤ 1)
+//!
+//! server → client
+//!   0x81 HELLO_OK  payload := kind(1B) wire_version(1B) windowed(1B) domain:varint
+//!   0x82 REPORT_OK payload := accepted:varint
+//!   0x83 QUERY_OK  payload := op(1B) result(8B LE) version:varint
+//!                             num_reports:varint windowed(1B: 0|1)
+//!                             [first:varint last:varint]
+//!   0x84 SEAL_OK   payload := epoch:varint
+//!   0x85 BYE_OK    payload := (empty)
+//!   0x7F ERROR     payload := code(1B) has_index(1B: 0|1) [index:varint]
+//!                             detail_len:varint detail(UTF-8)
+//! ```
+//!
+//! The payload of a REPORT message is raw [`crate::wire`] frames — the
+//! session layer frames *messages*, the wire layer frames *reports*, and
+//! neither re-encodes the other. Decoding is total and allocation is
+//! bounded: the envelope length is capped at [`MAX_MESSAGE_BYTES`] before
+//! any read, a REPORT's declared frame count is validated against the
+//! payload it arrived in, and an ERROR detail is capped at
+//! [`MAX_DETAIL_BYTES`]. The codecs reuse the wire format's primitives
+//! ([`Reader`], [`put_varint`]) so there is exactly one varint in the
+//! codebase.
+
+use std::io::{Read, Write};
+
+use crate::error::WireError;
+use crate::net::NetError;
+use crate::wire::{put_varint, Reader};
+
+/// Handshake magic inside HELLO ("LN" = LQ-over-Network), distinguishing
+/// a session handshake from stray bytes.
+pub const HELLO_MAGIC: [u8; 2] = *b"LN";
+/// Session protocol version negotiated by HELLO.
+pub const PROTO_VERSION: u8 = 1;
+/// Hard cap on one session message (envelope body), enforced on both
+/// sides *before* allocating: 8 MiB holds tens of thousands of frames of
+/// the largest report type while keeping a hostile 4 GiB declared length
+/// unallocatable.
+pub const MAX_MESSAGE_BYTES: usize = 1 << 23;
+/// Cap on an ERROR message's human-readable detail.
+pub const MAX_DETAIL_BYTES: usize = 1 << 10;
+/// Wire version 1: epoch-less frames, decoded strictly.
+pub const WIRE_V1: u8 = crate::wire::VERSION;
+/// Wire version 2: epoch-tagged frames accepted (v1 frames still pass,
+/// untagged).
+pub const WIRE_EPOCH: u8 = crate::wire::VERSION_EPOCH;
+
+const MSG_HELLO: u8 = 0x01;
+const MSG_REPORT: u8 = 0x02;
+const MSG_QUERY: u8 = 0x03;
+const MSG_SEAL: u8 = 0x04;
+const MSG_BYE: u8 = 0x05;
+
+const MSG_HELLO_OK: u8 = 0x81;
+const MSG_REPORT_OK: u8 = 0x82;
+const MSG_QUERY_OK: u8 = 0x83;
+const MSG_SEAL_OK: u8 = 0x84;
+const MSG_BYE_OK: u8 = 0x85;
+const MSG_ERROR: u8 = 0x7F;
+
+const OP_RANGE: u8 = 0;
+const OP_PREFIX: u8 = 1;
+const OP_POINT: u8 = 2;
+const OP_QUANTILE: u8 = 3;
+
+// --- handshake ---------------------------------------------------------
+
+/// What a client proposes in its HELLO: which report type it will send,
+/// which wire version its frames use, and whether it expects the epoch
+/// (windowed) service. The server accepts only an exact match with its
+/// own backend — mismatches are typed errors, not silent coercions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The wire kind byte of the report type ([`crate::wire::WireReport::KIND`]).
+    pub kind: u8,
+    /// [`WIRE_V1`] or [`WIRE_EPOCH`].
+    pub wire_version: u8,
+    /// Whether the session targets a windowed (epoch-ring) backend.
+    pub windowed: bool,
+}
+
+impl Hello {
+    /// A plain (unwindowed, wire v1) session for report type `T`.
+    #[must_use]
+    pub fn plain<T: crate::wire::WireReport>() -> Self {
+        Self {
+            kind: T::KIND,
+            wire_version: WIRE_V1,
+            windowed: false,
+        }
+    }
+
+    /// A windowed session for report type `T`, shipping epoch-tagged
+    /// (wire v2) frames.
+    #[must_use]
+    pub fn windowed<T: crate::wire::WireReport>() -> Self {
+        Self {
+            kind: T::KIND,
+            wire_version: WIRE_EPOCH,
+            windowed: true,
+        }
+    }
+}
+
+/// The server's half of the handshake: the negotiated parameters echoed
+/// back plus the backend's snapshot domain, so clients can bound-check
+/// queries locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloOk {
+    /// Report kind this server aggregates.
+    pub kind: u8,
+    /// Wire version the session will decode with.
+    pub wire_version: u8,
+    /// Whether the backend is windowed.
+    pub windowed: bool,
+    /// Domain size of the backend's snapshots.
+    pub domain: u64,
+}
+
+// --- queries -----------------------------------------------------------
+
+/// One query operation, mirroring [`crate::RangeSnapshot`]'s surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOp {
+    /// Estimated fraction in the inclusive `[a, b]`.
+    Range {
+        /// Lower bound (inclusive).
+        a: u64,
+        /// Upper bound (inclusive).
+        b: u64,
+    },
+    /// Estimated prefix fraction `R[0, b]`.
+    Prefix {
+        /// Upper bound (inclusive).
+        b: u64,
+    },
+    /// Estimated frequency of one item.
+    Point {
+        /// The item.
+        z: u64,
+    },
+    /// Estimated φ-quantile.
+    Quantile {
+        /// The quantile, finite and within `0 ..= 1` (enforced at
+        /// decode, so a hostile φ can never reach the snapshot's panic).
+        phi: f64,
+    },
+}
+
+/// A query: an operation, optionally evaluated over the trailing `k`
+/// sealed epochs instead of the live (all retained + open) state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// The operation.
+    pub op: QueryOp,
+    /// `Some(k)` answers from a [`crate::WindowedSnapshot`] over the
+    /// trailing `k` sealed epochs (windowed sessions only); `None`
+    /// answers from a freshly refreshed [`crate::RangeSnapshot`].
+    pub window: Option<u64>,
+}
+
+/// A query's answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryResult {
+    /// Range/prefix/point answers: an estimated fraction.
+    Fraction(f64),
+    /// Quantile answers: a domain index.
+    Index(u64),
+}
+
+/// The full query reply: the answer plus the snapshot provenance readers
+/// need to reason about staleness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryReply {
+    /// The answer.
+    pub result: QueryResult,
+    /// Version of the snapshot that answered (monotone per backend).
+    pub version: u64,
+    /// Reports reflected in that snapshot.
+    pub num_reports: u64,
+    /// For windowed answers, the inclusive epoch interval covered.
+    pub window: Option<(u64, u64)>,
+}
+
+impl QueryReply {
+    /// The answer as a fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply answered a quantile query.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        match self.result {
+            QueryResult::Fraction(f) => f,
+            QueryResult::Index(_) => panic!("quantile reply has no fraction"),
+        }
+    }
+
+    /// The answer as a quantile index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply answered a range/prefix/point query.
+    #[must_use]
+    pub fn index(&self) -> u64 {
+        match self.result {
+            QueryResult::Index(i) => i,
+            QueryResult::Fraction(_) => panic!("fraction reply has no index"),
+        }
+    }
+}
+
+// --- errors ------------------------------------------------------------
+
+/// Typed error codes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed session message.
+    Protocol,
+    /// HELLO proposed a session protocol version this server does not
+    /// speak.
+    UnsupportedProto,
+    /// HELLO named a report kind other than the one this server
+    /// aggregates.
+    KindMismatch,
+    /// HELLO proposed a wire version the backend cannot honor (e.g.
+    /// epoch-tagged frames against an unwindowed service).
+    WireVersionMismatch,
+    /// HELLO's epoch mode does not match the backend (windowed vs plain).
+    EpochModeMismatch,
+    /// A REPORT batch was rejected; the index names the offending frame
+    /// and nothing from the batch was absorbed.
+    BadFrame,
+    /// An epoch-tagged frame named an epoch other than the open one.
+    EpochMismatch,
+    /// A query was malformed or out of bounds for the snapshot domain.
+    BadQuery,
+    /// A windowed query ran before any epoch was sealed, or asked for a
+    /// zero-epoch window.
+    EmptyWindow,
+    /// A SEAL/windowed request reached an unwindowed backend, or a
+    /// message arrived before HELLO.
+    BadState,
+    /// The server is shutting down and no longer accepts this request.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::Protocol => 0,
+            Self::UnsupportedProto => 1,
+            Self::KindMismatch => 2,
+            Self::WireVersionMismatch => 3,
+            Self::EpochModeMismatch => 4,
+            Self::BadFrame => 5,
+            Self::EpochMismatch => 6,
+            Self::BadQuery => 7,
+            Self::EmptyWindow => 8,
+            Self::BadState => 9,
+            Self::ShuttingDown => 10,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => Self::Protocol,
+            1 => Self::UnsupportedProto,
+            2 => Self::KindMismatch,
+            3 => Self::WireVersionMismatch,
+            4 => Self::EpochModeMismatch,
+            5 => Self::BadFrame,
+            6 => Self::EpochMismatch,
+            7 => Self::BadQuery,
+            8 => Self::EmptyWindow,
+            9 => Self::BadState,
+            10 => Self::ShuttingDown,
+            _ => return Err(WireError::Malformed("unknown error code")),
+        })
+    }
+}
+
+/// A server-sent error: the typed code, the offending frame index for
+/// batch rejections (mirroring [`crate::ServiceError::BadFrame`]), and a
+/// bounded human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// For [`ErrorCode::BadFrame`]/[`ErrorCode::EpochMismatch`]: the
+    /// zero-based index of the offending frame within the batch.
+    pub index: Option<u64>,
+    /// Human-readable diagnosis (capped at [`MAX_DETAIL_BYTES`]).
+    pub detail: String,
+}
+
+impl RemoteError {
+    /// Builds an error, truncating the detail to the protocol cap (on a
+    /// UTF-8 boundary).
+    #[must_use]
+    pub fn new(code: ErrorCode, index: Option<u64>, detail: impl Into<String>) -> Self {
+        let mut detail = detail.into();
+        if detail.len() > MAX_DETAIL_BYTES {
+            let mut cut = MAX_DETAIL_BYTES;
+            while !detail.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            detail.truncate(cut);
+        }
+        Self {
+            code,
+            index,
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.code)?;
+        if let Some(i) = self.index {
+            write!(f, " at frame {i}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+// --- messages ----------------------------------------------------------
+
+/// A batch of raw wire frames in flight: the declared count plus the
+/// back-to-back frame bytes, still undecoded (the session layer does not
+/// re-encode reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportBatch {
+    /// Declared number of frames.
+    pub count: u64,
+    /// The concatenated wire frames.
+    pub frames: Vec<u8>,
+}
+
+/// Every message a client can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Session handshake.
+    Hello(Hello),
+    /// A batch of reports.
+    Report(ReportBatch),
+    /// A query.
+    Query(Query),
+    /// Seal the open epoch (windowed sessions only).
+    Seal,
+    /// Clean end of session.
+    Bye,
+}
+
+/// Every message a server can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake accepted.
+    HelloOk(HelloOk),
+    /// Batch absorbed in full.
+    ReportOk {
+        /// Number of frames absorbed (the batch's count).
+        accepted: u64,
+    },
+    /// Query answered.
+    QueryOk(QueryReply),
+    /// Epoch sealed.
+    SealOk {
+        /// Id of the epoch just sealed.
+        epoch: u64,
+    },
+    /// Session closed cleanly.
+    ByeOk,
+    /// Request rejected.
+    Error(RemoteError),
+}
+
+impl ClientMsg {
+    /// Encodes the message body (type byte + payload, no envelope).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Self::Hello(h) => {
+                out.push(MSG_HELLO);
+                out.extend_from_slice(&HELLO_MAGIC);
+                out.push(PROTO_VERSION);
+                out.push(h.kind);
+                out.push(h.wire_version);
+                out.push(u8::from(h.windowed));
+            }
+            Self::Report(batch) => return encode_report_body(batch.count, &batch.frames),
+            Self::Query(q) => {
+                out.push(MSG_QUERY);
+                match q.window {
+                    Some(k) => {
+                        out.push(1);
+                        put_varint(&mut out, k);
+                    }
+                    None => out.push(0),
+                }
+                match q.op {
+                    QueryOp::Range { a, b } => {
+                        out.push(OP_RANGE);
+                        put_varint(&mut out, a);
+                        put_varint(&mut out, b);
+                    }
+                    QueryOp::Prefix { b } => {
+                        out.push(OP_PREFIX);
+                        put_varint(&mut out, b);
+                    }
+                    QueryOp::Point { z } => {
+                        out.push(OP_POINT);
+                        put_varint(&mut out, z);
+                    }
+                    QueryOp::Quantile { phi } => {
+                        out.push(OP_QUANTILE);
+                        out.extend_from_slice(&phi.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            Self::Seal => out.push(MSG_SEAL),
+            Self::Bye => out.push(MSG_BYE),
+        }
+        out
+    }
+
+    /// Decodes one message body. Total: any malformed input is a
+    /// [`WireError`], never a panic, and nothing is allocated beyond the
+    /// input's own length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty body, an unknown type byte, a malformed payload,
+    /// or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let msg = match r.u8()? {
+            MSG_HELLO => {
+                let magic = [r.u8()?, r.u8()?];
+                if magic != HELLO_MAGIC {
+                    return Err(WireError::BadMagic(magic));
+                }
+                let proto = r.u8()?;
+                if proto != PROTO_VERSION {
+                    return Err(WireError::UnsupportedVersion(proto));
+                }
+                let kind = r.u8()?;
+                let wire_version = r.u8()?;
+                if wire_version != WIRE_V1 && wire_version != WIRE_EPOCH {
+                    return Err(WireError::UnsupportedVersion(wire_version));
+                }
+                let windowed = decode_bool(&mut r)?;
+                Self::Hello(Hello {
+                    kind,
+                    wire_version,
+                    windowed,
+                })
+            }
+            MSG_REPORT => {
+                let count = r.varint()?;
+                let frames = r.bytes(r.remaining())?.to_vec();
+                // The smallest well-formed wire frame is 5 bytes
+                // (magic + version + kind + ≥1 payload byte); a count
+                // that cannot fit the payload is rejected here so later
+                // per-frame allocations stay bounded by real bytes.
+                if count > frames.len() as u64 {
+                    return Err(WireError::Malformed("frame count exceeds payload"));
+                }
+                Self::Report(ReportBatch { count, frames })
+            }
+            MSG_QUERY => {
+                let window = if decode_bool(&mut r)? {
+                    let k = r.varint()?;
+                    if k == 0 {
+                        return Err(WireError::Malformed("zero-epoch window"));
+                    }
+                    Some(k)
+                } else {
+                    None
+                };
+                let op = match r.u8()? {
+                    OP_RANGE => {
+                        let a = r.varint()?;
+                        let b = r.varint()?;
+                        if a > b {
+                            return Err(WireError::Malformed("range lower bound above upper"));
+                        }
+                        QueryOp::Range { a, b }
+                    }
+                    OP_PREFIX => QueryOp::Prefix { b: r.varint()? },
+                    OP_POINT => QueryOp::Point { z: r.varint()? },
+                    OP_QUANTILE => {
+                        let bits = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8-byte read"));
+                        let phi = f64::from_bits(bits);
+                        if !phi.is_finite() || !(0.0..=1.0).contains(&phi) {
+                            return Err(WireError::Malformed("quantile phi outside [0, 1]"));
+                        }
+                        QueryOp::Quantile { phi }
+                    }
+                    _ => return Err(WireError::Malformed("unknown query op")),
+                };
+                Self::Query(Query { op, window })
+            }
+            MSG_SEAL => Self::Seal,
+            MSG_BYE => Self::Bye,
+            t => return Err(WireError::UnknownKind(t)),
+        };
+        expect_consumed(&r, body.len())?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Encodes the message body (type byte + payload, no envelope).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Self::HelloOk(h) => {
+                out.push(MSG_HELLO_OK);
+                out.push(h.kind);
+                out.push(h.wire_version);
+                out.push(u8::from(h.windowed));
+                put_varint(&mut out, h.domain);
+            }
+            Self::ReportOk { accepted } => {
+                out.push(MSG_REPORT_OK);
+                put_varint(&mut out, *accepted);
+            }
+            Self::QueryOk(reply) => {
+                out.push(MSG_QUERY_OK);
+                match reply.result {
+                    QueryResult::Fraction(f) => {
+                        out.push(0);
+                        out.extend_from_slice(&f.to_bits().to_le_bytes());
+                    }
+                    QueryResult::Index(i) => {
+                        out.push(1);
+                        out.extend_from_slice(&i.to_le_bytes());
+                    }
+                }
+                put_varint(&mut out, reply.version);
+                put_varint(&mut out, reply.num_reports);
+                match reply.window {
+                    Some((first, last)) => {
+                        out.push(1);
+                        put_varint(&mut out, first);
+                        put_varint(&mut out, last);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Self::SealOk { epoch } => {
+                out.push(MSG_SEAL_OK);
+                put_varint(&mut out, *epoch);
+            }
+            Self::ByeOk => out.push(MSG_BYE_OK),
+            Self::Error(e) => {
+                out.push(MSG_ERROR);
+                out.push(e.code.to_u8());
+                match e.index {
+                    Some(i) => {
+                        out.push(1);
+                        put_varint(&mut out, i);
+                    }
+                    None => out.push(0),
+                }
+                let detail = e.detail.as_bytes();
+                let cut = detail.len().min(MAX_DETAIL_BYTES);
+                put_varint(&mut out, cut as u64);
+                out.extend_from_slice(&detail[..cut]);
+            }
+        }
+        out
+    }
+
+    /// Decodes one message body. Total, like [`ClientMsg::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty body, an unknown type byte, a malformed payload,
+    /// or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let msg = match r.u8()? {
+            MSG_HELLO_OK => {
+                let kind = r.u8()?;
+                let wire_version = r.u8()?;
+                let windowed = decode_bool(&mut r)?;
+                let domain = r.varint()?;
+                Self::HelloOk(HelloOk {
+                    kind,
+                    wire_version,
+                    windowed,
+                    domain,
+                })
+            }
+            MSG_REPORT_OK => Self::ReportOk {
+                accepted: r.varint()?,
+            },
+            MSG_QUERY_OK => {
+                let result = match r.u8()? {
+                    0 => {
+                        let bits = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8-byte read"));
+                        QueryResult::Fraction(f64::from_bits(bits))
+                    }
+                    1 => QueryResult::Index(u64::from_le_bytes(
+                        r.bytes(8)?.try_into().expect("8-byte read"),
+                    )),
+                    _ => return Err(WireError::Malformed("unknown query result tag")),
+                };
+                let version = r.varint()?;
+                let num_reports = r.varint()?;
+                let window = if decode_bool(&mut r)? {
+                    Some((r.varint()?, r.varint()?))
+                } else {
+                    None
+                };
+                Self::QueryOk(QueryReply {
+                    result,
+                    version,
+                    num_reports,
+                    window,
+                })
+            }
+            MSG_SEAL_OK => Self::SealOk { epoch: r.varint()? },
+            MSG_BYE_OK => Self::ByeOk,
+            MSG_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)?;
+                let index = if decode_bool(&mut r)? {
+                    Some(r.varint()?)
+                } else {
+                    None
+                };
+                let len = r.varint()?;
+                if len > MAX_DETAIL_BYTES as u64 {
+                    return Err(WireError::Malformed("error detail over cap"));
+                }
+                let detail = String::from_utf8(r.bytes(len as usize)?.to_vec())
+                    .map_err(|_| WireError::Malformed("error detail is not UTF-8"))?;
+                Self::Error(RemoteError {
+                    code,
+                    index,
+                    detail,
+                })
+            }
+            t => return Err(WireError::UnknownKind(t)),
+        };
+        expect_consumed(&r, body.len())?;
+        Ok(msg)
+    }
+}
+
+/// Encodes a REPORT message body straight from borrowed frame bytes —
+/// the hot replay path ([`super::LdpClient::send_stream`]) uses this to
+/// avoid copying each batch into an owned [`ReportBatch`] first.
+#[must_use]
+pub fn encode_report_body(count: u64, frames: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frames.len() + 11);
+    out.push(MSG_REPORT);
+    put_varint(&mut out, count);
+    out.extend_from_slice(frames);
+    out
+}
+
+fn decode_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Malformed("flag byte not 0/1")),
+    }
+}
+
+fn expect_consumed(r: &Reader<'_>, _len: usize) -> Result<(), WireError> {
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("trailing bytes after message"));
+    }
+    Ok(())
+}
+
+// --- envelope I/O ------------------------------------------------------
+
+/// Writes one enveloped message (length prefix + body).
+///
+/// # Errors
+///
+/// Fails on I/O errors; a body over [`MAX_MESSAGE_BYTES`] (which no
+/// well-behaved caller produces — batches are split by the client) is
+/// rejected as [`NetError::TooLarge`].
+pub fn write_message(w: &mut impl Write, body: &[u8]) -> Result<(), NetError> {
+    if body.is_empty() || body.len() > MAX_MESSAGE_BYTES {
+        return Err(NetError::TooLarge {
+            declared: body.len() as u64,
+        });
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one enveloped message body, blocking. The declared length is
+/// validated against `(1 ..= MAX_MESSAGE_BYTES)` *before* any allocation,
+/// so a hostile 4 GiB prefix costs nothing.
+///
+/// # Errors
+///
+/// [`NetError::Disconnected`] on clean EOF before the first length byte;
+/// [`NetError::TooLarge`]/[`NetError::Proto`] on hostile lengths;
+/// [`NetError::Io`] on transport failures (including EOF mid-message).
+pub fn read_message(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Err(NetError::Disconnected),
+            Ok(0) => return Err(NetError::Proto(WireError::Truncated)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(NetError::Proto(WireError::Malformed("empty message")));
+    }
+    if len > MAX_MESSAGE_BYTES {
+        return Err(NetError::TooLarge {
+            declared: len as u64,
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => NetError::Proto(WireError::Truncated),
+        _ => NetError::Io(e),
+    })?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip() {
+        let msgs = [
+            ClientMsg::Hello(Hello {
+                kind: 3,
+                wire_version: WIRE_EPOCH,
+                windowed: true,
+            }),
+            ClientMsg::Report(ReportBatch {
+                count: 2,
+                frames: vec![0xAA; 12],
+            }),
+            ClientMsg::Query(Query {
+                op: QueryOp::Range { a: 3, b: 900 },
+                window: Some(4),
+            }),
+            ClientMsg::Query(Query {
+                op: QueryOp::Quantile { phi: 0.5 },
+                window: None,
+            }),
+            ClientMsg::Seal,
+            ClientMsg::Bye,
+        ];
+        for msg in msgs {
+            let body = msg.encode();
+            let decoded = ClientMsg::decode(&body).expect("decode own encoding");
+            assert_eq!(decoded, msg);
+            assert_eq!(decoded.encode(), body);
+        }
+
+        let replies = [
+            ServerMsg::HelloOk(HelloOk {
+                kind: 1,
+                wire_version: WIRE_V1,
+                windowed: false,
+                domain: 1024,
+            }),
+            ServerMsg::ReportOk { accepted: 500 },
+            ServerMsg::QueryOk(QueryReply {
+                result: QueryResult::Fraction(0.25),
+                version: 7,
+                num_reports: 10_000,
+                window: Some((3, 6)),
+            }),
+            ServerMsg::QueryOk(QueryReply {
+                result: QueryResult::Index(511),
+                version: 1,
+                num_reports: 1,
+                window: None,
+            }),
+            ServerMsg::SealOk { epoch: 9 },
+            ServerMsg::ByeOk,
+            ServerMsg::Error(RemoteError::new(
+                ErrorCode::BadFrame,
+                Some(17),
+                "frame 17 of HhReport batch rejected",
+            )),
+        ];
+        for msg in replies {
+            let body = msg.encode();
+            let decoded = ServerMsg::decode(&body).expect("decode own encoding");
+            assert_eq!(decoded, msg);
+            assert_eq!(decoded.encode(), body);
+        }
+    }
+
+    #[test]
+    fn hostile_bodies_are_rejected_not_panicked() {
+        // Empty body, unknown types, truncations of a valid message.
+        assert!(ClientMsg::decode(&[]).is_err());
+        assert!(ServerMsg::decode(&[]).is_err());
+        assert!(ClientMsg::decode(&[0x66]).is_err());
+        assert!(ServerMsg::decode(&[0x66]).is_err());
+        let body = ClientMsg::Query(Query {
+            op: QueryOp::Quantile { phi: 0.75 },
+            window: Some(2),
+        })
+        .encode();
+        for cut in 0..body.len() {
+            assert!(ClientMsg::decode(&body[..cut]).is_err(), "prefix {cut}");
+        }
+        // Trailing garbage is an error.
+        let mut trailing = body;
+        trailing.push(0);
+        assert!(ClientMsg::decode(&trailing).is_err());
+
+        // A REPORT whose declared count exceeds its payload bytes.
+        let mut report = vec![super::MSG_REPORT];
+        put_varint(&mut report, 1_000_000);
+        report.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            ClientMsg::decode(&report),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A hostile quantile (NaN / out of range) is stopped at decode.
+        for bad in [f64::NAN, f64::INFINITY, -0.5, 1.5] {
+            let mut q = vec![super::MSG_QUERY, 0, OP_QUANTILE];
+            q.extend_from_slice(&bad.to_bits().to_le_bytes());
+            assert!(ClientMsg::decode(&q).is_err(), "accepted phi {bad}");
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_oversized_declared_length_before_allocating() {
+        let mut hostile: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0x00];
+        assert!(matches!(
+            read_message(&mut hostile),
+            Err(NetError::TooLarge { declared }) if declared == u64::from(u32::MAX)
+        ));
+        let mut empty: &[u8] = &[0, 0, 0, 0];
+        assert!(matches!(read_message(&mut empty), Err(NetError::Proto(_))));
+        let mut eof: &[u8] = &[];
+        assert!(matches!(
+            read_message(&mut eof),
+            Err(NetError::Disconnected)
+        ));
+        let mut truncated: &[u8] = &[5, 0, 0, 0, 1, 2];
+        assert!(matches!(
+            read_message(&mut truncated),
+            Err(NetError::Proto(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn report_body_fast_path_matches_the_message_codec() {
+        let frames = vec![0x5A; 37];
+        let via_msg = ClientMsg::Report(ReportBatch {
+            count: 3,
+            frames: frames.clone(),
+        })
+        .encode();
+        assert_eq!(encode_report_body(3, &frames), via_msg);
+    }
+
+    #[test]
+    fn error_detail_is_capped() {
+        let long = "x".repeat(MAX_DETAIL_BYTES * 3);
+        let e = RemoteError::new(ErrorCode::Protocol, None, long);
+        assert_eq!(e.detail.len(), MAX_DETAIL_BYTES);
+        let body = ServerMsg::Error(e.clone()).encode();
+        assert_eq!(ServerMsg::decode(&body).unwrap(), ServerMsg::Error(e));
+    }
+}

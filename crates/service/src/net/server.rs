@@ -1,0 +1,760 @@
+//! [`LdpServer`] — the threaded TCP acceptor + worker pool serving the
+//! session protocol against a shared [`LdpService`].
+//!
+//! One acceptor thread pushes connections onto a *bounded* queue (when it
+//! fills, accepting blocks — backpressure instead of unbounded fan-in); a
+//! pool of worker threads pops connections and runs their sessions to
+//! completion. Report batches land through the service's staged
+//! all-or-nothing batch paths, so a session is a pure transport: the
+//! state it leaves behind is bit-identical to calling
+//! [`LdpService::submit_frame`] in-process with the same frames.
+//!
+//! Shutdown is graceful and total: the acceptor stops taking connections,
+//! queued sessions are still served to completion, in-flight batches are
+//! absorbed and acked, every thread is joined (nothing leaks), the open
+//! epoch of a windowed backend is sealed, and a final snapshot is
+//! published. On a plain backend `num_reports` after shutdown equals
+//! exactly the number of frames the server acked — the drain contract
+//! the concurrency tests pin down. A windowed backend keeps its
+//! *retention* semantics through the drain: the final seal can rotate
+//! the oldest epoch out of the window, so `num_reports` counts the
+//! retained window (every acked frame is still accounted for in
+//! [`ServerStats::frames_absorbed`]).
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ldp_ranges::SubtractableServer;
+
+use crate::error::ServiceError;
+use crate::net::proto::{
+    ClientMsg, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult, RemoteError,
+    ReportBatch, ServerMsg, MAX_MESSAGE_BYTES, WIRE_EPOCH, WIRE_V1,
+};
+use crate::net::{NetConfig, NetError};
+use crate::service::LdpService;
+use crate::snapshot::{RangeSnapshot, SnapshotSource};
+use crate::window::EpochRing;
+use crate::wire::{decode_epoch_frame, decode_frame, WireReport};
+
+/// The aggregation backend a server fronts: a plain all-time service or
+/// a windowed (epoch-ring) one. Both are `Arc`-shared, so the owner keeps
+/// querying the service directly while the server ingests into it.
+enum Backend<S>
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    Plain(Arc<LdpService<S>>),
+    Windowed(Arc<LdpService<EpochRing<S>>>),
+}
+
+impl<S> Backend<S>
+where
+    S: SnapshotSource + SubtractableServer,
+    S::Report: WireReport,
+{
+    fn windowed(&self) -> bool {
+        matches!(self, Self::Windowed(_))
+    }
+
+    fn domain(&self) -> u64 {
+        match self {
+            Self::Plain(s) => s.snapshot().domain() as u64,
+            Self::Windowed(s) => s.snapshot().domain() as u64,
+        }
+    }
+
+    fn num_reports(&self) -> u64 {
+        match self {
+            Self::Plain(s) => s.num_reports(),
+            Self::Windowed(s) => s.num_reports(),
+        }
+    }
+
+    /// Decodes a batch under the negotiated wire version and absorbs it
+    /// all-or-nothing. Returns the number of frames absorbed.
+    fn absorb_batch(&self, wire_version: u8, batch: &ReportBatch) -> Result<u64, RemoteError> {
+        // Capacity is bounded by what the payload can physically hold
+        // (the smallest well-formed frame is 5 bytes), never by the
+        // declared count alone — a lying count must not buy a huge
+        // allocation before the first decode failure rejects the batch.
+        let plausible = (batch.frames.len() / 5).min(batch.count as usize);
+        let mut tagged: Vec<(Option<u64>, S::Report)> = Vec::with_capacity(plausible);
+        let mut buf = &batch.frames[..];
+        while !buf.is_empty() {
+            if tagged.len() as u64 >= batch.count {
+                return Err(RemoteError::new(
+                    ErrorCode::BadFrame,
+                    Some(batch.count),
+                    "batch holds more frames than declared",
+                ));
+            }
+            let index = tagged.len() as u64;
+            let (epoch, report, used) = if wire_version == WIRE_EPOCH {
+                decode_epoch_frame::<S::Report>(buf).map_err(|e| {
+                    RemoteError::new(ErrorCode::BadFrame, Some(index), e.to_string())
+                })?
+            } else {
+                let (report, used) = decode_frame::<S::Report>(buf).map_err(|e| {
+                    RemoteError::new(ErrorCode::BadFrame, Some(index), e.to_string())
+                })?;
+                (None, report, used)
+            };
+            tagged.push((epoch, report));
+            buf = &buf[used..];
+        }
+        if (tagged.len() as u64) < batch.count {
+            return Err(RemoteError::new(
+                ErrorCode::BadFrame,
+                Some(tagged.len() as u64),
+                "batch declared more frames than it holds",
+            ));
+        }
+        match self {
+            Self::Plain(s) => {
+                let reports: Vec<S::Report> = tagged.into_iter().map(|(_, r)| r).collect();
+                s.submit_batch(&reports).map_err(service_error)?;
+                Ok(reports.len() as u64)
+            }
+            Self::Windowed(s) => {
+                let n = tagged.len() as u64;
+                s.submit_epoch_batch(&tagged).map_err(service_error)?;
+                Ok(n)
+            }
+        }
+    }
+
+    /// Answers one query from a snapshot — never from live shard state,
+    /// so ingestion is never blocked on estimation.
+    fn query(&self, q: &Query) -> Result<QueryReply, RemoteError> {
+        let (snap, window) = match (self, q.window) {
+            (Self::Plain(_), Some(_)) => {
+                return Err(RemoteError::new(
+                    ErrorCode::BadState,
+                    None,
+                    "windowed query against an unwindowed service",
+                ))
+            }
+            (Self::Plain(s), None) => (s.refresh_snapshot().map_err(service_error)?, None),
+            (Self::Windowed(s), None) => (s.refresh_snapshot().map_err(service_error)?, None),
+            (Self::Windowed(s), Some(k)) => {
+                let w = s
+                    .window_snapshot(usize::try_from(k).unwrap_or(usize::MAX))
+                    .map_err(service_error)?;
+                let bounds = (w.first_epoch(), w.last_epoch());
+                (Arc::new(w.snapshot().clone()), Some(bounds))
+            }
+        };
+        let result = answer(&snap, q.op)?;
+        Ok(QueryReply {
+            result,
+            version: snap.version(),
+            num_reports: snap.num_reports(),
+            window,
+        })
+    }
+
+    fn seal(&self) -> Result<u64, RemoteError> {
+        match self {
+            Self::Plain(_) => Err(RemoteError::new(
+                ErrorCode::BadState,
+                None,
+                "seal against an unwindowed service",
+            )),
+            Self::Windowed(s) => s.seal_epoch().map_err(service_error),
+        }
+    }
+
+    /// The shutdown epilogue: seal the open epoch (windowed backends)
+    /// and publish one final snapshot. On a plain backend the snapshot
+    /// covers everything absorbed; on a windowed backend it covers the
+    /// trailing retention window after the final seal (the window
+    /// semantics the backend was built for — the seal can rotate the
+    /// oldest epoch out).
+    fn finalize(&self) -> (Option<u64>, Arc<RangeSnapshot>) {
+        let sealed = match self {
+            Self::Plain(_) => None,
+            Self::Windowed(s) => s.seal_epoch().ok(),
+        };
+        let snap = match self {
+            Self::Plain(s) => s.refresh_snapshot(),
+            Self::Windowed(s) => s.refresh_snapshot(),
+        };
+        let snap = snap.unwrap_or_else(|_| match self {
+            Self::Plain(s) => s.snapshot(),
+            Self::Windowed(s) => s.snapshot(),
+        });
+        (sealed, snap)
+    }
+}
+
+fn answer(snap: &RangeSnapshot, op: QueryOp) -> Result<QueryResult, RemoteError> {
+    let domain = snap.domain() as u64;
+    let check = |bound: u64| {
+        if bound >= domain {
+            Err(RemoteError::new(
+                ErrorCode::BadQuery,
+                None,
+                format!("bound {bound} outside domain {domain}"),
+            ))
+        } else {
+            Ok(bound as usize)
+        }
+    };
+    Ok(match op {
+        QueryOp::Range { a, b } => QueryResult::Fraction(snap.range(check(a)?, check(b)?)),
+        QueryOp::Prefix { b } => QueryResult::Fraction(snap.prefix(check(b)?)),
+        QueryOp::Point { z } => QueryResult::Fraction(snap.point(check(z)?)),
+        QueryOp::Quantile { phi } => QueryResult::Index(snap.quantile(phi) as u64),
+    })
+}
+
+/// Maps a service-layer rejection to its typed protocol error.
+fn service_error(e: ServiceError) -> RemoteError {
+    match &e {
+        ServiceError::BadFrame { index, source, .. } => {
+            let code = if matches!(**source, ServiceError::EpochMismatch { .. }) {
+                ErrorCode::EpochMismatch
+            } else {
+                ErrorCode::BadFrame
+            };
+            RemoteError::new(code, Some(*index as u64), e.to_string())
+        }
+        ServiceError::EpochMismatch { .. } => {
+            RemoteError::new(ErrorCode::EpochMismatch, None, e.to_string())
+        }
+        ServiceError::EmptyWindow => RemoteError::new(ErrorCode::EmptyWindow, None, e.to_string()),
+        ServiceError::Wire(_) => RemoteError::new(ErrorCode::BadFrame, None, e.to_string()),
+        _ => RemoteError::new(ErrorCode::BadState, None, e.to_string()),
+    }
+}
+
+// --- bounded connection queue ------------------------------------------
+
+struct QueueState {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// A bounded MPMC handoff between the acceptor and the worker pool.
+/// `push` blocks while full (backpressure on accept); `pop` blocks while
+/// empty; `close` lets poppers drain what remains, then return `None`.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&self, conn: TcpStream) -> bool {
+        let mut s = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if s.closed {
+                return false;
+            }
+            if s.queue.len() < self.cap {
+                s.queue.push_back(conn);
+                self.not_empty.notify_one();
+                return true;
+            }
+            s = self.not_full.wait(s).expect("queue mutex poisoned");
+        }
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut s = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(conn) = s.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(conn);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue mutex poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// --- the server --------------------------------------------------------
+
+struct Shared<S>
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    backend: Backend<S>,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    config: NetConfig,
+    sessions: AtomicU64,
+    frames_absorbed: AtomicU64,
+    frames_rejected: AtomicU64,
+}
+
+/// What a drained server reports back from [`LdpServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Sessions served to completion.
+    pub sessions: u64,
+    /// Frames absorbed *and acked*. On a plain backend this equals the
+    /// backend's `num_reports` after the drain exactly.
+    pub frames_absorbed: u64,
+    /// Frames arriving in rejected batches (nothing from those batches
+    /// was absorbed).
+    pub frames_rejected: u64,
+    /// `num_reports` of the backend after the drain. For a windowed
+    /// backend this counts the *retained* window only — the drain's
+    /// final seal can rotate the oldest epoch out, so it may be smaller
+    /// than [`ServerStats::frames_absorbed`].
+    pub num_reports: u64,
+    /// For windowed backends: the id of the epoch sealed by the drain.
+    pub sealed_epoch: Option<u64>,
+    /// The final snapshot published after the drain.
+    pub final_snapshot: Arc<RangeSnapshot>,
+}
+
+/// A socket front end serving ingestion and queries for one report type.
+///
+/// Built over a shared [`LdpService`] (the caller keeps its own `Arc`
+/// and can query in-process at any time). Dropped without
+/// [`LdpServer::shutdown`], threads are detached — call `shutdown` to
+/// drain and join.
+pub struct LdpServer<S>
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    shared: Arc<Shared<S>>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S> LdpServer<S>
+where
+    S: SnapshotSource + SubtractableServer + 'static,
+    S::Report: WireReport,
+{
+    /// Binds a server over a plain (all-time) service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<LdpService<S>>,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        Self::start(addr, Backend::Plain(service), config)
+    }
+
+    /// Binds a server over a windowed (epoch-ring) service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_windowed(
+        addr: impl ToSocketAddrs,
+        service: Arc<LdpService<EpochRing<S>>>,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        Self::start(addr, Backend::Windowed(service), config)
+    }
+
+    fn start(
+        addr: impl ToSocketAddrs,
+        backend: Backend<S>,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept + poll: the acceptor can observe the
+        // shutdown flag without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            backend,
+            queue: ConnQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+            sessions: AtomicU64::new(0),
+            frames_absorbed: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ldp-net-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ldp-net-worker-{k}"))
+                    .spawn(move || {
+                        while let Some(stream) = shared.queue.pop() {
+                            run_session(&shared, stream);
+                            shared.sessions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (port 0 in `bind` resolves to a real port here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drains and stops the server: no new connections are accepted,
+    /// already-queued sessions finish (their in-flight batches absorb
+    /// and ack), every thread is joined, a windowed backend's open epoch
+    /// is sealed, and a final snapshot is published.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let (sealed_epoch, final_snapshot) = self.shared.backend.finalize();
+        ServerStats {
+            sessions: self.shared.sessions.load(Ordering::Relaxed),
+            frames_absorbed: self.shared.frames_absorbed.load(Ordering::Relaxed),
+            frames_rejected: self.shared.frames_rejected.load(Ordering::Relaxed),
+            num_reports: self.shared.backend.num_reports(),
+            sealed_epoch,
+            final_snapshot,
+        }
+    }
+}
+
+fn accept_loop<S>(listener: &TcpListener, shared: &Shared<S>)
+where
+    S: SnapshotSource + SubtractableServer,
+    S::Report: WireReport,
+{
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !shared.queue.push(stream) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(shared.config.idle_poll);
+            }
+            Err(_) => std::thread::sleep(shared.config.idle_poll),
+        }
+    }
+    // Workers drain whatever was queued before the flag flipped, then
+    // exit — the "graceful" half of graceful shutdown.
+    shared.queue.close();
+}
+
+/// One read attempt's outcome under the session's poll timeout.
+enum ReadOutcome {
+    Msg(Vec<u8>),
+    /// No bytes arrived within one poll tick (connection still alive).
+    Idle,
+    /// Peer closed, errored, or stalled past drain patience.
+    Gone,
+}
+
+/// Reads one enveloped message, tolerating poll-tick timeouts. Before
+/// shutdown a slow sender gets unlimited patience *mid-message*; once
+/// shutdown begins, patience is bounded so a stalled half-message cannot
+/// hold the drain hostage.
+fn read_session_message<S>(stream: &mut TcpStream, shared: &Shared<S>) -> ReadOutcome
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return ReadOutcome::Gone,
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return ReadOutcome::Idle;
+            }
+            Err(_) => return ReadOutcome::Gone,
+        }
+    }
+    // The length prefix has started; finish it and the body.
+    let mut len_rest = [0u8; 3];
+    if !read_full(stream, &mut len_rest, shared) {
+        return ReadOutcome::Gone;
+    }
+    let len = u32::from_le_bytes([first[0], len_rest[0], len_rest[1], len_rest[2]]) as usize;
+    if len == 0 || len > MAX_MESSAGE_BYTES {
+        // Hostile length: nothing is allocated; the caller answers with
+        // a typed error and closes (resync is impossible).
+        return ReadOutcome::Msg(Vec::new());
+    }
+    let mut body = vec![0u8; len];
+    if !read_full(stream, &mut body, shared) {
+        return ReadOutcome::Gone;
+    }
+    ReadOutcome::Msg(body)
+}
+
+fn read_full<S>(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared<S>) -> bool
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    let mut filled = 0;
+    let mut stalled_ticks = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                filled += n;
+                stalled_ticks = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    stalled_ticks += 1;
+                    if stalled_ticks > shared.config.drain_patience {
+                        return false;
+                    }
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn send(stream: &mut TcpStream, msg: &ServerMsg) -> bool {
+    crate::net::proto::write_message(stream, &msg.encode()).is_ok()
+}
+
+fn reject(stream: &mut TcpStream, code: ErrorCode, detail: impl Into<String>) -> bool {
+    send(
+        stream,
+        &ServerMsg::Error(RemoteError::new(code, None, detail)),
+    )
+}
+
+/// Runs one session to completion. Every hostile input — garbage bytes,
+/// truncated envelopes, absurd lengths, mismatched handshakes, malformed
+/// batches — lands in a typed error reply or a clean close; nothing
+/// panics the worker, and rejected batches leave the backend untouched.
+fn run_session<S>(shared: &Shared<S>, mut stream: TcpStream)
+where
+    S: SnapshotSource + SubtractableServer,
+    S::Report: WireReport,
+{
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(shared.config.idle_poll))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut negotiated: Option<Hello> = None;
+    loop {
+        let body = match read_session_message(&mut stream, shared) {
+            ReadOutcome::Msg(body) if body.is_empty() => {
+                // Hostile envelope length (zero or over the cap).
+                let _ = reject(
+                    &mut stream,
+                    ErrorCode::Protocol,
+                    "message length outside (0, cap]",
+                );
+                return;
+            }
+            ReadOutcome::Msg(body) => body,
+            ReadOutcome::Idle => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Drained: no in-flight message, shutdown requested.
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Gone => return,
+        };
+        let msg = match ClientMsg::decode(&body) {
+            Ok(msg) => msg,
+            Err(e) => {
+                let keep = negotiated.is_some();
+                let _ = reject(&mut stream, ErrorCode::Protocol, e.to_string());
+                // Before the handshake nothing about the peer is trusted;
+                // after it, the envelope kept us in sync, so the session
+                // may continue.
+                if keep {
+                    continue;
+                }
+                return;
+            }
+        };
+        match msg {
+            ClientMsg::Hello(hello) => {
+                if negotiated.is_some() {
+                    let _ = reject(&mut stream, ErrorCode::Protocol, "duplicate HELLO");
+                    continue;
+                }
+                if let Err((code, detail)) = validate_hello::<S>(&hello, &shared.backend) {
+                    let _ = reject(&mut stream, code, detail);
+                    return;
+                }
+                let ok = ServerMsg::HelloOk(HelloOk {
+                    kind: hello.kind,
+                    wire_version: hello.wire_version,
+                    windowed: hello.windowed,
+                    domain: shared.backend.domain(),
+                });
+                if !send(&mut stream, &ok) {
+                    return;
+                }
+                negotiated = Some(hello);
+            }
+            ClientMsg::Report(batch) => {
+                let Some(hello) = negotiated else {
+                    let _ = reject(&mut stream, ErrorCode::BadState, "REPORT before HELLO");
+                    return;
+                };
+                match shared.backend.absorb_batch(hello.wire_version, &batch) {
+                    Ok(accepted) => {
+                        shared
+                            .frames_absorbed
+                            .fetch_add(accepted, Ordering::Relaxed);
+                        if !send(&mut stream, &ServerMsg::ReportOk { accepted }) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        shared
+                            .frames_rejected
+                            .fetch_add(batch.count, Ordering::Relaxed);
+                        if !send(&mut stream, &ServerMsg::Error(e)) {
+                            return;
+                        }
+                    }
+                }
+            }
+            ClientMsg::Query(query) => {
+                if negotiated.is_none() {
+                    let _ = reject(&mut stream, ErrorCode::BadState, "QUERY before HELLO");
+                    return;
+                }
+                let reply = match shared.backend.query(&query) {
+                    Ok(reply) => ServerMsg::QueryOk(reply),
+                    Err(e) => ServerMsg::Error(e),
+                };
+                if !send(&mut stream, &reply) {
+                    return;
+                }
+            }
+            ClientMsg::Seal => {
+                if negotiated.is_none() {
+                    let _ = reject(&mut stream, ErrorCode::BadState, "SEAL before HELLO");
+                    return;
+                }
+                let reply = match shared.backend.seal() {
+                    Ok(epoch) => ServerMsg::SealOk { epoch },
+                    Err(e) => ServerMsg::Error(e),
+                };
+                if !send(&mut stream, &reply) {
+                    return;
+                }
+            }
+            ClientMsg::Bye => {
+                let _ = send(&mut stream, &ServerMsg::ByeOk);
+                return;
+            }
+        }
+    }
+}
+
+fn validate_hello<S>(hello: &Hello, backend: &Backend<S>) -> Result<(), (ErrorCode, String)>
+where
+    S: SnapshotSource + SubtractableServer,
+    S::Report: WireReport,
+{
+    if hello.kind != S::Report::KIND {
+        return Err((
+            ErrorCode::KindMismatch,
+            format!(
+                "server aggregates kind {}, client proposed kind {}",
+                S::Report::KIND,
+                hello.kind
+            ),
+        ));
+    }
+    if hello.windowed != backend.windowed() {
+        return Err((
+            ErrorCode::EpochModeMismatch,
+            format!(
+                "server is {}, client proposed {}",
+                if backend.windowed() {
+                    "windowed"
+                } else {
+                    "unwindowed"
+                },
+                if hello.windowed {
+                    "windowed"
+                } else {
+                    "unwindowed"
+                },
+            ),
+        ));
+    }
+    if hello.wire_version == WIRE_EPOCH && !backend.windowed() {
+        return Err((
+            ErrorCode::WireVersionMismatch,
+            "epoch-tagged frames (wire v2) against an unwindowed service".to_string(),
+        ));
+    }
+    debug_assert!(hello.wire_version == WIRE_V1 || hello.wire_version == WIRE_EPOCH);
+    Ok(())
+}

@@ -107,6 +107,39 @@ impl<S: SnapshotSource> LdpService<S> {
         self.submit(&report)
     }
 
+    /// Absorbs a batch of decoded reports into one round-robin shard,
+    /// **all-or-nothing**: the batch is staged against a clone of the
+    /// shard and committed only if every report absorbs, so a rejected
+    /// batch can be retried or discarded without double-counting. This is
+    /// the transactional unit the network front end
+    /// ([`crate::net::LdpServer`]) acks per REPORT message.
+    ///
+    /// Because every mechanism's state is an integer sum, the staged
+    /// clone-and-swap leaves state bit-identical to absorbing the same
+    /// reports through [`LdpService::submit`] one at a time.
+    ///
+    /// # Errors
+    ///
+    /// A rejected report surfaces as [`ServiceError::BadFrame`] carrying
+    /// its batch index and report type; state is unchanged on error.
+    pub fn submit_batch(&self, reports: &[S::Report]) -> Result<(), ServiceError> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut staged = shard.clone();
+        for (i, report) in reports.iter().enumerate() {
+            staged.absorb(report).map_err(|e| ServiceError::BadFrame {
+                index: i,
+                report_type: crate::error::report_type_name::<S::Report>(),
+                source: Box::new(e.into()),
+            })?;
+        }
+        *shard = staged;
+        Ok(())
+    }
+
     /// Total reports across all shards right now (racy by nature while
     /// writers are active; exact when quiesced).
     #[must_use]
@@ -238,6 +271,41 @@ where
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
         shard.absorb_tagged(epoch, &report)
+    }
+
+    /// Absorbs a batch of epoch-tagged reports (`None` = untagged v1
+    /// frame) into one round-robin shard, **all-or-nothing** like
+    /// [`LdpService::submit_batch`]: tags are checked against the open
+    /// epoch and the whole batch is staged before committing, so a stale
+    /// straggler anywhere in the batch rejects it without any partial
+    /// absorb.
+    ///
+    /// # Errors
+    ///
+    /// A rejected report surfaces as [`ServiceError::BadFrame`] carrying
+    /// its batch index (with [`ServiceError::EpochMismatch`] as the
+    /// source for stale or future tags); state is unchanged on error.
+    pub fn submit_epoch_batch(
+        &self,
+        reports: &[(Option<u64>, S::Report)],
+    ) -> Result<(), ServiceError> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut staged = shard.clone();
+        for (i, (epoch, report)) in reports.iter().enumerate() {
+            staged
+                .absorb_tagged(*epoch, report)
+                .map_err(|e| ServiceError::BadFrame {
+                    index: i,
+                    report_type: crate::error::report_type_name::<S::Report>(),
+                    source: Box::new(e),
+                })?;
+        }
+        *shard = staged;
+        Ok(())
     }
 
     /// Merges the shard rings and freezes the trailing `epochs` sealed

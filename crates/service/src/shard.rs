@@ -170,12 +170,9 @@ impl<S: MergeableServer> ShardedAggregator<S> {
     }
 
     fn bad_frame((index, error): (usize, ServiceError)) -> ServiceError {
-        // The unqualified type name ("HhReport", not the full path) is
-        // what a log line wants.
-        let full = std::any::type_name::<S::Report>();
         ServiceError::BadFrame {
             index,
-            report_type: full.rsplit("::").next().unwrap_or(full),
+            report_type: crate::error::report_type_name::<S::Report>(),
             source: Box::new(error),
         }
     }

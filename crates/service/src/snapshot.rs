@@ -13,8 +13,8 @@
 //! about staleness.
 
 use ldp_ranges::{
-    quantile, FlatServer, FrequencyEstimate, HaarHrrServer, HaarOueServer, HhServer, HhSplitServer,
-    MergeableServer, RangeEstimate,
+    quantile, FlatServer, FrequencyEstimate, HaarHrrServer, HaarOueServer, Hh2dServer, HhServer,
+    HhSplitServer, MergeableServer, RangeEstimate,
 };
 
 /// Servers whose merged state can be frozen into a 1-D frequency
@@ -55,6 +55,26 @@ impl SnapshotSource for HaarHrrServer {
 impl SnapshotSource for HaarOueServer {
     fn frequency_estimate(&self) -> FrequencyEstimate {
         self.estimate().to_frequency_estimate()
+    }
+}
+
+/// The 2-D mechanism linearized: cell `(x, y)` of the `side × side` grid
+/// becomes flattened item `x · side + y` (x-major), so the snapshot's
+/// range/prefix queries run over the row-major cell order. Native
+/// axis-aligned rectangle queries stay on [`Hh2dServer::estimate`]; this
+/// impl is what lets the 2-D mechanism ride the generic service and
+/// network stack (`LdpService`, `LdpServer`) beside the 1-D mechanisms.
+impl SnapshotSource for Hh2dServer {
+    fn frequency_estimate(&self) -> FrequencyEstimate {
+        let est = self.estimate();
+        let side = est.side();
+        let mut freqs = Vec::with_capacity(side * side);
+        for x in 0..side {
+            for y in 0..side {
+                freqs.push(est.rectangle(x, x, y, y));
+            }
+        }
+        FrequencyEstimate::new(freqs)
     }
 }
 

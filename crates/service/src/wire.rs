@@ -77,7 +77,10 @@ const TAG_SUE: u8 = 3;
 
 // --- primitive writers -------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends one LEB128 varint — the writer dual of [`Reader::varint`],
+/// exposed so the session-protocol codecs ([`crate::net`]) share the
+/// frame format's primitives instead of reimplementing them.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;

@@ -1,0 +1,322 @@
+//! Adversarial-input tests at the socket boundary: truncated length
+//! prefixes, oversized declared lengths, garbage HELLOs, mid-stream
+//! disconnects, and handshake mismatches all yield clean typed errors —
+//! never a panic, a hang, or a partial absorb — and the server keeps
+//! serving well-behaved clients afterwards. Every test ends in a graceful
+//! shutdown, which joins every server thread (a leak would hang the
+//! test).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HaarConfig, HaarHrrClient, HaarHrrServer, HhClient, HhConfig, HhServer};
+use ldp_service::net::proto::{read_message, write_message, ClientMsg, ReportBatch, ServerMsg};
+use ldp_service::net::{ErrorCode, Hello, NetConfig, Query, QueryOp, WIRE_EPOCH, WIRE_V1};
+use ldp_service::{EncodedStream, LdpClient, LdpServer, LdpService, NetError, WireReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type HhService = Arc<LdpService<HhServer>>;
+
+fn hh_fixture() -> (HhClient, HhService, LdpServer<HhServer>) {
+    let config = HhConfig::new(64, 4, Epsilon::new(1.1)).unwrap();
+    let client = HhClient::new(config.clone()).unwrap();
+    let prototype = HhServer::new(config).unwrap();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let server =
+        LdpServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default()).unwrap();
+    (client, service, server)
+}
+
+/// Reads the server's typed error reply off a raw socket.
+fn read_error(stream: &mut TcpStream) -> ldp_service::net::RemoteError {
+    let body = read_message(stream).expect("server answers before closing");
+    match ServerMsg::decode(&body).expect("well-formed reply") {
+        ServerMsg::Error(e) => e,
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+/// A well-behaved session still works — the liveness probe run after
+/// every hostile client.
+fn probe_alive(addr: std::net::SocketAddr, client: &HhClient, expect_reports: u64) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut stream = EncodedStream::new();
+    for i in 0..5 {
+        stream.push(&client.report(i % 64, &mut rng).unwrap());
+    }
+    let mut session = LdpClient::connect(addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    assert_eq!(session.send_stream(&stream, 8).unwrap(), 5);
+    let reply = session.range(0, 63).unwrap();
+    assert_eq!(reply.num_reports, expect_reports + 5);
+    session.bye().unwrap();
+}
+
+#[test]
+fn hostile_bytes_yield_typed_errors_and_the_server_survives() {
+    let (client, service, server) = hh_fixture();
+    let addr = server.local_addr();
+
+    // 1. Truncated length prefix: two bytes, then silence, then close.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0x10, 0x00]).unwrap();
+    drop(raw);
+
+    // 2. Oversized declared length: rejected with a typed error before
+    //    any allocation, connection closed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0x01]).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::Protocol);
+    drop(raw);
+
+    // 3. Zero-length envelope: same typed rejection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0x00, 0x00, 0x00, 0x00]).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::Protocol);
+    drop(raw);
+
+    // 4. Garbage HELLO: a well-framed envelope of byte soup.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_message(&mut raw, &[0x01, 0xDE, 0xAD, 0xBE, 0xEF, 0x99, 0x99]).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::Protocol);
+    drop(raw);
+
+    // 5. An unknown message type before HELLO.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_message(&mut raw, &[0x66, 1, 2, 3]).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::Protocol);
+    drop(raw);
+
+    // 6. REPORT before HELLO: a state error, not a decode attempt.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let body = ClientMsg::Report(ReportBatch {
+        count: 1,
+        frames: vec![0xAA; 8],
+    })
+    .encode();
+    write_message(&mut raw, &body).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::BadState);
+    drop(raw);
+
+    // 7. Mid-stream disconnect: a session that negotiates, starts a
+    //    REPORT envelope, and vanishes. Nothing may be absorbed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_message(
+        &mut raw,
+        &ClientMsg::Hello(Hello::plain::<ldp_ranges::HhReport>()).encode(),
+    )
+    .unwrap();
+    let body = read_message(&mut raw).unwrap();
+    assert!(matches!(
+        ServerMsg::decode(&body).unwrap(),
+        ServerMsg::HelloOk(_)
+    ));
+    raw.write_all(&[200, 0, 0, 0]).unwrap(); // declares 200 bytes...
+    raw.write_all(&[0x11; 20]).unwrap(); // ...delivers 20, then dies
+    drop(raw);
+
+    // After every attack: zero reports absorbed, and a clean session
+    // still works end to end.
+    assert_eq!(service.num_reports(), 0, "hostile bytes leaked state");
+    probe_alive(addr, &client, 0);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.num_reports, 5);
+    assert_eq!(stats.frames_absorbed, 5);
+}
+
+#[test]
+fn handshake_mismatches_are_typed_errors() {
+    let (_, _, server) = hh_fixture();
+    let addr = server.local_addr();
+
+    // Wrong report kind.
+    let err = LdpClient::connect(addr, Hello::plain::<ldp_ranges::HaarHrrReport>()).unwrap_err();
+    match err {
+        NetError::Remote(e) => assert_eq!(e.code, ErrorCode::KindMismatch),
+        other => panic!("expected a remote kind mismatch, got {other}"),
+    }
+
+    // Epoch-tagged wire version against an unwindowed backend.
+    let err = LdpClient::connect(
+        addr,
+        Hello {
+            kind: ldp_ranges::HhReport::KIND,
+            wire_version: WIRE_EPOCH,
+            windowed: false,
+        },
+    )
+    .unwrap_err();
+    match err {
+        NetError::Remote(e) => assert_eq!(e.code, ErrorCode::WireVersionMismatch),
+        other => panic!("expected a remote wire-version mismatch, got {other}"),
+    }
+
+    // Windowed session against an unwindowed backend.
+    let err = LdpClient::connect(addr, Hello::windowed::<ldp_ranges::HhReport>()).unwrap_err();
+    match err {
+        NetError::Remote(e) => assert_eq!(e.code, ErrorCode::EpochModeMismatch),
+        other => panic!("expected a remote epoch-mode mismatch, got {other}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.num_reports, 0);
+
+    // And the mirror image: a plain session against a windowed backend.
+    let config = HaarConfig::new(32, Epsilon::new(1.1)).unwrap();
+    let prototype = HaarHrrServer::new(config).unwrap();
+    let service = Arc::new(LdpService::windowed(&prototype, 2, 2).unwrap());
+    let server = LdpServer::bind_windowed("127.0.0.1:0", service, NetConfig::default()).unwrap();
+    let err = LdpClient::connect(
+        server.local_addr(),
+        Hello::plain::<ldp_ranges::HaarHrrReport>(),
+    )
+    .unwrap_err();
+    match err {
+        NetError::Remote(e) => assert_eq!(e.code, ErrorCode::EpochModeMismatch),
+        other => panic!("expected a remote epoch-mode mismatch, got {other}"),
+    }
+    let _ = server.shutdown();
+}
+
+#[test]
+fn bad_batches_reject_all_or_nothing_with_the_offending_index() {
+    let (client, service, server) = hh_fixture();
+    let addr = server.local_addr();
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Five good frames, then garbage: the whole batch bounces, the error
+    // names index 5, nothing is absorbed.
+    let mut stream = EncodedStream::new();
+    for i in 0..5 {
+        stream.push(&client.report(i, &mut rng).unwrap());
+    }
+    stream.push_raw(&[0xDE, 0xAD, 0xBE, 0xEF]);
+    let mut session = LdpClient::connect(addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let err = session
+        .send_batch(stream.len() as u64, stream.as_bytes())
+        .unwrap_err();
+    match err {
+        NetError::Remote(e) => {
+            assert_eq!(e.code, ErrorCode::BadFrame);
+            assert_eq!(e.index, Some(5));
+        }
+        other => panic!("expected a remote bad-frame error, got {other}"),
+    }
+    assert_eq!(service.num_reports(), 0, "rejected batch leaked reports");
+
+    // A count lying about the payload (too many / too few frames).
+    let mut one = EncodedStream::new();
+    one.push(&client.report(1, &mut rng).unwrap());
+    let err = session.send_batch(5, one.as_bytes()).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::BadFrame));
+    let err = session.send_batch(0, one.as_bytes()).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::BadFrame));
+    assert_eq!(service.num_reports(), 0);
+
+    // The session survives its own rejected batches.
+    assert_eq!(session.send_batch(1, one.as_bytes()).unwrap(), 1);
+    session.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.num_reports, 1);
+    assert_eq!(stats.frames_absorbed, 1);
+    assert!(stats.frames_rejected >= 6);
+}
+
+#[test]
+fn hostile_queries_and_epoch_mismatches_are_typed() {
+    // Windowed backend for the full query surface.
+    let config = HaarConfig::new(32, Epsilon::new(1.1)).unwrap();
+    let haar_client = HaarHrrClient::new(config.clone()).unwrap();
+    let prototype = HaarHrrServer::new(config).unwrap();
+    let service = Arc::new(LdpService::windowed(&prototype, 2, 2).unwrap());
+    let server =
+        LdpServer::bind_windowed("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+            .unwrap();
+    let mut session = LdpClient::connect(
+        server.local_addr(),
+        Hello::windowed::<ldp_ranges::HaarHrrReport>(),
+    )
+    .unwrap();
+
+    // A windowed query before any seal: EmptyWindow.
+    let err = session
+        .query(Query {
+            op: QueryOp::Point { z: 3 },
+            window: Some(1),
+        })
+        .unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::EmptyWindow));
+
+    // Out-of-domain bounds: BadQuery, not a panic.
+    let err = session.range(0, 32).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::BadQuery));
+
+    // A stale epoch tag: the typed epoch mismatch, batch untouched.
+    let mut rng = StdRng::seed_from_u64(88);
+    let report = haar_client.report(3, &mut rng).unwrap();
+    let mut stream = EncodedStream::new();
+    stream.push_epoch(&report, 7);
+    let err = session.send_batch(1, stream.as_bytes()).unwrap_err();
+    match err {
+        NetError::Remote(e) => {
+            assert_eq!(e.code, ErrorCode::EpochMismatch);
+            assert_eq!(e.index, Some(0));
+        }
+        other => panic!("expected a remote epoch mismatch, got {other}"),
+    }
+    assert_eq!(service.num_reports(), 0);
+
+    // Current-epoch traffic flows; a post-seal straggler for the sealed
+    // epoch bounces the same way a direct submit would.
+    let mut current = EncodedStream::new();
+    current.push_epoch(&report, 0);
+    assert_eq!(session.send_batch(1, current.as_bytes()).unwrap(), 1);
+    assert_eq!(session.seal_epoch().unwrap(), 0);
+    let err = session.send_batch(1, current.as_bytes()).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::EpochMismatch));
+
+    // The windowed query now answers.
+    let reply = session
+        .query(Query {
+            op: QueryOp::Range { a: 0, b: 31 },
+            window: Some(1),
+        })
+        .unwrap();
+    assert_eq!(reply.num_reports, 1);
+    assert_eq!(reply.window, Some((0, 0)));
+
+    session.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.num_reports, 1);
+
+    // SEAL and windowed queries against a plain backend are BadState.
+    let (_, _, server) = hh_fixture();
+    let mut session = LdpClient::connect(
+        server.local_addr(),
+        Hello {
+            kind: ldp_ranges::HhReport::KIND,
+            wire_version: WIRE_V1,
+            windowed: false,
+        },
+    )
+    .unwrap();
+    let err = session.seal_epoch().unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::BadState));
+    let err = session
+        .query(Query {
+            op: QueryOp::Point { z: 0 },
+            window: Some(1),
+        })
+        .unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::BadState));
+    session.bye().unwrap();
+    let _ = server.shutdown();
+}
