@@ -1,0 +1,155 @@
+//! Durable-storage throughput benchmark for `ldp-service`.
+//!
+//! Replays a Cauchy population (HH₄ mechanism, like `service_throughput`)
+//! through a `DurableService` in group-commit batches, timing the durable
+//! ingest path end to end: batch decode, staged all-or-nothing absorb,
+//! CRC-framed WAL append, and the fsync policy. Then it simulates a crash
+//! (drop without checkpoint), times recovery — full WAL replay back into
+//! a fresh service — and asserts the recovered snapshot is *bit-identical*
+//! to an in-process service fed the same frames before reporting any
+//! number. Both rates feed the CI regression gate.
+//!
+//! ```text
+//! cargo run -p ldp-bench --release --bin wal_throughput
+//! LDP_WAL_USERS=400000 LDP_WAL_BATCH=512 \
+//!     cargo run -p ldp-bench --release --bin wal_throughput
+//! ```
+
+use std::time::Instant;
+
+use ldp_bench::metrics::BenchMetrics;
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HhClient, HhConfig, HhServer};
+use ldp_service::net::WIRE_V1;
+use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy, TailStatus};
+use ldp_service::{generate_stream, LdpService};
+use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let users = env_or("LDP_WAL_USERS", 100_000).max(1);
+    let batch = env_or("LDP_WAL_BATCH", 256).max(1) as usize;
+    let shards = env_or("LDP_WAL_SHARDS", 4).max(1) as usize;
+    let domain = env_or("LDP_SERVICE_DOMAIN", 1_024) as usize;
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = Dataset::sample(
+        DistributionKind::Cauchy(CauchyParams::paper_default()),
+        domain,
+        users,
+        &mut rng,
+    );
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    println!(
+        "# wal_throughput: {users} users, domain {domain}, HH_4/OUE, \
+         batch {batch} frames, {shards} shards, group-commit fsync every 1 MiB"
+    );
+    let gen_started = Instant::now();
+    let stream = generate_stream(&dataset, users, 60, |value, rng| {
+        client.report(value, rng).expect("in-domain value")
+    });
+    println!(
+        "# stream: {} frames, {:.1} MiB, generated in {:.2?}\n",
+        stream.len(),
+        stream.total_bytes() as f64 / (1024.0 * 1024.0),
+        gen_started.elapsed(),
+    );
+
+    let durable_config = DurableConfig {
+        num_shards: shards,
+        segment_bytes: 32 << 20,
+        // Group durability: the throughput configuration a deployment
+        // that can tolerate a bounded loss window runs with.
+        fsync: FsyncPolicy::EveryBytes(1 << 20),
+        checkpoint_every_records: 0,
+        retain_history: false,
+    };
+    let dir = scratch_dir("wal-bench").expect("scratch dir");
+    let (durable, _) =
+        DurableService::open(&dir, &prototype, durable_config.clone()).expect("open");
+
+    // --- durable ingest ------------------------------------------------
+    let started = Instant::now();
+    let mut lo = 0;
+    while lo < stream.len() {
+        let hi = (lo + batch).min(stream.len());
+        durable
+            .ingest_batch(WIRE_V1, (hi - lo) as u64, stream.frame_span(lo, hi))
+            .expect("durable ingest");
+        lo = hi;
+    }
+    durable.sync().expect("final sync");
+    let ingest = started.elapsed();
+    let append_rate = stream.len() as f64 / ingest.as_secs_f64();
+    println!("durable ingest: {ingest:.2?}  ({append_rate:.0} reports/sec)");
+
+    // Crash: drop without checkpoint, so recovery replays the whole log.
+    drop(durable);
+
+    // --- recovery replay -----------------------------------------------
+    let started = Instant::now();
+    let (recovered, report) =
+        DurableService::open(&dir, &prototype, durable_config).expect("recover");
+    let recovery = started.elapsed();
+    assert!(
+        matches!(report.tail, TailStatus::Clean),
+        "synced log recovered torn: {:?}",
+        report.tail
+    );
+    assert_eq!(report.frames_replayed, stream.len() as u64);
+    let replay_rate = report.frames_replayed as f64 / recovery.as_secs_f64();
+    println!(
+        "recovery: {recovery:.2?}  ({replay_rate:.0} reports/sec over {} records in {} segments)",
+        report.records_replayed, report.segments_scanned
+    );
+
+    // Identity check before any number is trusted: recovered state must
+    // be bit-identical to in-process submission of the same frames.
+    let direct = LdpService::new(&prototype, 1).expect("service");
+    for i in 0..stream.len() {
+        direct.submit_frame(stream.frame(i)).expect("absorb");
+    }
+    let direct_snap = direct.refresh_snapshot().expect("refresh");
+    let recovered_snap = recovered.refresh_snapshot().expect("refresh");
+    assert_eq!(recovered_snap.num_reports(), direct_snap.num_reports());
+    for (z, (a, b)) in recovered_snap
+        .estimate()
+        .frequencies()
+        .iter()
+        .zip(direct_snap.estimate().frequencies())
+        .enumerate()
+    {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "recovered and in-process estimates differ at item {z}: {a} vs {b}"
+        );
+    }
+    println!("identity check: recovered snapshot ≡ in-process (bit-for-bit)");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    let mut metrics = BenchMetrics::new();
+    metrics.record("wal_users", users as f64);
+    metrics.record("wal_batch_frames", batch as f64);
+    metrics.record("wal_append_reports_per_sec", append_rate);
+    metrics.record("recovery_replay_reports_per_sec", replay_rate);
+    match metrics.write_to_env_path() {
+        Ok(Some(path)) => println!("\n# metrics appended to {path}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write metrics: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,6 +26,10 @@ pub enum RangeError {
     Oracle(OracleError),
     /// A report was produced by a mechanism with a different shape.
     ReportShapeMismatch,
+    /// Persisted server state could not be restored: the bytes are
+    /// truncated, disagree with the prototype's configuration, or encode
+    /// statistics no report sequence could have produced.
+    CorruptState(&'static str),
 }
 
 impl fmt::Display for RangeError {
@@ -39,6 +43,7 @@ impl fmt::Display for RangeError {
             Self::DomainTooSmall(d) => write!(f, "domain must have at least 2 items, got {d}"),
             Self::Oracle(e) => write!(f, "frequency oracle error: {e}"),
             Self::ReportShapeMismatch => write!(f, "report does not match mechanism shape"),
+            Self::CorruptState(what) => write!(f, "corrupt persisted state: {what}"),
         }
     }
 }
@@ -81,6 +86,9 @@ mod tests {
         assert!(RangeError::ReportShapeMismatch
             .to_string()
             .contains("shape"));
+        assert!(RangeError::CorruptState("truncated")
+            .to_string()
+            .contains("corrupt"));
     }
 
     #[test]

@@ -111,6 +111,16 @@ impl FlatServer {
         self.oracle.num_reports()
     }
 
+    /// The underlying oracle accumulator (persistence codec access).
+    pub(crate) fn oracle(&self) -> &AnyOracle {
+        &self.oracle
+    }
+
+    /// Mutable oracle accumulator (persistence codec access).
+    pub(crate) fn oracle_mut(&mut self) -> &mut AnyOracle {
+        &mut self.oracle
+    }
+
     /// Reconstructs per-item frequency estimates; ranges are answered by
     /// prefix-sum differences over them (identical to summing point
     /// estimates, but `O(1)` per query).

@@ -120,6 +120,16 @@ impl HaarOueServer {
         Ok(Self { config, levels })
     }
 
+    /// The per-level OUE accumulators (persistence codec access).
+    pub(crate) fn oracles(&self) -> &[Oue] {
+        &self.levels
+    }
+
+    /// Mutable per-level accumulators (persistence codec access).
+    pub(crate) fn oracles_mut(&mut self) -> &mut [Oue] {
+        &mut self.levels
+    }
+
     /// Merges another shard's per-level accumulators into this one.
     ///
     /// # Errors

@@ -142,6 +142,16 @@ impl HaarHrrServer {
         &self.config
     }
 
+    /// The per-level HRR accumulators (persistence codec access).
+    pub(crate) fn oracles(&self) -> &[Hrr] {
+        &self.levels
+    }
+
+    /// Mutable per-level accumulators (persistence codec access).
+    pub(crate) fn oracles_mut(&mut self) -> &mut [Hrr] {
+        &mut self.levels
+    }
+
     /// Merges another shard's per-level accumulators into this one.
     ///
     /// # Errors

@@ -136,6 +136,16 @@ impl HhSplitServer {
         })
     }
 
+    /// The per-level oracle accumulators (persistence codec access).
+    pub(crate) fn oracles(&self) -> &[AnyOracle] {
+        &self.levels
+    }
+
+    /// Mutable per-level accumulators (persistence codec access).
+    pub(crate) fn oracles_mut(&mut self) -> &mut [AnyOracle] {
+        &mut self.levels
+    }
+
     /// Merges another shard's per-level accumulators into this one
     /// (distributed aggregation over disjoint user cohorts).
     ///

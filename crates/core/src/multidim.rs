@@ -223,6 +223,16 @@ impl Hh2dServer {
         })
     }
 
+    /// The per-grid oracle accumulators (persistence codec access).
+    pub(crate) fn oracles(&self) -> &[AnyOracle] {
+        &self.grids
+    }
+
+    /// Mutable per-grid accumulators (persistence codec access).
+    pub(crate) fn oracles_mut(&mut self) -> &mut [AnyOracle] {
+        &mut self.grids
+    }
+
     /// Merges another shard's per-grid accumulators into this one.
     ///
     /// # Errors

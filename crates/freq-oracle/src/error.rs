@@ -27,6 +27,10 @@ pub enum OracleError {
     /// A subtraction would drive an accumulator negative — the subtrahend
     /// was never merged into this state, so removing it is meaningless.
     SubtractUnderflow,
+    /// Persisted accumulator state failed validation on load: wrong
+    /// statistic length, or counts no sequence of absorbed reports could
+    /// have produced (a per-item count above the report total).
+    InvalidState(&'static str),
 }
 
 impl fmt::Display for OracleError {
@@ -48,6 +52,7 @@ impl fmt::Display for OracleError {
             Self::SubtractUnderflow => {
                 write!(f, "subtrahend state was never merged into this accumulator")
             }
+            Self::InvalidState(what) => write!(f, "invalid persisted state: {what}"),
         }
     }
 }
@@ -79,5 +84,8 @@ mod tests {
         assert!(OracleError::SubtractUnderflow
             .to_string()
             .contains("never merged"));
+        assert!(OracleError::InvalidState("count above report total")
+            .to_string()
+            .contains("persisted state"));
     }
 }

@@ -105,6 +105,36 @@ impl Hrr {
         self.p
     }
 
+    /// The accumulated per-index ±1 coefficient sums — the oracle's
+    /// complete mutable state (see [`crate::Oue::counts`]).
+    #[must_use]
+    pub fn sums(&self) -> &[i64] {
+        &self.sums
+    }
+
+    /// Replaces the accumulator state with previously persisted
+    /// coefficient sums — the restore dual of [`Hrr::sums`] (see
+    /// [`crate::Oue::load_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::InvalidState`] on a length mismatch or a
+    /// sum whose magnitude exceeds `reports` (each report moves exactly
+    /// one index by ±1). State is unchanged on error.
+    pub fn load_state(&mut self, sums: Vec<i64>, reports: u64) -> Result<(), OracleError> {
+        if sums.len() != self.domain {
+            return Err(OracleError::InvalidState("sum vector length != domain"));
+        }
+        if sums.iter().any(|&s| s.unsigned_abs() > reports) {
+            return Err(OracleError::InvalidState(
+                "coefficient sum magnitude above report total",
+            ));
+        }
+        self.sums = sums;
+        self.reports = reports;
+        Ok(())
+    }
+
     /// Merges another shard's accumulator into this one.
     ///
     /// # Errors

@@ -96,6 +96,34 @@ impl Olh {
         self.g
     }
 
+    /// The accumulated support counts per item — the oracle's complete
+    /// mutable state (see [`crate::Oue::counts`]).
+    #[must_use]
+    pub fn support(&self) -> &[u64] {
+        &self.support
+    }
+
+    /// Replaces the accumulator state with previously persisted support
+    /// counts — the restore dual of [`Olh::support`] (see
+    /// [`crate::Oue::load_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::InvalidState`] on a length mismatch or a
+    /// per-item support above `reports` (each report supports an item at
+    /// most once). State is unchanged on error.
+    pub fn load_state(&mut self, support: Vec<u64>, reports: u64) -> Result<(), OracleError> {
+        if support.len() != self.domain {
+            return Err(OracleError::InvalidState("support vector length != domain"));
+        }
+        if support.iter().any(|&s| s > reports) {
+            return Err(OracleError::InvalidState("item support above report total"));
+        }
+        self.support = support;
+        self.reports = reports;
+        Ok(())
+    }
+
     /// Merges another shard's support counts into this one.
     ///
     /// # Errors

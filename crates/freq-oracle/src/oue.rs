@@ -148,6 +148,38 @@ impl Oue {
         (self.p, self.q)
     }
 
+    /// The accumulated noisy 1-counts per item — together with
+    /// [`PointOracle::num_reports`] the oracle's *complete* mutable state
+    /// (everything else is derived from the configuration). This is what
+    /// durable-storage checkpoints serialize.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Replaces the accumulator state with previously persisted counts —
+    /// the restore dual of [`Oue::counts`]. Loading the counts read back
+    /// from a checkpoint into a fresh oracle of the same configuration
+    /// reproduces the checkpointed state bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::InvalidState`] when the count vector does
+    /// not match the domain, or any per-item count exceeds `reports` (no
+    /// report sequence can set a bit more than once per report). State is
+    /// unchanged on error.
+    pub fn load_state(&mut self, counts: Vec<u64>, reports: u64) -> Result<(), OracleError> {
+        if counts.len() != self.domain {
+            return Err(OracleError::InvalidState("count vector length != domain"));
+        }
+        if counts.iter().any(|&c| c > reports) {
+            return Err(OracleError::InvalidState("item count above report total"));
+        }
+        self.counts = counts;
+        self.reports = reports;
+        Ok(())
+    }
+
     /// Merges another shard's accumulator into this one (distributed
     /// aggregation: shards absorb disjoint user cohorts independently and
     /// are combined before estimation).

@@ -82,6 +82,32 @@ impl Sue {
         (self.p, self.q)
     }
 
+    /// The accumulated noisy 1-counts per item — the oracle's complete
+    /// mutable state (see [`crate::Oue::counts`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Replaces the accumulator state with previously persisted counts —
+    /// the restore dual of [`Sue::counts`] (see [`crate::Oue::load_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::InvalidState`] on a length mismatch or a
+    /// per-item count above `reports`. State is unchanged on error.
+    pub fn load_state(&mut self, counts: Vec<u64>, reports: u64) -> Result<(), OracleError> {
+        if counts.len() != self.domain {
+            return Err(OracleError::InvalidState("count vector length != domain"));
+        }
+        if counts.iter().any(|&c| c > reports) {
+            return Err(OracleError::InvalidState("item count above report total"));
+        }
+        self.counts = counts;
+        self.reports = reports;
+        Ok(())
+    }
+
     /// Merges another shard's accumulator into this one.
     ///
     /// # Errors

@@ -83,6 +83,15 @@ pub enum ServiceError {
     /// with a zero window length or epoch width, or a windowed query
     /// asked for zero epochs / ran before any epoch was sealed.
     EmptyWindow,
+    /// An epoch operation (seal, windowed query) reached a service whose
+    /// backend is not windowed.
+    NotWindowed,
+    /// A filesystem operation of the durable storage layer failed.
+    Io(std::io::Error),
+    /// A lock was poisoned by a panicking holder. Surfaced as a typed
+    /// error on fallible paths so one panicked writer degrades the
+    /// service instead of cascading panics through every caller.
+    LockPoisoned(&'static str),
 }
 
 impl fmt::Display for ServiceError {
@@ -105,6 +114,9 @@ impl fmt::Display for ServiceError {
                 f,
                 "window is empty: zero window length/epoch width, or no epoch sealed yet"
             ),
+            Self::NotWindowed => write!(f, "epoch operation against an unwindowed service"),
+            Self::Io(e) => write!(f, "storage I/O error: {e}"),
+            Self::LockPoisoned(what) => write!(f, "{what} lock poisoned by a panicked holder"),
         }
     }
 }
@@ -115,6 +127,7 @@ impl std::error::Error for ServiceError {
             Self::Wire(e) => Some(e),
             Self::Range(e) => Some(e),
             Self::BadFrame { source, .. } => Some(source.as_ref()),
+            Self::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -129,6 +142,12 @@ impl From<WireError> for ServiceError {
 impl From<RangeError> for ServiceError {
     fn from(e: RangeError) -> Self {
         Self::Range(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
     }
 }
 

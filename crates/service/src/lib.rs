@@ -66,6 +66,15 @@
 //!   exact integer sufficient statistic, bytes-over-socket produce
 //!   *bit-identical* snapshots to in-process submission — the transport
 //!   is a pure function, and the differential tests enforce it.
+//! * [`storage`] — the persistence tier: [`DurableService`] wraps a
+//!   plain or windowed service with a segmented, CRC-framed write-ahead
+//!   log (whose FRAMES records are the raw wire frames) and periodic
+//!   checkpoints of the full mechanism state
+//!   ([`ldp_ranges::PersistableServer`]). Recovery loads the newest
+//!   valid checkpoint, replays the WAL tail, and stops cleanly at the
+//!   first torn record; the same exactness argument makes durability
+//!   *testable by bit-identity*, and the crash-recovery differential
+//!   tests enforce it at arbitrary truncation offsets.
 //!
 //! ## Quick start
 //!
@@ -103,6 +112,7 @@ pub mod net;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod storage;
 pub mod window;
 pub mod wire;
 
@@ -114,9 +124,12 @@ pub use net::{
 pub use service::LdpService;
 pub use shard::ShardedAggregator;
 pub use snapshot::{RangeSnapshot, SnapshotSource};
+pub use storage::{
+    DurableConfig, DurableService, DurableStatus, FsyncPolicy, RecoveryReport, TailStatus,
+};
 pub use window::{EpochRing, SealedEpoch, WindowedSnapshot};
 pub use wire::{decode_all, decode_epoch_frame, decode_frame, WireReport};
 
 // Re-export the traits the whole crate is generic over, so users need
 // only this crate for the service surface.
-pub use ldp_ranges::{MergeableServer, SubtractableServer};
+pub use ldp_ranges::{MergeableServer, PersistableServer, SubtractableServer};

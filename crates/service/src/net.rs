@@ -58,7 +58,8 @@ use std::time::Duration;
 
 pub use client::LdpClient;
 pub use proto::{
-    ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError, WIRE_EPOCH, WIRE_V1,
+    DurableProgress, ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError,
+    StatusReply, WIRE_EPOCH, WIRE_V1,
 };
 pub use server::{LdpServer, ServerStats};
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 use crate::loadgen::EncodedStream;
 use crate::net::proto::{
     encode_report_body, read_message, write_message, ClientMsg, Hello, HelloOk, Query, QueryOp,
-    QueryReply, ServerMsg,
+    QueryReply, ServerMsg, StatusReply,
 };
 use crate::net::NetError;
 
@@ -139,6 +139,20 @@ impl LdpClient {
             op: QueryOp::Quantile { phi },
             window: None,
         })
+    }
+
+    /// Probes the server's counters and durability progress. Works on
+    /// any session (the request names no report kind).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed server rejection.
+    pub fn status(&mut self) -> Result<StatusReply, NetError> {
+        match self.roundtrip(&ClientMsg::Status)? {
+            ServerMsg::StatusOk(status) => Ok(status),
+            ServerMsg::Error(e) => Err(NetError::Remote(e)),
+            _ => Err(NetError::UnexpectedReply("STATUS answered with non-status")),
+        }
     }
 
     /// Seals the open epoch (windowed sessions), returning its id.

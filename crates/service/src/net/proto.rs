@@ -14,6 +14,7 @@
 //!   0x03 QUERY    payload := windowed(1B: 0|1) [k:varint]  op
 //!   0x04 SEAL     payload := (empty)
 //!   0x05 BYE      payload := (empty)
+//!   0x06 STATUS   payload := (empty)   (allowed before HELLO)
 //!
 //! op       := 0 RANGE a:varint b:varint
 //!           | 1 PREFIX b:varint
@@ -28,6 +29,13 @@
 //!                             [first:varint last:varint]
 //!   0x84 SEAL_OK   payload := epoch:varint
 //!   0x85 BYE_OK    payload := (empty)
+//!   0x86 STATUS_OK payload := sessions:varint frames_absorbed:varint
+//!                             frames_rejected:varint num_reports:varint
+//!                             snapshot_version:varint
+//!                             windowed(1B: 0|1) [current_epoch:varint]
+//!                             durable(1B: 0|1) [has_ckpt(1B: 0|1) [id:varint]
+//!                             wal_seq:varint wal_records:varint wal_frames:varint
+//!                             checkpoint_failures:varint wedged(1B: 0|1)]
 //!   0x7F ERROR     payload := code(1B) has_index(1B: 0|1) [index:varint]
 //!                             detail_len:varint detail(UTF-8)
 //! ```
@@ -71,12 +79,14 @@ const MSG_REPORT: u8 = 0x02;
 const MSG_QUERY: u8 = 0x03;
 const MSG_SEAL: u8 = 0x04;
 const MSG_BYE: u8 = 0x05;
+const MSG_STATUS: u8 = 0x06;
 
 const MSG_HELLO_OK: u8 = 0x81;
 const MSG_REPORT_OK: u8 = 0x82;
 const MSG_QUERY_OK: u8 = 0x83;
 const MSG_SEAL_OK: u8 = 0x84;
 const MSG_BYE_OK: u8 = 0x85;
+const MSG_STATUS_OK: u8 = 0x86;
 const MSG_ERROR: u8 = 0x7F;
 
 const OP_RANGE: u8 = 0;
@@ -231,6 +241,50 @@ impl QueryReply {
     }
 }
 
+// --- status ------------------------------------------------------------
+
+/// Durability progress inside a [`StatusReply`] (durable servers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableProgress {
+    /// Id of the newest completed checkpoint, if any.
+    pub last_checkpoint: Option<u64>,
+    /// WAL segment currently being appended to.
+    pub wal_segment_seq: u64,
+    /// WAL records appended since the server opened its log.
+    pub wal_records: u64,
+    /// Report frames appended since the server opened its log.
+    pub wal_frames: u64,
+    /// Automatic checkpoints that failed (retried on later appends).
+    pub checkpoint_failures: u64,
+    /// Whether the durable layer has fail-stopped after a WAL append
+    /// failure — the first thing an operator probe must see, since a
+    /// wedged server refuses all further ingest.
+    pub wedged: bool,
+}
+
+/// The server's answer to a STATUS probe: `ServerStats`-style counters
+/// plus snapshot provenance and — on durable servers — checkpoint/WAL
+/// progress, so operators can watch durability advance over the socket.
+/// STATUS needs no handshake (it names no report kind), so an operator
+/// tool can probe any server without knowing its mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusReply {
+    /// Sessions served to completion so far.
+    pub sessions: u64,
+    /// Frames absorbed and acked so far.
+    pub frames_absorbed: u64,
+    /// Frames arriving in rejected batches so far.
+    pub frames_rejected: u64,
+    /// Reports currently reflected in the backend.
+    pub num_reports: u64,
+    /// Version of the currently published snapshot.
+    pub snapshot_version: u64,
+    /// The open epoch id (windowed backends only).
+    pub current_epoch: Option<u64>,
+    /// Durability progress (durable backends only).
+    pub durable: Option<DurableProgress>,
+}
+
 // --- errors ------------------------------------------------------------
 
 /// Typed error codes a server can answer with.
@@ -264,6 +318,10 @@ pub enum ErrorCode {
     BadState,
     /// The server is shutting down and no longer accepts this request.
     ShuttingDown,
+    /// A server-side fault (storage I/O failure, poisoned lock) — the
+    /// request was valid but could not be served durably; retry after
+    /// the operator clears the fault.
+    Internal,
 }
 
 impl ErrorCode {
@@ -280,6 +338,7 @@ impl ErrorCode {
             Self::EmptyWindow => 8,
             Self::BadState => 9,
             Self::ShuttingDown => 10,
+            Self::Internal => 11,
         }
     }
 
@@ -296,6 +355,7 @@ impl ErrorCode {
             8 => Self::EmptyWindow,
             9 => Self::BadState,
             10 => Self::ShuttingDown,
+            11 => Self::Internal,
             _ => return Err(WireError::Malformed("unknown error code")),
         })
     }
@@ -375,6 +435,9 @@ pub enum ClientMsg {
     Seal,
     /// Clean end of session.
     Bye,
+    /// Probe the server's counters and durability progress (allowed
+    /// before HELLO — it names no report kind).
+    Status,
 }
 
 /// Every message a server can send.
@@ -396,6 +459,8 @@ pub enum ServerMsg {
     },
     /// Session closed cleanly.
     ByeOk,
+    /// Counters and durability progress.
+    StatusOk(StatusReply),
     /// Request rejected.
     Error(RemoteError),
 }
@@ -446,6 +511,7 @@ impl ClientMsg {
             }
             Self::Seal => out.push(MSG_SEAL),
             Self::Bye => out.push(MSG_BYE),
+            Self::Status => out.push(MSG_STATUS),
         }
         out
     }
@@ -529,6 +595,7 @@ impl ClientMsg {
             }
             MSG_SEAL => Self::Seal,
             MSG_BYE => Self::Bye,
+            MSG_STATUS => Self::Status,
             t => return Err(WireError::UnknownKind(t)),
         };
         expect_consumed(&r, body.len())?;
@@ -581,6 +648,39 @@ impl ServerMsg {
                 put_varint(&mut out, *epoch);
             }
             Self::ByeOk => out.push(MSG_BYE_OK),
+            Self::StatusOk(s) => {
+                out.push(MSG_STATUS_OK);
+                put_varint(&mut out, s.sessions);
+                put_varint(&mut out, s.frames_absorbed);
+                put_varint(&mut out, s.frames_rejected);
+                put_varint(&mut out, s.num_reports);
+                put_varint(&mut out, s.snapshot_version);
+                match s.current_epoch {
+                    Some(epoch) => {
+                        out.push(1);
+                        put_varint(&mut out, epoch);
+                    }
+                    None => out.push(0),
+                }
+                match &s.durable {
+                    Some(d) => {
+                        out.push(1);
+                        match d.last_checkpoint {
+                            Some(id) => {
+                                out.push(1);
+                                put_varint(&mut out, id);
+                            }
+                            None => out.push(0),
+                        }
+                        put_varint(&mut out, d.wal_segment_seq);
+                        put_varint(&mut out, d.wal_records);
+                        put_varint(&mut out, d.wal_frames);
+                        put_varint(&mut out, d.checkpoint_failures);
+                        out.push(u8::from(d.wedged));
+                    }
+                    None => out.push(0),
+                }
+            }
             Self::Error(e) => {
                 out.push(MSG_ERROR);
                 out.push(e.code.to_u8());
@@ -651,6 +751,44 @@ impl ServerMsg {
             }
             MSG_SEAL_OK => Self::SealOk { epoch: r.varint()? },
             MSG_BYE_OK => Self::ByeOk,
+            MSG_STATUS_OK => {
+                let sessions = r.varint()?;
+                let frames_absorbed = r.varint()?;
+                let frames_rejected = r.varint()?;
+                let num_reports = r.varint()?;
+                let snapshot_version = r.varint()?;
+                let current_epoch = if decode_bool(&mut r)? {
+                    Some(r.varint()?)
+                } else {
+                    None
+                };
+                let durable = if decode_bool(&mut r)? {
+                    let last_checkpoint = if decode_bool(&mut r)? {
+                        Some(r.varint()?)
+                    } else {
+                        None
+                    };
+                    Some(DurableProgress {
+                        last_checkpoint,
+                        wal_segment_seq: r.varint()?,
+                        wal_records: r.varint()?,
+                        wal_frames: r.varint()?,
+                        checkpoint_failures: r.varint()?,
+                        wedged: decode_bool(&mut r)?,
+                    })
+                } else {
+                    None
+                };
+                Self::StatusOk(StatusReply {
+                    sessions,
+                    frames_absorbed,
+                    frames_rejected,
+                    num_reports,
+                    snapshot_version,
+                    current_epoch,
+                    durable,
+                })
+            }
             MSG_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
                 let index = if decode_bool(&mut r)? {
@@ -789,6 +927,7 @@ mod tests {
             }),
             ClientMsg::Seal,
             ClientMsg::Bye,
+            ClientMsg::Status,
         ];
         for msg in msgs {
             let body = msg.encode();
@@ -819,6 +958,31 @@ mod tests {
             }),
             ServerMsg::SealOk { epoch: 9 },
             ServerMsg::ByeOk,
+            ServerMsg::StatusOk(StatusReply {
+                sessions: 3,
+                frames_absorbed: 40_000,
+                frames_rejected: 12,
+                num_reports: 39_988,
+                snapshot_version: 17,
+                current_epoch: Some(6),
+                durable: Some(DurableProgress {
+                    last_checkpoint: Some(2),
+                    wal_segment_seq: 5,
+                    wal_records: 190,
+                    wal_frames: 40_000,
+                    checkpoint_failures: 1,
+                    wedged: true,
+                }),
+            }),
+            ServerMsg::StatusOk(StatusReply {
+                sessions: 0,
+                frames_absorbed: 0,
+                frames_rejected: 0,
+                num_reports: 0,
+                snapshot_version: 0,
+                current_epoch: None,
+                durable: None,
+            }),
             ServerMsg::Error(RemoteError::new(
                 ErrorCode::BadFrame,
                 Some(17),

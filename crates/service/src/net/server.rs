@@ -28,43 +28,53 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use ldp_ranges::SubtractableServer;
+use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::net::proto::{
-    ClientMsg, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult, RemoteError,
-    ReportBatch, ServerMsg, MAX_MESSAGE_BYTES, WIRE_EPOCH, WIRE_V1,
+    ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
+    RemoteError, ReportBatch, ServerMsg, StatusReply, MAX_MESSAGE_BYTES, WIRE_EPOCH, WIRE_V1,
 };
 use crate::net::{NetConfig, NetError};
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
+use crate::storage::store::decode_batch;
+use crate::storage::DurableService;
 use crate::window::EpochRing;
-use crate::wire::{decode_epoch_frame, decode_frame, WireReport};
+use crate::wire::WireReport;
 
-/// The aggregation backend a server fronts: a plain all-time service or
-/// a windowed (epoch-ring) one. Both are `Arc`-shared, so the owner keeps
-/// querying the service directly while the server ingests into it.
+/// The aggregation backend a server fronts: a plain all-time service, a
+/// windowed (epoch-ring) one, or a durable service wrapping either with
+/// a write-ahead log. All are `Arc`-shared, so the owner keeps querying
+/// (and, for durable backends, checkpointing) while the server ingests.
 enum Backend<S>
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer,
+    S::Report: WireReport,
 {
     Plain(Arc<LdpService<S>>),
     Windowed(Arc<LdpService<EpochRing<S>>>),
+    Durable(Arc<DurableService<S>>),
 }
 
 impl<S> Backend<S>
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     fn windowed(&self) -> bool {
-        matches!(self, Self::Windowed(_))
+        match self {
+            Self::Plain(_) => false,
+            Self::Windowed(_) => true,
+            Self::Durable(d) => d.is_windowed(),
+        }
     }
 
     fn domain(&self) -> u64 {
         match self {
             Self::Plain(s) => s.snapshot().domain() as u64,
             Self::Windowed(s) => s.snapshot().domain() as u64,
+            Self::Durable(d) => d.snapshot().domain() as u64,
         }
     }
 
@@ -72,55 +82,28 @@ where
         match self {
             Self::Plain(s) => s.num_reports(),
             Self::Windowed(s) => s.num_reports(),
+            Self::Durable(d) => d.num_reports(),
         }
     }
 
     /// Decodes a batch under the negotiated wire version and absorbs it
-    /// all-or-nothing. Returns the number of frames absorbed.
+    /// all-or-nothing (through the WAL on durable backends). Returns the
+    /// number of frames absorbed.
     fn absorb_batch(&self, wire_version: u8, batch: &ReportBatch) -> Result<u64, RemoteError> {
-        // Capacity is bounded by what the payload can physically hold
-        // (the smallest well-formed frame is 5 bytes), never by the
-        // declared count alone — a lying count must not buy a huge
-        // allocation before the first decode failure rejects the batch.
-        let plausible = (batch.frames.len() / 5).min(batch.count as usize);
-        let mut tagged: Vec<(Option<u64>, S::Report)> = Vec::with_capacity(plausible);
-        let mut buf = &batch.frames[..];
-        while !buf.is_empty() {
-            if tagged.len() as u64 >= batch.count {
-                return Err(RemoteError::new(
-                    ErrorCode::BadFrame,
-                    Some(batch.count),
-                    "batch holds more frames than declared",
-                ));
-            }
-            let index = tagged.len() as u64;
-            let (epoch, report, used) = if wire_version == WIRE_EPOCH {
-                decode_epoch_frame::<S::Report>(buf).map_err(|e| {
-                    RemoteError::new(ErrorCode::BadFrame, Some(index), e.to_string())
-                })?
-            } else {
-                let (report, used) = decode_frame::<S::Report>(buf).map_err(|e| {
-                    RemoteError::new(ErrorCode::BadFrame, Some(index), e.to_string())
-                })?;
-                (None, report, used)
-            };
-            tagged.push((epoch, report));
-            buf = &buf[used..];
-        }
-        if (tagged.len() as u64) < batch.count {
-            return Err(RemoteError::new(
-                ErrorCode::BadFrame,
-                Some(tagged.len() as u64),
-                "batch declared more frames than it holds",
-            ));
-        }
         match self {
+            Self::Durable(d) => d
+                .ingest_batch(wire_version, batch.count, &batch.frames)
+                .map_err(service_error),
             Self::Plain(s) => {
+                let tagged = decode_batch::<S::Report>(wire_version, batch.count, &batch.frames)
+                    .map_err(service_error)?;
                 let reports: Vec<S::Report> = tagged.into_iter().map(|(_, r)| r).collect();
                 s.submit_batch(&reports).map_err(service_error)?;
                 Ok(reports.len() as u64)
             }
             Self::Windowed(s) => {
+                let tagged = decode_batch::<S::Report>(wire_version, batch.count, &batch.frames)
+                    .map_err(service_error)?;
                 let n = tagged.len() as u64;
                 s.submit_epoch_batch(&tagged).map_err(service_error)?;
                 Ok(n)
@@ -131,18 +114,28 @@ where
     /// Answers one query from a snapshot — never from live shard state,
     /// so ingestion is never blocked on estimation.
     fn query(&self, q: &Query) -> Result<QueryReply, RemoteError> {
+        let windowed_err = || {
+            RemoteError::new(
+                ErrorCode::BadState,
+                None,
+                "windowed query against an unwindowed service",
+            )
+        };
         let (snap, window) = match (self, q.window) {
-            (Self::Plain(_), Some(_)) => {
-                return Err(RemoteError::new(
-                    ErrorCode::BadState,
-                    None,
-                    "windowed query against an unwindowed service",
-                ))
-            }
+            (Self::Plain(_), Some(_)) => return Err(windowed_err()),
+            (Self::Durable(d), Some(_)) if !d.is_windowed() => return Err(windowed_err()),
             (Self::Plain(s), None) => (s.refresh_snapshot().map_err(service_error)?, None),
             (Self::Windowed(s), None) => (s.refresh_snapshot().map_err(service_error)?, None),
+            (Self::Durable(d), None) => (d.refresh_snapshot().map_err(service_error)?, None),
             (Self::Windowed(s), Some(k)) => {
                 let w = s
+                    .window_snapshot(usize::try_from(k).unwrap_or(usize::MAX))
+                    .map_err(service_error)?;
+                let bounds = (w.first_epoch(), w.last_epoch());
+                (Arc::new(w.snapshot().clone()), Some(bounds))
+            }
+            (Self::Durable(d), Some(k)) => {
+                let w = d
                     .window_snapshot(usize::try_from(k).unwrap_or(usize::MAX))
                     .map_err(service_error)?;
                 let bounds = (w.first_epoch(), w.last_epoch());
@@ -166,29 +159,67 @@ where
                 "seal against an unwindowed service",
             )),
             Self::Windowed(s) => s.seal_epoch().map_err(service_error),
+            Self::Durable(d) => d.seal_epoch().map_err(service_error),
         }
     }
 
-    /// The shutdown epilogue: seal the open epoch (windowed backends)
-    /// and publish one final snapshot. On a plain backend the snapshot
-    /// covers everything absorbed; on a windowed backend it covers the
-    /// trailing retention window after the final seal (the window
-    /// semantics the backend was built for — the seal can rotate the
-    /// oldest epoch out).
-    fn finalize(&self) -> (Option<u64>, Arc<RangeSnapshot>) {
+    /// The open epoch id (windowed backends only).
+    fn current_epoch(&self) -> Option<u64> {
+        match self {
+            Self::Plain(_) => None,
+            Self::Windowed(s) => Some(s.current_epoch()),
+            Self::Durable(d) => d.windowed().map(|s| s.current_epoch()),
+        }
+    }
+
+    /// Durability progress (durable backends only). A fault in the
+    /// durable layer (poisoned WAL lock) is surfaced as an error — a
+    /// durable server must never masquerade as a non-durable one to the
+    /// very probe built to watch its durability.
+    fn durable_progress(&self) -> Result<Option<DurableProgress>, RemoteError> {
+        let Self::Durable(d) = self else {
+            return Ok(None);
+        };
+        let status = d.status().map_err(service_error)?;
+        Ok(Some(DurableProgress {
+            last_checkpoint: status.last_checkpoint,
+            wal_segment_seq: status.wal_segment_seq,
+            wal_records: status.wal_records,
+            wal_frames: status.wal_frames,
+            checkpoint_failures: status.checkpoint_failures,
+            wedged: status.wedged,
+        }))
+    }
+
+    /// The shutdown epilogue: seal the open epoch (windowed backends),
+    /// checkpoint (durable backends — the drained state is durable on
+    /// disk before the server reports itself stopped), and publish one
+    /// final snapshot. On a plain backend the snapshot covers everything
+    /// absorbed; on a windowed backend it covers the trailing retention
+    /// window after the final seal (the window semantics the backend was
+    /// built for — the seal can rotate the oldest epoch out).
+    fn finalize(&self) -> (Option<u64>, Option<u64>, Arc<RangeSnapshot>) {
         let sealed = match self {
             Self::Plain(_) => None,
             Self::Windowed(s) => s.seal_epoch().ok(),
+            Self::Durable(d) if d.is_windowed() => d.seal_epoch().ok(),
+            Self::Durable(_) => None,
+        };
+        let checkpoint = match self {
+            Self::Durable(d) => d.finalize().ok(),
+            _ => None,
         };
         let snap = match self {
             Self::Plain(s) => s.refresh_snapshot(),
             Self::Windowed(s) => s.refresh_snapshot(),
+            Self::Durable(d) => d.refresh_snapshot(),
         };
         let snap = snap.unwrap_or_else(|_| match self {
             Self::Plain(s) => s.snapshot(),
             Self::Windowed(s) => s.snapshot(),
+            Self::Durable(d) => d.snapshot(),
         });
-        (sealed, snap)
+        (sealed, checkpoint, snap)
     }
 }
 
@@ -229,6 +260,9 @@ fn service_error(e: ServiceError) -> RemoteError {
         }
         ServiceError::EmptyWindow => RemoteError::new(ErrorCode::EmptyWindow, None, e.to_string()),
         ServiceError::Wire(_) => RemoteError::new(ErrorCode::BadFrame, None, e.to_string()),
+        ServiceError::Io(_) | ServiceError::LockPoisoned(_) => {
+            RemoteError::new(ErrorCode::Internal, None, e.to_string())
+        }
         _ => RemoteError::new(ErrorCode::BadState, None, e.to_string()),
     }
 }
@@ -263,8 +297,14 @@ impl ConnQueue {
         }
     }
 
+    // Queue-state mutations are single operations on a VecDeque (push or
+    // pop), so a poisoned mutex still guards a consistent queue —
+    // recover instead of cascading the panic into every worker.
     fn push(&self, conn: TcpStream) -> bool {
-        let mut s = self.state.lock().expect("queue mutex poisoned");
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if s.closed {
                 return false;
@@ -274,12 +314,18 @@ impl ConnQueue {
                 self.not_empty.notify_one();
                 return true;
             }
-            s = self.not_full.wait(s).expect("queue mutex poisoned");
+            s = self
+                .not_full
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn pop(&self) -> Option<TcpStream> {
-        let mut s = self.state.lock().expect("queue mutex poisoned");
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(conn) = s.queue.pop_front() {
                 self.not_full.notify_one();
@@ -288,12 +334,18 @@ impl ConnQueue {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue mutex poisoned");
+            s = self
+                .not_empty
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -303,7 +355,8 @@ impl ConnQueue {
 
 struct Shared<S>
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer,
+    S::Report: WireReport,
 {
     backend: Backend<S>,
     queue: ConnQueue,
@@ -332,6 +385,9 @@ pub struct ServerStats {
     pub num_reports: u64,
     /// For windowed backends: the id of the epoch sealed by the drain.
     pub sealed_epoch: Option<u64>,
+    /// For durable backends: the id of the checkpoint the drain took —
+    /// the drained state is on disk before shutdown returns.
+    pub final_checkpoint: Option<u64>,
     /// The final snapshot published after the drain.
     pub final_snapshot: Arc<RangeSnapshot>,
 }
@@ -344,7 +400,8 @@ pub struct ServerStats {
 /// drain and join.
 pub struct LdpServer<S>
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer,
+    S::Report: WireReport,
 {
     shared: Arc<Shared<S>>,
     addr: SocketAddr,
@@ -354,7 +411,7 @@ where
 
 impl<S> LdpServer<S>
 where
-    S: SnapshotSource + SubtractableServer + 'static,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     /// Binds a server over a plain (all-time) service.
@@ -383,6 +440,23 @@ where
         Self::start(addr, Backend::Windowed(service), config)
     }
 
+    /// Binds a server in durable mode over a [`DurableService`] (plain
+    /// or windowed): every acked REPORT batch is logged through the
+    /// write-ahead log before the ack, SEALs are logged, and graceful
+    /// shutdown checkpoints, so a restart recovers the drained state
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_durable(
+        addr: impl ToSocketAddrs,
+        service: Arc<DurableService<S>>,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        Self::start(addr, Backend::Durable(service), config)
+    }
+
     fn start(
         addr: impl ToSocketAddrs,
         backend: Backend<S>,
@@ -408,10 +482,11 @@ where
             std::thread::Builder::new()
                 .name("ldp-net-acceptor".into())
                 .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
+                .map_err(NetError::Io)?
         };
-        let workers = (0..config.workers.max(1))
-            .map(|k| {
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for k in 0..config.workers.max(1) {
+            let worker = {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ldp-net-worker-{k}"))
@@ -421,9 +496,25 @@ where
                             shared.sessions.fetch_add(1, Ordering::Relaxed);
                         }
                     })
-                    .expect("spawn worker")
-            })
-            .collect();
+            };
+            match worker {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // A partial pool must not outlive the failed bind:
+                    // stop the acceptor, close the queue, and join
+                    // everything already running before reporting the
+                    // error — otherwise orphaned threads keep serving a
+                    // port the caller believes never opened.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.queue.close();
+                    let _ = acceptor.join();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(NetError::Io(e));
+                }
+            }
+        }
         Ok(Self {
             shared,
             addr,
@@ -451,13 +542,14 @@ where
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let (sealed_epoch, final_snapshot) = self.shared.backend.finalize();
+        let (sealed_epoch, final_checkpoint, final_snapshot) = self.shared.backend.finalize();
         ServerStats {
             sessions: self.shared.sessions.load(Ordering::Relaxed),
             frames_absorbed: self.shared.frames_absorbed.load(Ordering::Relaxed),
             frames_rejected: self.shared.frames_rejected.load(Ordering::Relaxed),
             num_reports: self.shared.backend.num_reports(),
             sealed_epoch,
+            final_checkpoint,
             final_snapshot,
         }
     }
@@ -465,7 +557,7 @@ where
 
 fn accept_loop<S>(listener: &TcpListener, shared: &Shared<S>)
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     loop {
@@ -507,7 +599,8 @@ enum ReadOutcome {
 /// hold the drain hostage.
 fn read_session_message<S>(stream: &mut TcpStream, shared: &Shared<S>) -> ReadOutcome
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
 {
     let mut first = [0u8; 1];
     loop {
@@ -544,7 +637,8 @@ where
 
 fn read_full<S>(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared<S>) -> bool
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
 {
     let mut filled = 0;
     let mut stalled_ticks = 0u32;
@@ -590,7 +684,7 @@ fn reject(stream: &mut TcpStream, code: ErrorCode, detail: impl Into<String>) ->
 /// panics the worker, and rejected batches leave the backend untouched.
 fn run_session<S>(shared: &Shared<S>, mut stream: TcpStream)
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     if stream.set_nonblocking(false).is_err()
@@ -673,9 +767,14 @@ where
                         }
                     }
                     Err(e) => {
+                        // Count what the payload could physically hold
+                        // (the smallest frame is 5 bytes), never the
+                        // attacker-declared count — a lying count must
+                        // not corrupt an operator-visible counter.
+                        let plausible = batch.count.min(batch.frames.len() as u64 / 5);
                         shared
                             .frames_rejected
-                            .fetch_add(batch.count, Ordering::Relaxed);
+                            .fetch_add(plausible, Ordering::Relaxed);
                         if !send(&mut stream, &ServerMsg::Error(e)) {
                             return;
                         }
@@ -708,6 +807,17 @@ where
                     return;
                 }
             }
+            ClientMsg::Status => {
+                // No handshake required: STATUS names no report kind, so
+                // an operator tool can probe any server blind.
+                let reply = match build_status(shared) {
+                    Ok(status) => ServerMsg::StatusOk(status),
+                    Err(e) => ServerMsg::Error(e),
+                };
+                if !send(&mut stream, &reply) {
+                    return;
+                }
+            }
             ClientMsg::Bye => {
                 let _ = send(&mut stream, &ServerMsg::ByeOk);
                 return;
@@ -716,9 +826,32 @@ where
     }
 }
 
+/// Assembles the STATUS reply from the server counters, the backend's
+/// published snapshot (no refresh — probing must stay cheap), and the
+/// durable layer's progress.
+fn build_status<S>(shared: &Shared<S>) -> Result<StatusReply, RemoteError>
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    Ok(StatusReply {
+        sessions: shared.sessions.load(Ordering::Relaxed),
+        frames_absorbed: shared.frames_absorbed.load(Ordering::Relaxed),
+        frames_rejected: shared.frames_rejected.load(Ordering::Relaxed),
+        num_reports: shared.backend.num_reports(),
+        snapshot_version: match &shared.backend {
+            Backend::Plain(s) => s.snapshot().version(),
+            Backend::Windowed(s) => s.snapshot().version(),
+            Backend::Durable(d) => d.snapshot().version(),
+        },
+        current_epoch: shared.backend.current_epoch(),
+        durable: shared.backend.durable_progress()?,
+    })
+}
+
 fn validate_hello<S>(hello: &Hello, backend: &Backend<S>) -> Result<(), (ErrorCode, String)>
 where
-    S: SnapshotSource + SubtractableServer,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     if hello.kind != S::Report::KIND {

@@ -20,7 +20,7 @@
 //! pipelines provide.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use ldp_ranges::SubtractableServer;
 
@@ -41,6 +41,22 @@ pub struct LdpService<S: SnapshotSource> {
     refresh: Mutex<()>,
 }
 
+/// Locks a mutex, surfacing poisoning as a typed error instead of a
+/// panic: one panicked writer must degrade the service, not cascade.
+fn lock<'a, T>(mutex: &'a Mutex<T>, what: &'static str) -> Result<MutexGuard<'a, T>, ServiceError> {
+    mutex.lock().map_err(|_| ServiceError::LockPoisoned(what))
+}
+
+/// Locks a mutex for a read-only peek, recovering from poisoning. Sound
+/// here because every committed mutation of shard state is staged (built
+/// against a clone, swapped in whole), so even a poisoned shard holds a
+/// consistent value — at worst one report absorbed directly via
+/// [`LdpService::submit`] is partially counted, which the racy-read
+/// contracts of these paths already tolerate.
+fn lock_infallible<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl<S: SnapshotSource> LdpService<S> {
     /// Builds the service with `num_shards` shards cloned from the empty
     /// `prototype`; the initial published snapshot (version 0) is the
@@ -56,14 +72,39 @@ impl<S: SnapshotSource> LdpService<S> {
     ///
     /// Rejects `num_shards == 0`.
     pub fn new(prototype: &S, num_shards: usize) -> Result<Self, ServiceError> {
+        Self::with_recovered(prototype.clone(), prototype, num_shards)
+    }
+
+    /// Builds the service with shard 0 seeded from `recovered` state and
+    /// the remaining `num_shards - 1` shards cloned from `empty` — how
+    /// the durable storage layer ([`crate::storage::DurableService`])
+    /// reopens a service after crash recovery. Because merging is exact,
+    /// concentrating the recovered state in one shard leaves every merged
+    /// view (snapshots, `num_reports`) bit-identical to the pre-crash
+    /// distribution across shards. The initial published snapshot
+    /// (version 0) freezes the recovered state.
+    ///
+    /// For windowed backends `empty` must be epoch-aligned with
+    /// `recovered` (see [`EpochRing::aligned_empty`]), or shard merging
+    /// will reject the misalignment.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `num_shards == 0`.
+    pub fn with_recovered(
+        recovered: S,
+        empty: &S,
+        num_shards: usize,
+    ) -> Result<Self, ServiceError> {
         if num_shards == 0 {
             return Err(ServiceError::NoShards);
         }
-        let initial = Arc::new(RangeSnapshot::freeze(prototype, 0));
+        let initial = Arc::new(RangeSnapshot::freeze(&recovered, 0));
+        let mut shards = Vec::with_capacity(num_shards);
+        shards.push(Mutex::new(recovered));
+        shards.extend((1..num_shards).map(|_| Mutex::new(empty.clone())));
         Ok(Self {
-            shards: (0..num_shards)
-                .map(|_| Mutex::new(prototype.clone()))
-                .collect(),
+            shards,
             next_shard: AtomicUsize::new(0),
             published: RwLock::new(initial),
             version: AtomicU64::new(0),
@@ -84,7 +125,7 @@ impl<S: SnapshotSource> LdpService<S> {
     /// Propagates shape mismatches from the mechanism.
     pub fn submit(&self, report: &S::Report) -> Result<(), ServiceError> {
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut shard = lock(&self.shards[k], "shard")?;
         shard.absorb(report)?;
         Ok(())
     }
@@ -127,7 +168,7 @@ impl<S: SnapshotSource> LdpService<S> {
             return Ok(());
         }
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut shard = lock(&self.shards[k], "shard")?;
         let mut staged = shard.clone();
         for (i, report) in reports.iter().enumerate() {
             staged.absorb(report).map_err(|e| ServiceError::BadFrame {
@@ -146,14 +187,21 @@ impl<S: SnapshotSource> LdpService<S> {
     pub fn num_reports(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard mutex poisoned").num_reports())
+            .map(|s| lock_infallible(s).num_reports())
             .sum()
     }
 
     /// The most recently published snapshot (lock-free once cloned).
+    /// Poisoning is recovered from: the published slot only ever holds a
+    /// whole `Arc`, so it is consistent even if a publisher panicked.
     #[must_use]
     pub fn snapshot(&self) -> Arc<RangeSnapshot> {
-        Arc::clone(&self.published.read().expect("snapshot lock poisoned"))
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// Merges current shard state and publishes a fresh snapshot,
@@ -168,20 +216,44 @@ impl<S: SnapshotSource> LdpService<S> {
         // Serialize the whole clone → merge → estimate → publish sequence;
         // without this, a refresher that cloned earlier (staler data)
         // could publish after — and overwrite — a fresher snapshot.
-        let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+        let _guard = lock(&self.refresh, "refresh")?;
+        let merged = self.merge_shards()?;
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
+        *self
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&snap);
+        Ok(snap)
+    }
+
+    /// Clones and merges every shard into one server — exactly the state
+    /// a single sequential server absorbing the same reports would hold.
+    /// Serialized with snapshot refreshes and epoch seals (the refresh
+    /// guard), so the returned state never straddles an epoch boundary.
+    /// This is what durable checkpoints serialize.
+    ///
+    /// # Errors
+    ///
+    /// Merge failures are impossible for shards built by
+    /// [`LdpService::new`]; lock poisoning surfaces as
+    /// [`ServiceError::LockPoisoned`].
+    pub fn merged_state(&self) -> Result<S, ServiceError> {
+        let _guard = lock(&self.refresh, "refresh")?;
+        self.merge_shards()
+    }
+
+    /// Clone + merge of all shards; callers must hold the refresh guard.
+    fn merge_shards(&self) -> Result<S, ServiceError> {
         let mut merged: Option<S> = None;
         for shard in &self.shards {
-            let copy = shard.lock().expect("shard mutex poisoned").clone();
+            let copy = lock(shard, "shard")?.clone();
             match &mut merged {
                 None => merged = Some(copy),
                 Some(m) => m.merge(&copy)?,
             }
         }
-        let merged = merged.expect("at least one shard");
-        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
-        let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
-        *self.published.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
-        Ok(snap)
+        Ok(merged.expect("at least one shard"))
     }
 }
 
@@ -215,10 +287,7 @@ where
     /// Id of the epoch currently open for ingestion.
     #[must_use]
     pub fn current_epoch(&self) -> u64 {
-        self.shards[0]
-            .lock()
-            .expect("shard mutex poisoned")
-            .current_epoch()
+        lock_infallible(&self.shards[0]).current_epoch()
     }
 
     /// Seals the open epoch on every shard and returns its id. Holds the
@@ -239,10 +308,10 @@ where
     /// Impossible for shards built by [`LdpService::windowed`]; an error
     /// indicates corrupted state.
     pub fn seal_epoch(&self) -> Result<u64, ServiceError> {
-        let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+        let _guard = lock(&self.refresh, "refresh")?;
         let mut sealed = None;
         for shard in &self.shards {
-            let id = shard.lock().expect("shard mutex poisoned").seal_epoch()?;
+            let id = lock(shard, "shard")?.seal_epoch()?;
             debug_assert!(sealed.is_none_or(|s| s == id), "shards sealed out of step");
             sealed = Some(id);
         }
@@ -269,7 +338,7 @@ where
             return Err(crate::error::WireError::Malformed("trailing bytes after frame").into());
         }
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut shard = lock(&self.shards[k], "shard")?;
         shard.absorb_tagged(epoch, &report)
     }
 
@@ -293,7 +362,7 @@ where
             return Ok(());
         }
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let mut shard = self.shards[k].lock().expect("shard mutex poisoned");
+        let mut shard = lock(&self.shards[k], "shard")?;
         let mut staged = shard.clone();
         for (i, (epoch, report)) in reports.iter().enumerate() {
             staged
@@ -325,11 +394,11 @@ where
         // expensive estimation run after the guard drops — sealing and
         // snapshot refreshes never wait on estimation.
         let (servers, bounds) = {
-            let _guard = self.refresh.lock().expect("refresh mutex poisoned");
+            let _guard = lock(&self.refresh, "refresh")?;
             let mut servers = Vec::with_capacity(self.shards.len());
             let mut bounds = None;
             for shard in &self.shards {
-                let ring = shard.lock().expect("shard mutex poisoned");
+                let ring = lock(shard, "shard")?;
                 servers.push(ring.window_server(epochs)?);
                 if bounds.is_none() {
                     // Shards seal in lockstep (under this same guard), so

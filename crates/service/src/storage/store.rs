@@ -1,0 +1,681 @@
+//! [`DurableService`] — the durable front over [`LdpService`].
+//!
+//! Wraps a plain or windowed service with a write-ahead log and periodic
+//! checkpoints. Every ingest batch is absorbed all-or-nothing and then
+//! logged as **one** WAL record (group commit: the batch is the commit
+//! unit, so a thousand-frame batch costs one record and at most one
+//! fsync). The [`FsyncPolicy`] decides how often acknowledged bytes are
+//! forced to disk; [`DurableService::checkpoint`] serializes the merged
+//! state, rotates the log, and truncates segments the checkpoint covers.
+//!
+//! One mutex serializes absorb + append (and seal + append): WAL order
+//! therefore *is* an absorption order, which is what makes replay exact —
+//! in particular a frame absorbed into epoch `N` always precedes the
+//! `SEAL N` record. Ingestion through the wrapped service directly would
+//! bypass the log; a durable deployment ingests only through this type.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ldp_ranges::{PersistableServer, SubtractableServer};
+
+use crate::error::ServiceError;
+use crate::service::LdpService;
+use crate::snapshot::{RangeSnapshot, SnapshotSource};
+use crate::storage::recovery::{self, RecoveryReport, ResumePoint};
+use crate::storage::wal::{FsyncPolicy, WalRecord, WalWriter};
+use crate::storage::{checkpoint, wal};
+use crate::window::{EpochRing, WindowedSnapshot};
+use crate::wire::{decode_epoch_frame, decode_frame, WireReport, VERSION_EPOCH};
+
+/// Sentinel for "no checkpoint taken yet" in the atomic id cell.
+const NO_CHECKPOINT: u64 = u64::MAX;
+
+/// Tuning knobs of a [`DurableService`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Shards of the wrapped [`LdpService`].
+    pub num_shards: usize,
+    /// Segment size threshold; the log rotates after crossing it.
+    pub segment_bytes: u64,
+    /// When acknowledged WAL bytes are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Take a checkpoint automatically after this many appended records
+    /// (0 = only explicit [`DurableService::checkpoint`] /
+    /// [`DurableService::finalize`] calls).
+    pub checkpoint_every_records: u64,
+    /// Keep segments and checkpoints a newer checkpoint supersedes
+    /// (default `false`: they are deleted, bounding disk use). The
+    /// recovery differential tests enable this to compare checkpoint +
+    /// tail replay against a full-log replay.
+    pub retain_history: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            segment_bytes: 8 << 20,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_records: 0,
+            retain_history: false,
+        }
+    }
+}
+
+/// Durability progress counters (served over the socket as STATUS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableStatus {
+    /// Id of the newest completed checkpoint, if any.
+    pub last_checkpoint: Option<u64>,
+    /// Segment currently being appended to.
+    pub wal_segment_seq: u64,
+    /// Records appended since open (not counting recovered history).
+    pub wal_records: u64,
+    /// Frames appended since open (not counting recovered history).
+    pub wal_frames: u64,
+    /// Automatic checkpoints that failed (and will be retried on the
+    /// next append); explicit [`DurableService::checkpoint`] failures
+    /// surface to their caller instead.
+    pub checkpoint_failures: u64,
+    /// Whether the service has fail-stopped after a WAL append failure
+    /// (see [`DurableService::ingest_batch`]); a wedged service rejects
+    /// all further ingest, seals, and checkpoints until restarted.
+    pub wedged: bool,
+}
+
+enum DurableBackend<S>
+where
+    S: SnapshotSource + SubtractableServer,
+{
+    Plain(Arc<LdpService<S>>),
+    Windowed(Arc<LdpService<EpochRing<S>>>),
+}
+
+/// A durable LDP aggregation service: [`LdpService`] + WAL + checkpoints.
+pub struct DurableService<S>
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer,
+    S::Report: WireReport,
+{
+    backend: DurableBackend<S>,
+    /// Serializes absorb + append, seal + append, and checkpointing. The
+    /// WAL is inherently serial; holding one lock across the state change
+    /// and its log record is what makes log order an absorption order.
+    wal: Mutex<WalInner>,
+    dir: PathBuf,
+    config: DurableConfig,
+    /// Newest completed checkpoint id ([`NO_CHECKPOINT`] = none).
+    last_checkpoint: AtomicU64,
+    /// Automatic checkpoints that failed (retried on later appends).
+    checkpoint_failures: AtomicU64,
+    /// Fail-stop flag: set when a WAL append fails after its batch was
+    /// already absorbed. In-memory state is then *ahead of the log*, so
+    /// continuing — or worse, checkpointing — would make unacknowledged
+    /// (or retried-and-duplicated) reports durable. Every mutating path
+    /// refuses while wedged; queries keep answering.
+    wedged: AtomicBool,
+}
+
+impl<S> Drop for DurableService<S>
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer,
+    S::Report: WireReport,
+{
+    fn drop(&mut self) {
+        // Release the single-writer lock. After a real crash the stale
+        // lock file remains; the next open reclaims it once the owning
+        // pid is gone.
+        let _ = std::fs::remove_file(lock_path(&self.dir));
+    }
+}
+
+/// The single-writer lock file guarding a WAL directory.
+fn lock_path(dir: &Path) -> PathBuf {
+    dir.join("LOCK")
+}
+
+/// Takes the directory's single-writer lock: creates `LOCK` holding this
+/// process id. Two writers appending to one log interleave record bytes
+/// into CRC garbage, so a second open must fail instead. A stale lock
+/// (the recorded pid no longer runs — a crashed previous owner) is
+/// reclaimed; a live owner is an error.
+fn acquire_lock(dir: &Path) -> Result<(), ServiceError> {
+    let path = lock_path(dir);
+    for _ in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                use std::io::Write;
+                f.write_all(std::process::id().to_string().as_bytes())?;
+                f.sync_all()?;
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let stale = match holder {
+                    // Linux: the pid is gone from /proc ⇒ the owner died
+                    // without cleanup. (Elsewhere /proc doesn't exist, so
+                    // this conservatively treats the lock as held and the
+                    // operator removes it by hand.)
+                    Some(pid) => !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+                    None => false,
+                };
+                if !stale {
+                    return Err(ServiceError::Io(std::io::Error::other(format!(
+                        "WAL directory already locked by pid {holder:?} ({}); \
+                         a second writer would corrupt the log",
+                        path.display()
+                    ))));
+                }
+                std::fs::remove_file(&path)?;
+                // Loop once more to race-safely retake via create_new.
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(ServiceError::Io(std::io::Error::other(
+        "could not acquire WAL directory lock",
+    )))
+}
+
+struct WalInner {
+    writer: WalWriter,
+    records_since_checkpoint: u64,
+}
+
+/// Decodes a REPORT-style batch (back-to-back raw wire frames) under a
+/// negotiated wire version, validating the declared count. Shared by the
+/// durable ingest path and the network front end so both reject hostile
+/// batches identically.
+///
+/// # Errors
+///
+/// A malformed frame or a count/payload mismatch surfaces as
+/// [`ServiceError::BadFrame`] with the offending index.
+pub(crate) fn decode_batch<R: WireReport>(
+    wire_version: u8,
+    count: u64,
+    frames: &[u8],
+) -> Result<Vec<(Option<u64>, R)>, ServiceError> {
+    let bad = |index: usize, source: ServiceError| ServiceError::BadFrame {
+        index,
+        report_type: crate::error::report_type_name::<R>(),
+        source: Box::new(source),
+    };
+    // Capacity is bounded by what the payload can physically hold (the
+    // smallest well-formed frame is 5 bytes), never by the declared count
+    // alone — a lying count must not buy a huge allocation before the
+    // first decode failure rejects the batch.
+    let plausible = (frames.len() / 5).min(count as usize);
+    let mut reports: Vec<(Option<u64>, R)> = Vec::with_capacity(plausible);
+    let mut buf = frames;
+    while !buf.is_empty() {
+        if reports.len() as u64 >= count {
+            return Err(bad(
+                count as usize,
+                crate::error::WireError::Malformed("batch holds more frames than declared").into(),
+            ));
+        }
+        let index = reports.len();
+        let (epoch, report, used) = if wire_version == VERSION_EPOCH {
+            decode_epoch_frame::<R>(buf).map_err(|e| bad(index, e.into()))?
+        } else {
+            let (report, used) = decode_frame::<R>(buf).map_err(|e| bad(index, e.into()))?;
+            (None, report, used)
+        };
+        reports.push((epoch, report));
+        buf = &buf[used..];
+    }
+    if (reports.len() as u64) < count {
+        return Err(bad(
+            reports.len(),
+            crate::error::WireError::Malformed("batch declared more frames than it holds").into(),
+        ));
+    }
+    Ok(reports)
+}
+
+impl<S> DurableService<S>
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    /// Opens (or creates) a durable *plain* service in `dir`: runs
+    /// recovery, seeds the wrapped [`LdpService`] with the recovered
+    /// state, truncates any torn WAL tail, and resumes the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a zero shard count, or a checkpoint that does not
+    /// match `prototype`'s configuration.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        prototype: &S,
+        config: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        acquire_lock(&dir)?;
+        let result = (|| {
+            let (state, report) = recovery::recover_plain(&dir, prototype)?;
+            let service = LdpService::with_recovered(state, prototype, config.num_shards)?;
+            Self::finish_open(
+                dir.clone(),
+                DurableBackend::Plain(Arc::new(service)),
+                config,
+                report,
+            )
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(lock_path(&dir));
+        }
+        result
+    }
+
+    /// Opens (or creates) a durable *windowed* service in `dir`; the ring
+    /// retains `window_len` sealed epochs (which must match any existing
+    /// checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableService::open`], plus `window_len == 0`.
+    pub fn open_windowed(
+        dir: impl AsRef<Path>,
+        prototype: &S,
+        window_len: usize,
+        config: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        acquire_lock(&dir)?;
+        let result = (|| {
+            let (ring, report) = recovery::recover_windowed(&dir, prototype, window_len)?;
+            let empty = ring.aligned_empty();
+            let service = LdpService::with_recovered(ring, &empty, config.num_shards)?;
+            Self::finish_open(
+                dir.clone(),
+                DurableBackend::Windowed(Arc::new(service)),
+                config,
+                report,
+            )
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(lock_path(&dir));
+        }
+        result
+    }
+
+    fn finish_open(
+        dir: PathBuf,
+        backend: DurableBackend<S>,
+        config: DurableConfig,
+        report: RecoveryReport,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        // Resuming after a torn tail truncates the damage — destructive,
+        // so it is allowed only for a genuine crash artifact at the
+        // physical end of the log. Mid-log corruption, a segment gap, or
+        // a CRC-valid record the state machine rejected (a mismatched
+        // prototype, most likely) must not cost acknowledged records:
+        // refuse to open for writing and leave the directory untouched.
+        if !report.safe_to_resume {
+            return Err(ServiceError::Range(ldp_ranges::RangeError::CorruptState(
+                "WAL damaged before its physical tail (or its records do not match this \
+                 prototype); refusing to truncate acknowledged records — inspect the log \
+                 or reopen with the original configuration",
+            )));
+        }
+        // Segments beyond the resume point (after a torn record) can
+        // never be replayed again — delete them so a future recovery
+        // cannot resurrect them after new appends.
+        let resume_seq = match report.resume {
+            ResumePoint::Fresh { seq } | ResumePoint::Continue { seq, .. } => seq,
+        };
+        for (seq, path) in wal::list_segments(&dir)? {
+            if seq > resume_seq {
+                std::fs::remove_file(path)?;
+            }
+        }
+        let writer = match report.resume {
+            ResumePoint::Fresh { seq } => {
+                // A "fresh" resume can still find a file under this seq —
+                // a segment whose header never reached disk, or arrived
+                // corrupt. Nothing in it was replayable; clear it.
+                let stale = wal::segment_path(&dir, seq);
+                if stale.exists() {
+                    std::fs::remove_file(&stale)?;
+                }
+                WalWriter::create(&dir, seq, config.segment_bytes, config.fsync)?
+            }
+            ResumePoint::Continue { seq, valid_len } => {
+                WalWriter::resume(&dir, seq, valid_len, config.segment_bytes, config.fsync)?
+            }
+        };
+        let last = report.checkpoint_id.unwrap_or(NO_CHECKPOINT);
+        Ok((
+            Self {
+                backend,
+                wal: Mutex::new(WalInner {
+                    writer,
+                    records_since_checkpoint: 0,
+                }),
+                dir,
+                config,
+                last_checkpoint: AtomicU64::new(last),
+                checkpoint_failures: AtomicU64::new(0),
+                wedged: AtomicBool::new(false),
+            },
+            report,
+        ))
+    }
+
+    /// Whether the backend is windowed.
+    #[must_use]
+    pub fn is_windowed(&self) -> bool {
+        matches!(self.backend, DurableBackend::Windowed(_))
+    }
+
+    /// The storage directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The wrapped plain service, for queries (`None` when windowed).
+    /// Ingest through the service directly bypasses the log — durable
+    /// writers use [`DurableService::ingest_batch`].
+    #[must_use]
+    pub fn plain(&self) -> Option<&Arc<LdpService<S>>> {
+        match &self.backend {
+            DurableBackend::Plain(s) => Some(s),
+            DurableBackend::Windowed(_) => None,
+        }
+    }
+
+    /// The wrapped windowed service, for queries (`None` when plain).
+    #[must_use]
+    pub fn windowed(&self) -> Option<&Arc<LdpService<EpochRing<S>>>> {
+        match &self.backend {
+            DurableBackend::Windowed(s) => Some(s),
+            DurableBackend::Plain(_) => None,
+        }
+    }
+
+    /// Decodes one batch of raw wire frames, absorbs it all-or-nothing,
+    /// logs it as one WAL record, applies the fsync policy, and returns
+    /// the number of frames absorbed — the durable analogue of one
+    /// REPORT message. Nothing is logged for a rejected batch, so replay
+    /// never faces a frame the live service refused.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadFrame`] (with index) for malformed or rejected
+    /// frames — state and log unchanged. [`ServiceError::Io`] when the
+    /// append fails: the batch was absorbed in memory but is **not
+    /// durable**, so the service fail-stops (*wedges*) — every further
+    /// ingest/seal/checkpoint is refused until a restart re-establishes
+    /// `log == state` via recovery. Without the wedge a retry would
+    /// double-count and a later checkpoint would silently persist the
+    /// unlogged batch.
+    pub fn ingest_batch(
+        &self,
+        wire_version: u8,
+        count: u64,
+        frames: &[u8],
+    ) -> Result<u64, ServiceError> {
+        if wire_version == VERSION_EPOCH && !self.is_windowed() {
+            return Err(crate::error::WireError::UnsupportedVersion(wire_version).into());
+        }
+        let reports = decode_batch::<S::Report>(wire_version, count, frames)?;
+        let n = reports.len() as u64;
+        let mut wal = self.lock_wal()?;
+        self.check_wedged()?;
+        match &self.backend {
+            DurableBackend::Plain(s) => {
+                let plain: Vec<S::Report> = reports.into_iter().map(|(_, r)| r).collect();
+                s.submit_batch(&plain)?;
+            }
+            DurableBackend::Windowed(s) => s.submit_epoch_batch(&reports)?,
+        }
+        // Zero-copy append: the raw frame bytes go straight from the
+        // request buffer to the log.
+        if let Err(e) = wal.writer.append_frames(wire_version, n, frames) {
+            self.wedged.store(true, Ordering::SeqCst);
+            return Err(e.into());
+        }
+        wal.records_since_checkpoint += 1;
+        self.maybe_auto_checkpoint(&mut wal);
+        Ok(n)
+    }
+
+    /// Seals the open epoch on a windowed backend and logs the SEAL
+    /// record, returning the sealed epoch id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotWindowed`] on a plain backend; otherwise as
+    /// [`DurableService::ingest_batch`] (an append failure wedges the
+    /// service).
+    pub fn seal_epoch(&self) -> Result<u64, ServiceError> {
+        let DurableBackend::Windowed(s) = &self.backend else {
+            return Err(ServiceError::NotWindowed);
+        };
+        let mut wal = self.lock_wal()?;
+        self.check_wedged()?;
+        let epoch = s.seal_epoch()?;
+        if let Err(e) = wal.writer.append(&WalRecord::Seal { epoch }) {
+            self.wedged.store(true, Ordering::SeqCst);
+            return Err(e.into());
+        }
+        wal.records_since_checkpoint += 1;
+        self.maybe_auto_checkpoint(&mut wal);
+        Ok(epoch)
+    }
+
+    /// Takes a checkpoint now: serializes the merged state, appends a
+    /// CHECKPOINT marker, rotates the log (so the checkpoint boundary is
+    /// a segment boundary), writes the checkpoint file atomically, and —
+    /// unless [`DurableConfig::retain_history`] — deletes the segments
+    /// and older checkpoints it supersedes. Returns the checkpoint id.
+    ///
+    /// # Errors
+    ///
+    /// I/O and lock failures; on error the previous checkpoint and the
+    /// full log remain intact.
+    pub fn checkpoint(&self) -> Result<u64, ServiceError> {
+        let mut wal = self.lock_wal()?;
+        self.check_wedged()?;
+        self.checkpoint_locked(&mut wal)
+    }
+
+    /// Graceful shutdown epilogue: checkpoint and force everything to
+    /// disk, so the next open restores from the checkpoint without any
+    /// replay. Returns the final checkpoint id.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableService::checkpoint`].
+    pub fn finalize(&self) -> Result<u64, ServiceError> {
+        let mut wal = self.lock_wal()?;
+        self.check_wedged()?;
+        let id = self.checkpoint_locked(&mut wal)?;
+        wal.writer.sync()?;
+        Ok(id)
+    }
+
+    /// Forces all appended-but-buffered WAL bytes to disk (a durability
+    /// barrier under relaxed fsync policies).
+    ///
+    /// # Errors
+    ///
+    /// I/O and lock failures.
+    pub fn sync(&self) -> Result<(), ServiceError> {
+        let mut wal = self.lock_wal()?;
+        if let Err(e) = wal.writer.sync() {
+            // A failed flush can leave a partial record on disk; writing
+            // anything after it would bury acked records behind garbage.
+            self.wedged.store(true, Ordering::SeqCst);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Durability progress counters.
+    ///
+    /// # Errors
+    ///
+    /// Lock poisoning.
+    pub fn status(&self) -> Result<DurableStatus, ServiceError> {
+        let wal = self.lock_wal()?;
+        let last = self.last_checkpoint.load(Ordering::Relaxed);
+        Ok(DurableStatus {
+            last_checkpoint: (last != NO_CHECKPOINT).then_some(last),
+            wal_segment_seq: wal.writer.seq(),
+            wal_records: wal.writer.appended_records(),
+            wal_frames: wal.writer.appended_frames(),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            wedged: self.wedged.load(Ordering::SeqCst),
+        })
+    }
+
+    /// Total reports currently reflected in the backend (retained window
+    /// for windowed backends).
+    #[must_use]
+    pub fn num_reports(&self) -> u64 {
+        match &self.backend {
+            DurableBackend::Plain(s) => s.num_reports(),
+            DurableBackend::Windowed(s) => s.num_reports(),
+        }
+    }
+
+    /// The most recently published snapshot of the backend.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<RangeSnapshot> {
+        match &self.backend {
+            DurableBackend::Plain(s) => s.snapshot(),
+            DurableBackend::Windowed(s) => s.snapshot(),
+        }
+    }
+
+    /// Merges current state and publishes a fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`LdpService::refresh_snapshot`].
+    pub fn refresh_snapshot(&self) -> Result<Arc<RangeSnapshot>, ServiceError> {
+        match &self.backend {
+            DurableBackend::Plain(s) => s.refresh_snapshot(),
+            DurableBackend::Windowed(s) => s.refresh_snapshot(),
+        }
+    }
+
+    /// Freezes the trailing `epochs` sealed epochs (windowed backends).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotWindowed`] on a plain backend; otherwise as
+    /// [`LdpService::window_snapshot`].
+    pub fn window_snapshot(&self, epochs: usize) -> Result<WindowedSnapshot, ServiceError> {
+        match &self.backend {
+            DurableBackend::Windowed(s) => s.window_snapshot(epochs),
+            DurableBackend::Plain(_) => Err(ServiceError::NotWindowed),
+        }
+    }
+
+    fn lock_wal(&self) -> Result<std::sync::MutexGuard<'_, WalInner>, ServiceError> {
+        self.wal
+            .lock()
+            .map_err(|_| ServiceError::LockPoisoned("wal"))
+    }
+
+    /// Refuses mutating operations after a WAL append failure left
+    /// in-memory state ahead of the log.
+    fn check_wedged(&self) -> Result<(), ServiceError> {
+        if self.wedged.load(Ordering::SeqCst) {
+            return Err(ServiceError::Io(std::io::Error::other(
+                "durable service wedged by an earlier WAL append failure; \
+                 restart to recover the logged prefix",
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs an automatic checkpoint when the record threshold is
+    /// reached. A failure here must *not* be attributed to the batch
+    /// that triggered it — that batch is already absorbed and durably
+    /// logged — so it is counted (visible in [`DurableService::status`])
+    /// and retried on the next append; the previous checkpoint and the
+    /// full log stay intact either way.
+    fn maybe_auto_checkpoint(&self, wal: &mut WalInner) {
+        if self.config.checkpoint_every_records > 0
+            && wal.records_since_checkpoint >= self.config.checkpoint_every_records
+            && self.checkpoint_locked(wal).is_err()
+        {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn checkpoint_locked(&self, wal: &mut WalInner) -> Result<u64, ServiceError> {
+        let last = self.last_checkpoint.load(Ordering::Relaxed);
+        let id = if last == NO_CHECKPOINT { 0 } else { last + 1 };
+        let state = match &self.backend {
+            DurableBackend::Plain(s) => {
+                let merged = s.merged_state()?;
+                let mut bytes = Vec::new();
+                merged.persist_state(&mut bytes);
+                bytes
+            }
+            DurableBackend::Windowed(s) => {
+                let merged = s.merged_state()?;
+                let mut bytes = Vec::new();
+                merged.persist_state(&mut bytes);
+                bytes
+            }
+        };
+        // Log failures here wedge like any other append failure — a
+        // partial marker or unflushed rotation must not be written past.
+        // A failure *after* rotation (checkpoint file, truncation) does
+        // not wedge: the log itself is intact and the previous
+        // checkpoint still covers it.
+        if let Err(e) = wal.writer.append(&WalRecord::Checkpoint { id }) {
+            self.wedged.store(true, Ordering::SeqCst);
+            return Err(e.into());
+        }
+        let replay_from_seq = match wal.writer.rotate() {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.wedged.store(true, Ordering::SeqCst);
+                return Err(e.into());
+            }
+        };
+        checkpoint::write_checkpoint(
+            &self.dir,
+            &checkpoint::Checkpoint {
+                id,
+                replay_from_seq,
+                state,
+            },
+        )?;
+        if !self.config.retain_history {
+            for (seq, path) in wal::list_segments(&self.dir)? {
+                if seq < replay_from_seq {
+                    std::fs::remove_file(path)?;
+                }
+            }
+            for (old_id, path) in checkpoint::list_checkpoints(&self.dir)? {
+                if old_id < id {
+                    std::fs::remove_file(path)?;
+                }
+            }
+        }
+        self.last_checkpoint.store(id, Ordering::Relaxed);
+        wal.records_since_checkpoint = 0;
+        Ok(id)
+    }
+}

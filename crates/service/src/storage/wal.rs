@@ -1,0 +1,657 @@
+//! The segmented write-ahead log.
+//!
+//! A WAL is a directory of numbered segment files, each a short header
+//! followed by back-to-back records:
+//!
+//! ```text
+//! segment  := magic(4B = "LDPW")  version(1B = 1)  seq(8B LE)  record*
+//! record   := len(4B LE, 1 ..= MAX_RECORD_BYTES)  crc32(4B LE)  body
+//! body     := type(1B)  payload
+//!
+//! type 0x01 FRAMES      payload := wire_version(1B: 1|2)  count:varint
+//!                                  wire_frame × count   (raw, back to back)
+//! type 0x02 SEAL        payload := epoch:varint
+//! type 0x03 CHECKPOINT  payload := checkpoint_id:varint
+//! ```
+//!
+//! FRAMES payloads are the [`crate::wire`] frames *exactly as the client
+//! sent them* — the wire format is the log format, so one codec (and one
+//! set of adversarial guarantees) covers transport and storage. Decoding
+//! is total and allocation-capped like `net/proto.rs`: the declared
+//! length is validated against [`MAX_RECORD_BYTES`] before anything is
+//! read, the CRC is checked before the body is interpreted, and a FRAMES
+//! count is validated against the payload it arrived in. Any violation is
+//! a typed error carrying the byte offset, which is how recovery
+//! implements the torn-tail rule.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::WireError;
+use crate::wire::{put_varint, Reader};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"LDPW";
+/// Segment format version.
+pub const SEGMENT_VERSION: u8 = 1;
+/// Bytes of the segment header (magic + version + seq).
+pub const SEGMENT_HEADER_BYTES: u64 = 13;
+/// Hard cap on one record body, enforced before allocation. Sized so
+/// that any batch a maximum-length session REPORT message can carry
+/// still fits once the record header (type + wire version + count
+/// varint) is added — a legal ack must never produce an oversized,
+/// unreplayable record.
+pub const MAX_RECORD_BYTES: usize = crate::net::proto::MAX_MESSAGE_BYTES + 16;
+
+const REC_FRAMES: u8 = 0x01;
+const REC_SEAL: u8 = 0x02;
+const REC_CHECKPOINT: u8 = 0x03;
+
+// --- crc32 -------------------------------------------------------------
+
+/// The CRC-32/ISO-HDLC (IEEE 802.3) table, built at compile time.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Feeds `bytes` into a running CRC-32 state (start from `!0`, finish
+/// with a final complement) — lets the append path checksum a record
+/// split across a header and a borrowed payload without concatenating.
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state
+}
+
+/// CRC-32 (IEEE) of `bytes` — the record integrity check.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
+
+// --- records -----------------------------------------------------------
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// One acknowledged report batch: the raw wire frames exactly as
+    /// received (v1 epoch-less or v2 epoch-tagged, per `wire_version`).
+    Frames {
+        /// Wire version the frames decode under (1 or 2).
+        wire_version: u8,
+        /// Number of back-to-back frames in `frames`.
+        count: u64,
+        /// The concatenated raw wire frames.
+        frames: Vec<u8>,
+    },
+    /// The open epoch was sealed (windowed backends only).
+    Seal {
+        /// Id of the epoch that was sealed.
+        epoch: u64,
+    },
+    /// A checkpoint with this id was taken covering every record up to
+    /// here; replay ignores it (the checkpoint *file* carries the state),
+    /// it exists so a full-log scan can see where checkpoints happened.
+    Checkpoint {
+        /// The checkpoint's id.
+        id: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the record body (type byte + payload, no framing).
+    #[must_use]
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Self::Frames {
+                wire_version,
+                count,
+                frames,
+            } => {
+                out.reserve(frames.len());
+                out.push(REC_FRAMES);
+                out.push(*wire_version);
+                put_varint(&mut out, *count);
+                out.extend_from_slice(frames);
+            }
+            Self::Seal { epoch } => {
+                out.push(REC_SEAL);
+                put_varint(&mut out, *epoch);
+            }
+            Self::Checkpoint { id } => {
+                out.push(REC_CHECKPOINT);
+                put_varint(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes one record body. Total: malformed bytes yield a
+    /// [`WireError`], never a panic, and nothing is allocated beyond the
+    /// input's own length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty body, an unknown type byte, a bad wire version,
+    /// a frame count the payload cannot hold, or trailing bytes.
+    pub fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let record = match r.u8()? {
+            REC_FRAMES => {
+                let wire_version = r.u8()?;
+                if wire_version != crate::wire::VERSION
+                    && wire_version != crate::wire::VERSION_EPOCH
+                {
+                    return Err(WireError::UnsupportedVersion(wire_version));
+                }
+                let count = r.varint()?;
+                let frames = r.bytes(r.remaining())?.to_vec();
+                // The smallest well-formed wire frame is 5 bytes; a count
+                // the payload cannot physically hold is rejected here so
+                // replay-side allocations stay bounded by real bytes.
+                if count > frames.len() as u64 {
+                    return Err(WireError::Malformed("frame count exceeds payload"));
+                }
+                Self::Frames {
+                    wire_version,
+                    count,
+                    frames,
+                }
+            }
+            REC_SEAL => Self::Seal { epoch: r.varint()? },
+            REC_CHECKPOINT => Self::Checkpoint { id: r.varint()? },
+            t => return Err(WireError::UnknownKind(t)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after record"));
+        }
+        Ok(record)
+    }
+
+    /// Encodes the full framed record (`len + crc + body`).
+    #[must_use]
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Decodes one framed record from the front of `buf`, returning it and
+/// the bytes consumed. This is the single validation point the recovery
+/// scan drives: any return of `Err` at offset `o` means the log is valid
+/// exactly up to `o`.
+///
+/// # Errors
+///
+/// Fails on truncation, a declared length outside `1 ..= MAX_RECORD_BYTES`
+/// (checked *before* the body is touched), a CRC mismatch, or a malformed
+/// body.
+pub fn decode_framed(buf: &[u8]) -> Result<(WalRecord, usize), WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice")) as usize;
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return Err(WireError::SizeOverCap(len as u64));
+    }
+    let expected_crc = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
+    let body = buf.get(8..8 + len).ok_or(WireError::Truncated)?;
+    if crc32(body) != expected_crc {
+        return Err(WireError::Malformed("record CRC mismatch"));
+    }
+    Ok((WalRecord::decode_body(body)?, 8 + len))
+}
+
+// --- segment files -----------------------------------------------------
+
+/// The filename of segment `seq`.
+#[must_use]
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+/// Parses a segment filename back to its sequence number.
+#[must_use]
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Lists the WAL segments in `dir`, sorted by sequence number.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(segments)
+}
+
+/// Validates a segment's 13-byte header against its expected sequence
+/// number, returning the offset of the first record.
+///
+/// # Errors
+///
+/// Typed [`WireError`] on a short, misidentified, or misnumbered header.
+pub fn check_segment_header(bytes: &[u8], expected_seq: u64) -> Result<u64, WireError> {
+    if bytes.len() < SEGMENT_HEADER_BYTES as usize {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0..4] != SEGMENT_MAGIC {
+        return Err(WireError::BadMagic([bytes[0], bytes[1]]));
+    }
+    if bytes[4] != SEGMENT_VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[4]));
+    }
+    let seq = u64::from_le_bytes(bytes[5..13].try_into().expect("8-byte slice"));
+    if seq != expected_seq {
+        return Err(WireError::Malformed("segment header seq != filename seq"));
+    }
+    Ok(SEGMENT_HEADER_BYTES)
+}
+
+// --- durability policy -------------------------------------------------
+
+/// When acknowledged WAL bytes are forced to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record: an ack implies the bytes
+    /// survive power loss. The durable default.
+    Always,
+    /// `fdatasync` once at least this many bytes have accumulated since
+    /// the last sync (group durability): bounded data-loss window, a
+    /// fraction of the fsync cost.
+    EveryBytes(u64),
+    /// Never sync on append; only rotation, checkpoints, and shutdown
+    /// sync. Survives a process crash (the OS flushes page cache), not a
+    /// host crash.
+    Never,
+}
+
+// --- the writer --------------------------------------------------------
+
+/// Append side of the WAL: owns the current segment file, rotates at the
+/// configured size, and applies the [`FsyncPolicy`].
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    seq: u64,
+    file: BufWriter<File>,
+    segment_len: u64,
+    unsynced: u64,
+    segment_bytes: u64,
+    fsync: FsyncPolicy,
+    appended_records: u64,
+    appended_frames: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh segment `seq` in `dir` and positions the writer at
+    /// its first record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures (including an already-existing
+    /// segment — the WAL never overwrites).
+    pub fn create(
+        dir: &Path,
+        seq: u64,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(segment_path(dir, seq))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(&SEGMENT_MAGIC)?;
+        file.write_all(&[SEGMENT_VERSION])?;
+        file.write_all(&seq.to_le_bytes())?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            seq,
+            file,
+            segment_len: SEGMENT_HEADER_BYTES,
+            unsynced: SEGMENT_HEADER_BYTES,
+            segment_bytes,
+            fsync,
+            appended_records: 0,
+            appended_frames: 0,
+        })
+    }
+
+    /// Reopens segment `seq` for appending after recovery, truncating it
+    /// to `valid_len` first — anything past the last valid record (a torn
+    /// tail from the crash) is discarded so new records are reachable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/truncate failures.
+    pub fn resume(
+        dir: &Path,
+        seq: u64,
+        valid_len: u64,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(segment_path(dir, seq))?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            seq,
+            file: BufWriter::new(file),
+            segment_len: valid_len,
+            unsynced: 0,
+            segment_bytes,
+            fsync,
+            appended_records: 0,
+            appended_frames: 0,
+        })
+    }
+
+    /// Sequence number of the segment currently being appended to.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records appended through this writer (since open).
+    #[must_use]
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records
+    }
+
+    /// Frames appended through this writer (since open).
+    #[must_use]
+    pub fn appended_frames(&self) -> u64 {
+        self.appended_frames
+    }
+
+    /// Appends one record, applies the fsync policy, and rotates the
+    /// segment if it crossed the size threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the record must be treated as
+    /// not durable, and nothing further may be appended (a partial
+    /// record may be on disk — the durable service fail-stops).
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let body = record.encode_body();
+        let frames = match record {
+            WalRecord::Frames { count, .. } => *count,
+            _ => 0,
+        };
+        self.append_parts(&body, &[], frames)
+    }
+
+    /// Appends one FRAMES record straight from the borrowed payload —
+    /// the ingest hot path: the raw wire frames are checksummed and
+    /// written in place (no intermediate record, body, or framing
+    /// buffers), so a large batch costs one small header allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`WalWriter::append`].
+    pub fn append_frames(
+        &mut self,
+        wire_version: u8,
+        count: u64,
+        frames: &[u8],
+    ) -> std::io::Result<()> {
+        let mut head = Vec::with_capacity(12);
+        head.push(REC_FRAMES);
+        head.push(wire_version);
+        put_varint(&mut head, count);
+        self.append_parts(&head, frames, count)
+    }
+
+    /// Shared append tail: frames the record as `head ++ tail`, updates
+    /// counters, applies the fsync policy, rotates on overflow.
+    fn append_parts(&mut self, head: &[u8], tail: &[u8], frames: u64) -> std::io::Result<()> {
+        let len = head.len() + tail.len();
+        if len == 0 || len > MAX_RECORD_BYTES {
+            return Err(std::io::Error::other(
+                "record body outside (0, MAX_RECORD_BYTES]",
+            ));
+        }
+        let crc = !crc32_update(crc32_update(!0, head), tail);
+        self.file.write_all(&(len as u32).to_le_bytes())?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(head)?;
+        self.file.write_all(tail)?;
+        self.segment_len += len as u64 + 8;
+        self.unsynced += len as u64 + 8;
+        self.appended_records += 1;
+        self.appended_frames += frames;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryBytes(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        if self.segment_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered bytes and forces them to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/fsync failures.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Syncs and closes the current segment and opens the next one,
+    /// returning the new sequence number. Checkpoints rotate explicitly
+    /// so the checkpoint boundary is a segment boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn rotate(&mut self) -> std::io::Result<u64> {
+        self.sync()?;
+        let next = Self::create(&self.dir, self.seq + 1, self.segment_bytes, self.fsync)?;
+        let appended_records = self.appended_records;
+        let appended_frames = self.appended_frames;
+        *self = next;
+        self.appended_records = appended_records;
+        self.appended_frames = appended_frames;
+        Ok(self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_roundtrip_framed() {
+        let records = [
+            WalRecord::Frames {
+                wire_version: 1,
+                count: 3,
+                frames: vec![0xAB; 17],
+            },
+            WalRecord::Frames {
+                wire_version: 2,
+                count: 0,
+                frames: Vec::new(),
+            },
+            WalRecord::Seal { epoch: 41 },
+            WalRecord::Checkpoint { id: u64::MAX },
+        ];
+        for record in records {
+            let framed = record.encode_framed();
+            let (decoded, used) = decode_framed(&framed).expect("decode own encoding");
+            assert_eq!(used, framed.len());
+            assert_eq!(decoded, record);
+            // Every truncation prefix is an error, never a panic.
+            for cut in 0..framed.len() {
+                assert!(decode_framed(&framed[..cut]).is_err(), "prefix {cut}");
+            }
+            // Any single flipped body byte fails the CRC.
+            for i in 8..framed.len() {
+                let mut corrupt = framed.clone();
+                corrupt[i] ^= 0x40;
+                assert!(decode_framed(&corrupt).is_err(), "flip at {i} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn append_frames_fast_path_is_byte_identical_to_record_append() {
+        let dir_a = crate::storage::scratch_dir("wal-fast-a").unwrap();
+        let dir_b = crate::storage::scratch_dir("wal-fast-b").unwrap();
+        let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let mut a = WalWriter::create(&dir_a, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        a.append(&WalRecord::Frames {
+            wire_version: 2,
+            count: 40,
+            frames: payload.clone(),
+        })
+        .unwrap();
+        a.sync().unwrap();
+        let mut b = WalWriter::create(&dir_b, 0, 1 << 20, FsyncPolicy::Never).unwrap();
+        b.append_frames(2, 40, &payload).unwrap();
+        b.sync().unwrap();
+        assert_eq!(
+            std::fs::read(segment_path(&dir_a, 0)).unwrap(),
+            std::fs::read(segment_path(&dir_b, 0)).unwrap(),
+            "fast path diverged from the record codec"
+        );
+        assert_eq!(b.appended_records(), 1);
+        assert_eq!(b.appended_frames(), 40);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_before_allocation() {
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hostile.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_framed(&hostile),
+            Err(WireError::SizeOverCap(_))
+        ));
+        let mut zero = Vec::new();
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        zero.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            decode_framed(&zero),
+            Err(WireError::SizeOverCap(0))
+        ));
+    }
+
+    #[test]
+    fn frame_count_is_validated_against_payload() {
+        let body_over = {
+            let mut b = vec![REC_FRAMES, 1];
+            put_varint(&mut b, 1_000_000);
+            b.extend_from_slice(&[0u8; 4]);
+            b
+        };
+        assert!(matches!(
+            WalRecord::decode_body(&body_over),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            WalRecord::decode_body(&[REC_FRAMES, 9, 0]),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        assert!(matches!(
+            WalRecord::decode_body(&[0x66]),
+            Err(WireError::UnknownKind(0x66))
+        ));
+        assert!(matches!(
+            WalRecord::decode_body(&[]),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn writer_rotates_and_segments_scan_back() {
+        let dir = crate::storage::scratch_dir("wal-unit").unwrap();
+        let mut writer = WalWriter::create(&dir, 0, 256, FsyncPolicy::Never).unwrap();
+        for i in 0..40u64 {
+            writer
+                .append(&WalRecord::Frames {
+                    wire_version: 1,
+                    count: 1,
+                    frames: vec![i as u8; 16],
+                })
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        assert!(writer.seq() > 0, "no rotation happened");
+        assert_eq!(writer.appended_records(), 40);
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len() as u64, writer.seq() + 1);
+        let mut total = 0u64;
+        for (seq, path) in &segments {
+            let bytes = std::fs::read(path).unwrap();
+            let mut pos = check_segment_header(&bytes, *seq).unwrap() as usize;
+            while pos < bytes.len() {
+                let (_, used) = decode_framed(&bytes[pos..]).unwrap();
+                pos += used;
+                total += 1;
+            }
+        }
+        assert_eq!(total, 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

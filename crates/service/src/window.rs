@@ -42,7 +42,8 @@
 
 use std::collections::VecDeque;
 
-use ldp_ranges::{MergeableServer, RangeError, SubtractableServer};
+use ldp_ranges::persist::put_varint;
+use ldp_ranges::{MergeableServer, PersistableServer, RangeError, StateReader, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
@@ -296,6 +297,32 @@ impl<S: SubtractableServer> EpochRing<S> {
         ))
     }
 
+    /// An empty ring *epoch-aligned* with this one: same window
+    /// configuration, same open epoch id, and one empty accumulator per
+    /// retained sealed epoch (matching ids). This is what the remaining
+    /// shards of a recovered windowed service start from, so shard rings
+    /// merge and seal in lockstep with the shard holding the recovered
+    /// state (see [`crate::LdpService::with_recovered`]).
+    #[must_use]
+    pub fn aligned_empty(&self) -> Self {
+        Self {
+            prototype: self.prototype.clone(),
+            ring: self
+                .ring
+                .iter()
+                .map(|e| SealedEpoch {
+                    id: e.id,
+                    server: self.prototype.clone(),
+                })
+                .collect(),
+            running: self.prototype.clone(),
+            current: self.prototype.clone(),
+            current_id: self.current_id,
+            window_len: self.window_len,
+            epoch_width: self.epoch_width,
+        }
+    }
+
     /// Freezes the trailing `epochs` sealed epochs into an immutable
     /// query handle; ingestion into the open epoch continues undisturbed.
     ///
@@ -356,6 +383,66 @@ impl<S: SubtractableServer> MergeableServer for EpochRing<S> {
         // Reports inside the retention window: every sealed epoch still
         // ringed (the running merge) plus the open epoch.
         self.running.num_reports() + self.current.num_reports()
+    }
+}
+
+/// The ring's complete mutable state: the open epoch id, every retained
+/// sealed epoch (id + accumulator), and the open accumulator. The window
+/// configuration is written for validation only — the restoring side must
+/// already hold a ring of the same shape — and the running merge is *not*
+/// written: it is recomputed from the sealed epochs on restore, which
+/// reproduces it bit-identically (integer sums) while guaranteeing the
+/// restored ring is internally consistent.
+impl<S> PersistableServer for EpochRing<S>
+where
+    S: SubtractableServer + PersistableServer,
+{
+    fn persist_state(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.window_len as u64);
+        put_varint(out, self.epoch_width);
+        put_varint(out, self.current_id);
+        put_varint(out, self.ring.len() as u64);
+        for epoch in &self.ring {
+            put_varint(out, epoch.id);
+            epoch.server.persist_state(out);
+        }
+        self.current.persist_state(out);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), RangeError> {
+        if r.varint()? != self.window_len as u64 {
+            return Err(RangeError::CorruptState("window length mismatch"));
+        }
+        if r.varint()? != self.epoch_width {
+            return Err(RangeError::CorruptState("epoch width mismatch"));
+        }
+        let current_id = r.varint()?;
+        let ring_len = r.varint()?;
+        if ring_len > self.window_len as u64 || ring_len > current_id {
+            return Err(RangeError::CorruptState("retained epochs exceed window"));
+        }
+        let mut ring = VecDeque::with_capacity(self.window_len + 1);
+        let mut running = self.prototype.clone();
+        for k in 0..ring_len {
+            let id = r.varint()?;
+            // Retained epochs are always the consecutive run ending just
+            // below the open epoch — anything else never came from
+            // `persist_state`.
+            if id != current_id - (ring_len - k) {
+                return Err(RangeError::CorruptState("sealed epoch ids not consecutive"));
+            }
+            let mut server = self.prototype.clone();
+            server.restore_state(r)?;
+            running.merge(&server)?;
+            ring.push_back(SealedEpoch { id, server });
+        }
+        let mut current = self.prototype.clone();
+        current.restore_state(r)?;
+        self.ring = ring;
+        self.running = running;
+        self.current = current;
+        self.current_id = current_id;
+        Ok(())
     }
 }
 

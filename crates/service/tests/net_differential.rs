@@ -16,7 +16,7 @@ use ldp_freq_oracle::{AnyReport, Epsilon};
 use ldp_ranges::{
     FlatClient, FlatConfig, FlatServer, HaarConfig, HaarHrrClient, HaarHrrServer, HaarOueClient,
     HaarOueServer, Hh2dClient, Hh2dConfig, Hh2dServer, HhClient, HhConfig, HhServer, HhSplitClient,
-    HhSplitServer, SubtractableServer,
+    HhSplitServer, PersistableServer, SubtractableServer,
 };
 use ldp_service::net::{Hello, NetConfig, Query, QueryOp};
 use ldp_service::{
@@ -29,7 +29,7 @@ use rand::SeedableRng;
 /// socket, and asserts the two backends end bit-identical.
 fn check_unwindowed<S>(prototype: &S, stream: &EncodedStream)
 where
-    S: SnapshotSource + SubtractableServer + 'static,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     // In-process reference: one frame at a time through submit_frame.
@@ -95,7 +95,7 @@ where
 /// trailing-window answer and of the final drained state.
 fn check_windowed<S>(prototype: &S, epochs: &[EncodedStream], window: usize)
 where
-    S: SnapshotSource + SubtractableServer + 'static,
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     let direct = LdpService::<EpochRing<S>>::windowed(prototype, 2, window).unwrap();
