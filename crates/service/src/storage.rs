@@ -67,6 +67,21 @@ pub use wal::{FsyncPolicy, WalRecord};
 
 use std::path::PathBuf;
 
+/// Fsyncs a directory so just-created or just-renamed entries in it
+/// survive power loss. A POSIX-only mechanism: on Windows `File::open`
+/// on a directory fails (std does not pass `FILE_FLAG_BACKUP_SEMANTICS`)
+/// and directory-entry durability is the filesystem's job, so this is a
+/// no-op there.
+#[cfg(unix)]
+pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+pub(crate) fn sync_dir(_dir: &std::path::Path) -> std::io::Result<()> {
+    Ok(())
+}
+
 /// A fresh scratch directory under the system temp dir, unique per call —
 /// the no-external-deps stand-in for `tempfile`, shared by the storage
 /// tests, benchmarks, and examples. The caller owns cleanup.

@@ -16,9 +16,13 @@
 //! crash at any point leaves either the old checkpoint set or the new
 //! one, never a half-written file under the real name. Reads validate
 //! magic, version, CRC, and the declared state length against the actual
-//! file size before interpreting anything, and
-//! [`latest_valid_checkpoint`] skips corrupt files instead of failing
-//! recovery outright.
+//! file size before interpreting anything. [`latest_valid_checkpoint`]
+//! falls back from a corrupt newer file to an older valid one, but
+//! reports the case where checkpoint files exist and *none* decodes
+//! ([`CheckpointScan::AllCorrupt`]) distinctly from a directory that was
+//! never checkpointed — with pruning enabled the corrupt file is the only
+//! copy of the pre-checkpoint history, so recovery must not mistake that
+//! state for a fresh log.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -150,29 +154,50 @@ pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> std::io::Result<PathBu
     }
     std::fs::rename(&tmp_path, &final_path)?;
     // Make the rename itself durable.
-    std::fs::File::open(dir)?.sync_all()?;
+    crate::storage::sync_dir(dir)?;
     Ok(final_path)
 }
 
-/// Loads the newest checkpoint that parses and CRC-validates, skipping
-/// corrupt or half-written files (e.g. a stray `.tmp` never counts — the
-/// name filter ignores it). Returns `None` when no valid checkpoint
-/// exists, in which case recovery replays the WAL from the beginning.
+/// Outcome of scanning a directory for checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointScan {
+    /// No checkpoint files exist — a fresh directory, or one that never
+    /// checkpointed; recovery replays the WAL from its first segment.
+    NoFiles,
+    /// The newest checkpoint that parses and CRC-validates.
+    Valid(Checkpoint),
+    /// Checkpoint files exist but none decodes (or none can be read).
+    /// Recovery must not treat this like a fresh directory: with pruning
+    /// enabled the corrupt file was the only copy of the pre-checkpoint
+    /// history, and replaying the surviving WAL tail onto an empty state
+    /// would silently drop every checkpointed record.
+    AllCorrupt,
+}
+
+/// Loads the newest checkpoint that parses and CRC-validates, falling
+/// back past corrupt or unreadable newer files to older valid ones (a
+/// stray `.tmp` never counts — the name filter ignores it). Distinguishes
+/// a directory with no checkpoint files at all from one where files exist
+/// but every one is corrupt; see [`CheckpointScan`].
 ///
 /// # Errors
 ///
 /// Propagates directory-read failures; a corrupt checkpoint *file* is
-/// skipped, not an error.
-pub fn latest_valid_checkpoint(dir: &Path) -> std::io::Result<Option<Checkpoint>> {
-    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+/// reported via [`CheckpointScan::AllCorrupt`], not an error.
+pub fn latest_valid_checkpoint(dir: &Path) -> std::io::Result<CheckpointScan> {
+    let files = list_checkpoints(dir)?;
+    if files.is_empty() {
+        return Ok(CheckpointScan::NoFiles);
+    }
+    for (_, path) in files.into_iter().rev() {
         let Ok(bytes) = std::fs::read(&path) else {
             continue;
         };
         if let Ok(ckpt) = decode_checkpoint(&bytes) {
-            return Ok(Some(ckpt));
+            return Ok(CheckpointScan::Valid(ckpt));
         }
     }
-    Ok(None)
+    Ok(CheckpointScan::AllCorrupt)
 }
 
 #[cfg(test)]
@@ -211,20 +236,33 @@ mod tests {
             replay_from_seq: 2,
             state: vec![4, 5, 6],
         };
+        let newest_id = |dir: &Path| match latest_valid_checkpoint(dir).unwrap() {
+            CheckpointScan::Valid(c) => c.id,
+            other => panic!("expected a valid checkpoint, got {other:?}"),
+        };
+        assert_eq!(
+            latest_valid_checkpoint(&dir).unwrap(),
+            CheckpointScan::NoFiles,
+            "empty directory must read as never-checkpointed"
+        );
         write_checkpoint(&dir, &old).unwrap();
         write_checkpoint(&dir, &new).unwrap();
-        assert_eq!(latest_valid_checkpoint(&dir).unwrap().unwrap().id, 2);
+        assert_eq!(newest_id(&dir), 2);
 
         // Corrupt the newest: recovery falls back to the older one.
         let mut bytes = std::fs::read(checkpoint_path(&dir, 2)).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(checkpoint_path(&dir, 2), &bytes).unwrap();
-        assert_eq!(latest_valid_checkpoint(&dir).unwrap().unwrap().id, 1);
+        assert_eq!(newest_id(&dir), 1);
 
-        // Corrupt both: no checkpoint, full replay.
+        // Corrupt both: reported distinctly from a fresh directory, so
+        // recovery can refuse instead of replaying onto an empty state.
         std::fs::write(checkpoint_path(&dir, 1), b"garbage").unwrap();
-        assert!(latest_valid_checkpoint(&dir).unwrap().is_none());
+        assert_eq!(
+            latest_valid_checkpoint(&dir).unwrap(),
+            CheckpointScan::AllCorrupt
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

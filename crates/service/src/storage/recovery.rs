@@ -5,8 +5,13 @@
 //! 1. **Checkpoint** — load the newest checkpoint that CRC-validates
 //!    ([`crate::storage::checkpoint::latest_valid_checkpoint`]) and
 //!    restore its serialized state into a prototype-built server. No
-//!    valid checkpoint means an empty starting state and a full-log
-//!    replay.
+//!    restorable checkpoint means an empty starting state and a
+//!    full-log replay — but only when the WAL verifiably starts at
+//!    segment 0 (or is empty), so the replay covers the complete
+//!    history. A WAL whose first segment is `> 0` was pruned by a
+//!    checkpoint that is now corrupt or deleted; its records exist
+//!    nowhere else, and replaying the surviving tail onto an empty
+//!    state would silently drop them, so recovery refuses the open.
 //! 2. **Replay** — scan WAL segments from the checkpoint's
 //!    `replay_from_seq` in order, re-absorbing every FRAMES record and
 //!    re-sealing every SEAL record through the *same* code paths live
@@ -245,6 +250,34 @@ fn restore_checkpoint_state<S: PersistableServer>(
     Ok(())
 }
 
+/// Loads the newest valid checkpoint. When none is restorable (`None`:
+/// start empty, replay everything), a from-scratch replay is exact only
+/// if the complete history survives — the WAL starts at segment 0, or is
+/// empty (a genuinely fresh directory). A first segment `> 0` means a
+/// checkpoint once pruned the earlier segments, so the records it
+/// covered exist nowhere else; whether its file is now corrupt
+/// ([`checkpoint::CheckpointScan::AllCorrupt`]) or was deleted outright
+/// (scanning as `NoFiles`), recovery must refuse rather than silently
+/// resurrect a truncated state.
+fn load_checkpoint(dir: &Path) -> Result<Option<checkpoint::Checkpoint>, ServiceError> {
+    if let checkpoint::CheckpointScan::Valid(c) = checkpoint::latest_valid_checkpoint(dir)? {
+        return Ok(Some(c));
+    }
+    let full_history = wal::list_segments(dir)?
+        .first()
+        .is_none_or(|(seq, _)| *seq == 0);
+    if full_history {
+        Ok(None)
+    } else {
+        Err(ServiceError::Range(ldp_ranges::RangeError::CorruptState(
+            "no usable checkpoint (corrupt or deleted) and the WAL does not start \
+             at segment 0; replaying the surviving tail would silently drop the \
+             checkpointed records — restore a checkpoint from backup or inspect \
+             the log",
+        )))
+    }
+}
+
 /// Decodes one FRAMES payload through the *same* batch decoder live
 /// ingestion uses ([`crate::storage::store::decode_batch`]), so replay
 /// accepts and rejects exactly what the live service would. The caller
@@ -277,7 +310,7 @@ where
     S: SnapshotSource + PersistableServer,
     S::Report: WireReport,
 {
-    let ckpt = checkpoint::latest_valid_checkpoint(dir)?;
+    let ckpt = load_checkpoint(dir)?;
     let mut state = prototype.clone();
     let (from_seq, checkpoint_id) = match &ckpt {
         Some(c) => {
@@ -345,7 +378,7 @@ where
     S: SnapshotSource + SubtractableServer + PersistableServer,
     S::Report: WireReport,
 {
-    let ckpt = checkpoint::latest_valid_checkpoint(dir)?;
+    let ckpt = load_checkpoint(dir)?;
     let mut ring = EpochRing::new(prototype, window_len)?;
     let (from_seq, checkpoint_id) = match &ckpt {
         Some(c) => {

@@ -136,6 +136,21 @@ fn lock_path(dir: &Path) -> PathBuf {
     dir.join("LOCK")
 }
 
+/// Creates the storage directory and makes its own directory entry
+/// durable: a first-boot WAL directory whose entry never hit disk would
+/// vanish wholesale on power loss — every acked record with it, misread
+/// by the next open as a fresh, empty log — the same failure the
+/// per-segment directory sync prevents, one level up. Only the immediate
+/// parent is synced; provisioning a deeper ancestor chain durably is the
+/// operator's concern.
+fn create_dir_durable(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+        crate::storage::sync_dir(parent)?;
+    }
+    Ok(())
+}
+
 /// Takes the directory's single-writer lock: creates `LOCK` holding this
 /// process id. Two writers appending to one log interleave record bytes
 /// into CRC garbage, so a second open must fail instead. A stale lock
@@ -161,10 +176,15 @@ fn acquire_lock(dir: &Path) -> Result<(), ServiceError> {
                     .and_then(|s| s.trim().parse::<u32>().ok());
                 let stale = match holder {
                     // Linux: the pid is gone from /proc ⇒ the owner died
-                    // without cleanup. (Elsewhere /proc doesn't exist, so
-                    // this conservatively treats the lock as held and the
-                    // operator removes it by hand.)
+                    // without cleanup.
+                    #[cfg(target_os = "linux")]
                     Some(pid) => !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+                    // Elsewhere there is no /proc to probe liveness with,
+                    // so the lock is conservatively treated as held and
+                    // the operator removes it by hand — wrongly reclaiming
+                    // a live owner's lock would put two writers on one log.
+                    #[cfg(not(target_os = "linux"))]
+                    Some(_) => false,
                     None => false,
                 };
                 if !stale {
@@ -261,7 +281,7 @@ where
         config: DurableConfig,
     ) -> Result<(Self, RecoveryReport), ServiceError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        create_dir_durable(&dir)?;
         acquire_lock(&dir)?;
         let result = (|| {
             let (state, report) = recovery::recover_plain(&dir, prototype)?;
@@ -293,7 +313,7 @@ where
         config: DurableConfig,
     ) -> Result<(Self, RecoveryReport), ServiceError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        create_dir_durable(&dir)?;
         acquire_lock(&dir)?;
         let result = (|| {
             let (ring, report) = recovery::recover_windowed(&dir, prototype, window_len)?;

@@ -337,6 +337,12 @@ impl WalWriter {
             .write(true)
             .create_new(true)
             .open(segment_path(dir, seq))?;
+        // fdatasync on the file makes the record bytes durable, but the
+        // segment's *name* lives in the directory: without a directory
+        // sync a power loss can drop the entry — and a whole segment of
+        // acknowledged batches with it — which recovery would misread as
+        // a shorter, clean log.
+        crate::storage::sync_dir(dir)?;
         let mut file = BufWriter::new(file);
         file.write_all(&SEGMENT_MAGIC)?;
         file.write_all(&[SEGMENT_VERSION])?;

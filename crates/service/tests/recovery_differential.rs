@@ -22,7 +22,9 @@ use ldp_ranges::{
 };
 use ldp_service::net::{WIRE_EPOCH, WIRE_V1};
 use ldp_service::storage::wal::{self, WalRecord};
-use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy, TailStatus};
+use ldp_service::storage::{
+    checkpoint, scratch_dir, DurableConfig, DurableService, FsyncPolicy, TailStatus,
+};
 use ldp_service::{
     EncodedStream, EpochRing, LdpService, RangeSnapshot, SnapshotSource, WireReport,
 };
@@ -791,6 +793,88 @@ fn corruption_in_the_tail_recovers_but_mid_log_damage_refuses_destruction() {
     let (recovered, report) = DurableService::open(&dir, &prototype, config()).unwrap();
     assert_eq!(report.tail, TailStatus::Clean);
     assert_eq!(report.frames_replayed, 480);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A corrupt *sole* checkpoint, whose covered segments pruning already
+/// deleted, must refuse the open: replaying the surviving WAL tail onto
+/// an empty state would silently drop every checkpointed record. With
+/// history retained (the WAL still starts at segment 0) the same
+/// corruption instead falls back to an exact full-log replay.
+#[test]
+fn corrupt_sole_checkpoint_refuses_open_unless_full_log_survives() {
+    let eps = Epsilon::new(1.1);
+    let flat_config = FlatConfig::new(32, eps).unwrap();
+    let flat_client = FlatClient::new(&flat_config).unwrap();
+    let prototype = FlatServer::new(&flat_config).unwrap();
+    let batches = plain_batches::<AnyReport>(6, 40, 3501, |i, rng| {
+        flat_client.report(i % 32, rng).unwrap()
+    });
+    let ingest = |dir: &Path, cfg: DurableConfig| {
+        let (durable, _) = DurableService::open(dir, &prototype, cfg).unwrap();
+        for (b, batch) in batches.iter().enumerate() {
+            durable
+                .ingest_batch(WIRE_V1, batch.len() as u64, batch.as_bytes())
+                .unwrap();
+            if b == 2 {
+                durable.checkpoint().unwrap();
+            }
+        }
+        drop(durable);
+    };
+    let corrupt_all_checkpoints = |dir: &Path| {
+        for (_, path) in checkpoint::list_checkpoints(dir).unwrap() {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    };
+
+    // Pruning on: the checkpoint superseded (deleted) the segments it
+    // covers, so the corrupt file is the only copy of those records.
+    let dir = scratch_dir("ckpt-corrupt-pruned").unwrap();
+    ingest(&dir, config());
+    assert_eq!(checkpoint::list_checkpoints(&dir).unwrap().len(), 1);
+    assert!(
+        wal::list_segments(&dir).unwrap()[0].0 > 0,
+        "pruning should have deleted pre-checkpoint segments"
+    );
+    corrupt_all_checkpoints(&dir);
+    assert!(
+        DurableService::open(&dir, &prototype, config()).is_err(),
+        "a corrupt sole checkpoint must refuse, not recover an empty state"
+    );
+    // Deleting the corrupt files must not sneak past the guard: the WAL
+    // still starts past segment 0, so the pruned records remain lost.
+    for (_, path) in checkpoint::list_checkpoints(&dir).unwrap() {
+        std::fs::remove_file(path).unwrap();
+    }
+    assert!(
+        DurableService::open(&dir, &prototype, config()).is_err(),
+        "a deleted sole checkpoint must refuse just like a corrupt one"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // History retained: the full log survives from segment 0, so the
+    // same corruption degrades to a full replay that reproduces the
+    // exact pre-crash state.
+    let retain = DurableConfig {
+        retain_history: true,
+        ..config()
+    };
+    let dir = scratch_dir("ckpt-corrupt-retained").unwrap();
+    ingest(&dir, retain.clone());
+    assert_eq!(wal::list_segments(&dir).unwrap()[0].0, 0);
+    let (expect_frames, expected) = replay_reference_plain(&prototype, &parse_prefix(&dir));
+    corrupt_all_checkpoints(&dir);
+    let (recovered, report) = DurableService::open(&dir, &prototype, retain).unwrap();
+    assert_eq!(report.checkpoint_id, None, "corrupt checkpoint restored?");
+    assert_eq!(report.frames_replayed, expect_frames);
+    assert_eq!(report.tail, TailStatus::Clean);
+    let snap = recovered.refresh_snapshot().unwrap();
+    assert_snapshots_identical(&snap, &expected, "full replay past corrupt checkpoint");
     drop(recovered);
     std::fs::remove_dir_all(&dir).unwrap();
 }
