@@ -23,7 +23,8 @@ use ldp_bench::metrics::BenchMetrics;
 use ldp_freq_oracle::Epsilon;
 use ldp_ranges::{HhClient, HhConfig, HhServer};
 use ldp_service::net::{Hello, NetConfig};
-use ldp_service::{generate_stream, LdpClient, LdpServer, LdpService};
+use ldp_service::obs::instruments::names;
+use ldp_service::{generate_stream, LdpClient, LdpServer, LdpService, MetricsRegistry};
 use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,12 +75,17 @@ fn main() {
         gen_started.elapsed(),
     );
 
+    // The timed path runs fully instrumented: per-message latency
+    // histograms and byte counters are live during ingest, so their cost
+    // is inside the rate the CI regression gate compares to the seed.
+    let registry = Arc::new(MetricsRegistry::new());
     let service = Arc::new(LdpService::new(&prototype, workers).expect("shards"));
     let server = LdpServer::bind(
         "127.0.0.1:0",
         Arc::clone(&service),
         NetConfig {
             workers,
+            registry: Some(Arc::clone(&registry)),
             ..NetConfig::default()
         },
     )
@@ -133,6 +139,32 @@ fn main() {
     let stats = server.shutdown();
     assert_eq!(stats.frames_absorbed, acked);
     assert_eq!(stats.num_reports, acked, "drain lost reports");
+
+    // The telemetry registry is the same accounting path the drain stats
+    // read from — its counters must agree exactly with the acked total.
+    let telemetry = registry.snapshot();
+    assert_eq!(
+        telemetry.counter(names::NET_FRAMES_ABSORBED),
+        Some(acked),
+        "registry lost frames"
+    );
+    assert_eq!(
+        telemetry.counter(names::SHARD_FRAMES_ACCEPTED),
+        Some(acked),
+        "shard tier disagrees with net tier"
+    );
+    let report_ns = telemetry
+        .histo(names::NET_REPORT_NS)
+        .expect("report latency histogram registered");
+    println!(
+        "# REPORT handling: {} messages, mean {:.0} ns, p99 ≤ {} ns; \
+         {} B in, {} B out",
+        report_ns.count(),
+        report_ns.mean(),
+        report_ns.quantile_bound(0.99),
+        telemetry.counter(names::NET_BYTES_IN).unwrap_or(0),
+        telemetry.counter(names::NET_BYTES_OUT).unwrap_or(0),
+    );
 
     // The transport must be a pure function: in-process submission of the
     // same frames yields a bit-identical snapshot.

@@ -20,7 +20,8 @@ use std::time::Instant;
 use ldp_bench::metrics::BenchMetrics;
 use ldp_freq_oracle::Epsilon;
 use ldp_ranges::{HhClient, HhConfig, HhServer, RangeEstimate};
-use ldp_service::{RangeSnapshot, ShardedAggregator};
+use ldp_service::obs::instruments::names;
+use ldp_service::{MetricsRegistry, RangeSnapshot, ShardedAggregator};
 use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,8 +88,13 @@ fn main() {
     );
     let mut base_rate = None;
     let mut reference: Option<HhServer> = None;
+    let mut last_absorb = None;
     for shards in shard_counts() {
+        // The timed path runs fully instrumented — the registry's cost is
+        // inside the rate the CI regression gate compares to the seed.
+        let registry = MetricsRegistry::new();
         let mut pool = ShardedAggregator::new(&prototype, shards).expect("non-zero shard count");
+        pool.attach_metrics(&registry);
         let started = Instant::now();
         pool.ingest_encoded(&stream).expect("well-formed stream");
         let elapsed = started.elapsed();
@@ -102,6 +108,15 @@ fn main() {
             users,
             "reports lost during sharded ingest"
         );
+        // The telemetry must agree exactly with the pool's own accounting.
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counter(names::SHARD_FRAMES_ACCEPTED),
+            Some(stream.len() as u64),
+            "registry lost frames"
+        );
+        assert_eq!(snapshot.counter(names::SHARD_FRAMES_REJECTED), Some(0));
+        last_absorb = snapshot.histo(names::SHARD_ABSORB_NS).cloned();
         let merged = pool.merged().expect("merge");
         // Every shard count must produce the *identical* merged state.
         let est = merged.estimate_consistent().to_frequency_estimate();
@@ -117,6 +132,17 @@ fn main() {
                 }
             }
         }
+    }
+
+    // What the telemetry saw on the last run: per-batch absorb latency
+    // from the shard tier's own histogram.
+    if let Some(absorb) = last_absorb {
+        println!(
+            "\n# shard absorb (last run): {} batches, mean {:.0} ns, p99 ≤ {} ns",
+            absorb.count(),
+            absorb.mean(),
+            absorb.quantile_bound(0.99),
+        );
     }
 
     // Close the loop: the merged state answers queries correctly.

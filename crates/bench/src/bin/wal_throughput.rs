@@ -74,6 +74,7 @@ fn main() {
         fsync: FsyncPolicy::EveryBytes(1 << 20),
         checkpoint_every_records: 0,
         retain_history: false,
+        ..DurableConfig::default()
     };
     let dir = scratch_dir("wal-bench").expect("scratch dir");
     let (durable, _) =

@@ -75,6 +75,12 @@
 //!   first torn record; the same exactness argument makes durability
 //!   *testable by bit-identity*, and the crash-recovery differential
 //!   tests enforce it at arbitrary truncation offsets.
+//! * [`obs`] — the telemetry layer: a shared lock-free
+//!   [`MetricsRegistry`] of counters, gauges, and log-bucketed latency
+//!   histograms threaded through every tier above, with frozen snapshots
+//!   that merge/subtract exactly like the mechanism servers and are
+//!   queryable live over the socket (METRICS / verbose STATUS), plus a
+//!   [`TraceRing`] of structured session events for postmortems.
 //!
 //! ## Quick start
 //!
@@ -109,6 +115,7 @@
 pub mod error;
 pub mod loadgen;
 pub mod net;
+pub mod obs;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -121,6 +128,7 @@ pub use loadgen::{generate_drifting_epochs, generate_stream, EncodedStream, Valu
 pub use net::{
     Hello, LdpClient, LdpServer, NetConfig, NetError, Query, QueryOp, QueryReply, ServerStats,
 };
+pub use obs::{HistoSnapshot, MetricsRegistry, RegistrySnapshot, TraceEvent, TraceRing};
 pub use service::LdpService;
 pub use shard::ShardedAggregator;
 pub use snapshot::{RangeSnapshot, SnapshotSource};

@@ -54,16 +54,18 @@ pub mod proto;
 pub mod server;
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use client::LdpClient;
 pub use proto::{
     DurableProgress, ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError,
-    StatusReply, WIRE_EPOCH, WIRE_V1,
+    StatusReply, METRICS_VERSION, WIRE_EPOCH, WIRE_V1,
 };
 pub use server::{LdpServer, ServerStats};
 
 use crate::error::{ServiceError, WireError};
+use crate::obs::{MetricsRegistry, TraceRing};
 
 /// Tuning knobs of [`LdpServer`]. `Default` is sized for tests and
 /// laptop-scale benchmarks; a deployment raises `workers`/`queue_depth`.
@@ -82,6 +84,15 @@ pub struct NetConfig {
     /// begun, before the connection is abandoned — bounds how long a
     /// half-sent message from a stalled client can delay drain.
     pub drain_patience: u32,
+    /// Metrics registry the server instruments itself into. `None` (the
+    /// default) creates a private registry — except for durable backends,
+    /// which share the registry their storage layer already registered
+    /// into, so one METRICS probe sees every tier.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Structured-event trace ring for session postmortems. `None` (the
+    /// default) disables tracing entirely; recording also honors the
+    /// ring's own runtime flag ([`TraceRing::set_enabled`]).
+    pub trace: Option<Arc<TraceRing>>,
 }
 
 impl Default for NetConfig {
@@ -91,6 +102,8 @@ impl Default for NetConfig {
             queue_depth: 64,
             idle_poll: Duration::from_millis(20),
             drain_patience: 50,
+            registry: None,
+            trace: None,
         }
     }
 }

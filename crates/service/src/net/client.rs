@@ -15,6 +15,7 @@ use crate::net::proto::{
     QueryReply, ServerMsg, StatusReply,
 };
 use crate::net::NetError;
+use crate::obs::RegistrySnapshot;
 
 /// A blocking client for one negotiated session.
 #[derive(Debug)]
@@ -142,16 +143,53 @@ impl LdpClient {
     }
 
     /// Probes the server's counters and durability progress. Works on
-    /// any session (the request names no report kind).
+    /// any session (the request names no report kind). Sends the legacy
+    /// plain probe, so it works against pre-metrics servers too; the
+    /// reply's `metrics` is always `None` — use
+    /// [`LdpClient::status_full`] for the verbose form.
     ///
     /// # Errors
     ///
     /// Transport failures or a typed server rejection.
     pub fn status(&mut self) -> Result<StatusReply, NetError> {
-        match self.roundtrip(&ClientMsg::Status)? {
+        self.status_inner(false)
+    }
+
+    /// Probes the server verbosely: the reply additionally carries a
+    /// full metrics-registry snapshot in [`StatusReply::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed server rejection.
+    pub fn status_full(&mut self) -> Result<StatusReply, NetError> {
+        self.status_inner(true)
+    }
+
+    fn status_inner(&mut self, verbose: bool) -> Result<StatusReply, NetError> {
+        match self.roundtrip(&ClientMsg::Status { verbose })? {
             ServerMsg::StatusOk(status) => Ok(status),
             ServerMsg::Error(e) => Err(NetError::Remote(e)),
             _ => Err(NetError::UnexpectedReply("STATUS answered with non-status")),
+        }
+    }
+
+    /// Fetches a full metrics-registry snapshot. Works on any session
+    /// (the request names no report kind, so it is allowed before
+    /// HELLO).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a typed server rejection, or
+    /// [`crate::WireError::UnsupportedVersion`] (as
+    /// [`NetError::Proto`]) when the server speaks a metrics exposition
+    /// version this client does not.
+    pub fn metrics(&mut self) -> Result<RegistrySnapshot, NetError> {
+        match self.roundtrip(&ClientMsg::Metrics)? {
+            ServerMsg::MetricsOk(snapshot) => Ok(snapshot),
+            ServerMsg::Error(e) => Err(NetError::Remote(e)),
+            _ => Err(NetError::UnexpectedReply(
+                "METRICS answered with non-metrics",
+            )),
         }
     }
 

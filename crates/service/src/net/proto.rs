@@ -14,7 +14,9 @@
 //!   0x03 QUERY    payload := windowed(1B: 0|1) [k:varint]  op
 //!   0x04 SEAL     payload := (empty)
 //!   0x05 BYE      payload := (empty)
-//!   0x06 STATUS   payload := (empty)   (allowed before HELLO)
+//!   0x06 STATUS   payload := (empty) | verbose(1B = 1)   (allowed before HELLO;
+//!                            the verbose flag requests the metrics section)
+//!   0x07 METRICS  payload := (empty)   (allowed before HELLO)
 //!
 //! op       := 0 RANGE a:varint b:varint
 //!           | 1 PREFIX b:varint
@@ -36,9 +38,22 @@
 //!                             durable(1B: 0|1) [has_ckpt(1B: 0|1) [id:varint]
 //!                             wal_seq:varint wal_records:varint wal_frames:varint
 //!                             checkpoint_failures:varint wedged(1B: 0|1)]
+//!                             [metrics(1B = 1) registry_snapshot]
+//!   0x87 METRICS_OK payload := obs_version(1B = METRICS_VERSION)
+//!                              registry_snapshot
 //!   0x7F ERROR     payload := code(1B) has_index(1B: 0|1) [index:varint]
 //!                             detail_len:varint detail(UTF-8)
 //! ```
+//!
+//! Version gating of the telemetry surfaces: a STATUS_OK carries the
+//! trailing metrics section *only when the client asked for it* (the
+//! verbose STATUS flag), so the legacy STATUS_OK bytes are unchanged and
+//! pre-telemetry clients — whose decoders reject trailing bytes — never
+//! see the extension. A METRICS_OK leads with an exposition format
+//! version byte ([`METRICS_VERSION`]); decoders reject versions they do
+//! not know instead of misparsing the snapshot
+//! (`registry_snapshot` is the [`RegistrySnapshot`] codec, see
+//! [`crate::obs::expose`]).
 //!
 //! The payload of a REPORT message is raw [`crate::wire`] frames — the
 //! session layer frames *messages*, the wire layer frames *reports*, and
@@ -54,6 +69,7 @@ use std::io::{Read, Write};
 
 use crate::error::WireError;
 use crate::net::NetError;
+use crate::obs::RegistrySnapshot;
 use crate::wire::{put_varint, Reader};
 
 /// Handshake magic inside HELLO ("LN" = LQ-over-Network), distinguishing
@@ -73,13 +89,20 @@ pub const WIRE_V1: u8 = crate::wire::VERSION;
 /// Wire version 2: epoch-tagged frames accepted (v1 frames still pass,
 /// untagged).
 pub const WIRE_EPOCH: u8 = crate::wire::VERSION_EPOCH;
+/// Version of the metrics exposition format carried by METRICS_OK.
+/// Bumped on any incompatible change to the snapshot codec; decoders
+/// reject versions they do not know ([`WireError::UnsupportedVersion`]).
+pub const METRICS_VERSION: u8 = 1;
 
-const MSG_HELLO: u8 = 0x01;
-const MSG_REPORT: u8 = 0x02;
-const MSG_QUERY: u8 = 0x03;
-const MSG_SEAL: u8 = 0x04;
-const MSG_BYE: u8 = 0x05;
-const MSG_STATUS: u8 = 0x06;
+// The client-message type bytes are crate-visible so the server can
+// stamp them into trace events without re-deriving them from the enum.
+pub(crate) const MSG_HELLO: u8 = 0x01;
+pub(crate) const MSG_REPORT: u8 = 0x02;
+pub(crate) const MSG_QUERY: u8 = 0x03;
+pub(crate) const MSG_SEAL: u8 = 0x04;
+pub(crate) const MSG_BYE: u8 = 0x05;
+pub(crate) const MSG_STATUS: u8 = 0x06;
+pub(crate) const MSG_METRICS: u8 = 0x07;
 
 const MSG_HELLO_OK: u8 = 0x81;
 const MSG_REPORT_OK: u8 = 0x82;
@@ -87,6 +110,7 @@ const MSG_QUERY_OK: u8 = 0x83;
 const MSG_SEAL_OK: u8 = 0x84;
 const MSG_BYE_OK: u8 = 0x85;
 const MSG_STATUS_OK: u8 = 0x86;
+const MSG_METRICS_OK: u8 = 0x87;
 const MSG_ERROR: u8 = 0x7F;
 
 const OP_RANGE: u8 = 0;
@@ -267,7 +291,7 @@ pub struct DurableProgress {
 /// progress, so operators can watch durability advance over the socket.
 /// STATUS needs no handshake (it names no report kind), so an operator
 /// tool can probe any server without knowing its mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusReply {
     /// Sessions served to completion so far.
     pub sessions: u64,
@@ -283,6 +307,10 @@ pub struct StatusReply {
     pub current_epoch: Option<u64>,
     /// Durability progress (durable backends only).
     pub durable: Option<DurableProgress>,
+    /// Full metrics snapshot — present only when the client asked for a
+    /// verbose STATUS ([`ClientMsg::Status`] with `verbose: true`), so
+    /// the legacy reply bytes are unchanged for old clients.
+    pub metrics: Option<RegistrySnapshot>,
 }
 
 // --- errors ------------------------------------------------------------
@@ -437,7 +465,15 @@ pub enum ClientMsg {
     Bye,
     /// Probe the server's counters and durability progress (allowed
     /// before HELLO — it names no report kind).
-    Status,
+    Status {
+        /// Ask for the full metrics section in the reply. Encoded as a
+        /// trailing flag byte only when set, so a legacy `STATUS` body
+        /// is byte-identical to this variant with `verbose: false`.
+        verbose: bool,
+    },
+    /// Fetch a full metrics-registry snapshot (allowed before HELLO —
+    /// it names no report kind).
+    Metrics,
 }
 
 /// Every message a server can send.
@@ -461,6 +497,9 @@ pub enum ServerMsg {
     ByeOk,
     /// Counters and durability progress.
     StatusOk(StatusReply),
+    /// A full metrics-registry snapshot, led by the exposition version
+    /// byte ([`METRICS_VERSION`]).
+    MetricsOk(RegistrySnapshot),
     /// Request rejected.
     Error(RemoteError),
 }
@@ -511,7 +550,13 @@ impl ClientMsg {
             }
             Self::Seal => out.push(MSG_SEAL),
             Self::Bye => out.push(MSG_BYE),
-            Self::Status => out.push(MSG_STATUS),
+            Self::Status { verbose } => {
+                out.push(MSG_STATUS);
+                if *verbose {
+                    out.push(1);
+                }
+            }
+            Self::Metrics => out.push(MSG_METRICS),
         }
         out
     }
@@ -595,7 +640,21 @@ impl ClientMsg {
             }
             MSG_SEAL => Self::Seal,
             MSG_BYE => Self::Bye,
-            MSG_STATUS => Self::Status,
+            MSG_STATUS => {
+                // Empty payload is the legacy plain probe; the only
+                // accepted extension is a single `1` flag byte. A `0`
+                // byte is rejected (no encoder emits it), keeping the
+                // encoding canonical.
+                let verbose = if r.remaining() == 0 {
+                    false
+                } else if r.u8()? == 1 {
+                    true
+                } else {
+                    return Err(WireError::Malformed("status verbose flag not 1"));
+                };
+                Self::Status { verbose }
+            }
+            MSG_METRICS => Self::Metrics,
             t => return Err(WireError::UnknownKind(t)),
         };
         expect_consumed(&r, body.len())?;
@@ -680,6 +739,18 @@ impl ServerMsg {
                     }
                     None => out.push(0),
                 }
+                // The metrics section is appended only when present, so
+                // a reply without it is byte-identical to the legacy
+                // encoding and old decoders stop cleanly at the end.
+                if let Some(m) = &s.metrics {
+                    out.push(1);
+                    m.encode_into(&mut out);
+                }
+            }
+            Self::MetricsOk(snapshot) => {
+                out.push(MSG_METRICS_OK);
+                out.push(METRICS_VERSION);
+                snapshot.encode_into(&mut out);
             }
             Self::Error(e) => {
                 out.push(MSG_ERROR);
@@ -779,6 +850,13 @@ impl ServerMsg {
                 } else {
                     None
                 };
+                let metrics = if r.remaining() == 0 {
+                    None
+                } else if r.u8()? == 1 {
+                    Some(RegistrySnapshot::decode_from(&mut r)?)
+                } else {
+                    return Err(WireError::Malformed("status metrics flag not 1"));
+                };
                 Self::StatusOk(StatusReply {
                     sessions,
                     frames_absorbed,
@@ -787,7 +865,15 @@ impl ServerMsg {
                     snapshot_version,
                     current_epoch,
                     durable,
+                    metrics,
                 })
+            }
+            MSG_METRICS_OK => {
+                let version = r.u8()?;
+                if version != METRICS_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                Self::MetricsOk(RegistrySnapshot::decode_from(&mut r)?)
             }
             MSG_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
@@ -904,6 +990,29 @@ pub fn read_message(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::expose::{MetricEntry, MetricValue};
+    use crate::obs::Histo;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let histo = Histo::new();
+        histo.record(0);
+        histo.record(900);
+        histo.record(u64::MAX);
+        RegistrySnapshot::from_entries(vec![
+            MetricEntry {
+                name: "net.bytes_in".into(),
+                value: MetricValue::Counter(123_456),
+            },
+            MetricEntry {
+                name: "net.queue_depth_hw".into(),
+                value: MetricValue::Gauge(7),
+            },
+            MetricEntry {
+                name: "net.report_ns".into(),
+                value: MetricValue::Histo(Box::new(histo.snapshot())),
+            },
+        ])
+    }
 
     #[test]
     fn messages_roundtrip() {
@@ -927,7 +1036,9 @@ mod tests {
             }),
             ClientMsg::Seal,
             ClientMsg::Bye,
-            ClientMsg::Status,
+            ClientMsg::Status { verbose: false },
+            ClientMsg::Status { verbose: true },
+            ClientMsg::Metrics,
         ];
         for msg in msgs {
             let body = msg.encode();
@@ -973,6 +1084,7 @@ mod tests {
                     checkpoint_failures: 1,
                     wedged: true,
                 }),
+                metrics: None,
             }),
             ServerMsg::StatusOk(StatusReply {
                 sessions: 0,
@@ -982,7 +1094,10 @@ mod tests {
                 snapshot_version: 0,
                 current_epoch: None,
                 durable: None,
+                metrics: Some(sample_snapshot()),
             }),
+            ServerMsg::MetricsOk(RegistrySnapshot::default()),
+            ServerMsg::MetricsOk(sample_snapshot()),
             ServerMsg::Error(RemoteError::new(
                 ErrorCode::BadFrame,
                 Some(17),
@@ -1032,6 +1147,111 @@ mod tests {
             q.extend_from_slice(&bad.to_bits().to_le_bytes());
             assert!(ClientMsg::decode(&q).is_err(), "accepted phi {bad}");
         }
+    }
+
+    /// A plain STATUS probe and its reply must encode to exactly the
+    /// pre-metrics bytes, so old clients and servers interoperate with
+    /// new ones unchanged.
+    #[test]
+    fn status_without_metrics_is_legacy_byte_identical() {
+        // Legacy probe: bare type byte, no flag.
+        assert_eq!(
+            ClientMsg::Status { verbose: false }.encode(),
+            vec![MSG_STATUS]
+        );
+
+        // Legacy reply: counters + option flags, nothing after `durable`.
+        let reply = StatusReply {
+            sessions: 3,
+            frames_absorbed: 40,
+            frames_rejected: 2,
+            num_reports: 38,
+            snapshot_version: 5,
+            current_epoch: None,
+            durable: None,
+            metrics: None,
+        };
+        let body = ServerMsg::StatusOk(reply).encode();
+        let legacy = vec![MSG_STATUS_OK, 3, 40, 2, 38, 5, 0, 0];
+        assert_eq!(body, legacy);
+    }
+
+    #[test]
+    fn hostile_metrics_payloads_are_rejected_not_panicked() {
+        // STATUS with a flag byte other than 1 (0 is non-canonical).
+        assert!(ClientMsg::decode(&[MSG_STATUS, 0]).is_err());
+        assert!(ClientMsg::decode(&[MSG_STATUS, 2]).is_err());
+        // STATUS with trailing garbage after the flag.
+        assert!(ClientMsg::decode(&[MSG_STATUS, 1, 1]).is_err());
+
+        // Truncate a verbose STATUS_OK at every prefix: typed errors
+        // only — except the one boundary right before the metrics flag,
+        // which is by construction a complete legacy reply (that
+        // self-delimiting prefix is exactly what keeps old decoders
+        // working against new servers).
+        let reply = StatusReply {
+            sessions: 1,
+            frames_absorbed: 10,
+            frames_rejected: 0,
+            num_reports: 10,
+            snapshot_version: 2,
+            current_epoch: Some(3),
+            durable: None,
+            metrics: Some(sample_snapshot()),
+        };
+        let legacy_len = ServerMsg::StatusOk(StatusReply {
+            metrics: None,
+            ..reply.clone()
+        })
+        .encode()
+        .len();
+        let full = ServerMsg::StatusOk(reply).encode();
+        for cut in 0..full.len() {
+            if cut == legacy_len {
+                assert!(
+                    matches!(
+                        ServerMsg::decode(&full[..cut]),
+                        Ok(ServerMsg::StatusOk(s)) if s.metrics.is_none()
+                    ),
+                    "legacy boundary must decode as a metrics-free reply"
+                );
+                continue;
+            }
+            assert!(ServerMsg::decode(&full[..cut]).is_err(), "prefix {cut}");
+        }
+        // ... and the full body round-trips.
+        assert!(ServerMsg::decode(&full).is_ok());
+        // A bad metrics flag byte is rejected.
+        let mut bad_flag = full.clone();
+        let flag_at = full.len() - {
+            let mut probe = Vec::new();
+            sample_snapshot().encode_into(&mut probe);
+            probe.len() + 1
+        };
+        bad_flag[flag_at] = 2;
+        assert!(ServerMsg::decode(&bad_flag).is_err());
+        // Trailing garbage after the metrics section is rejected.
+        let mut trailing = full;
+        trailing.push(0);
+        assert!(ServerMsg::decode(&trailing).is_err());
+
+        // METRICS_OK: truncations, unknown exposition version, garbage.
+        let ok = ServerMsg::MetricsOk(sample_snapshot()).encode();
+        for cut in 0..ok.len() {
+            assert!(ServerMsg::decode(&ok[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut wrong_version = ok.clone();
+        wrong_version[1] = METRICS_VERSION + 1;
+        assert!(matches!(
+            ServerMsg::decode(&wrong_version),
+            Err(WireError::UnsupportedVersion(v)) if v == METRICS_VERSION + 1
+        ));
+        let mut garbage = ok;
+        let len = garbage.len();
+        for b in &mut garbage[2..len] {
+            *b ^= 0xA5;
+        }
+        assert!(ServerMsg::decode(&garbage).is_err());
     }
 
     #[test]

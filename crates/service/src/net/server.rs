@@ -27,15 +27,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::net::proto::{
     ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
-    RemoteError, ReportBatch, ServerMsg, StatusReply, MAX_MESSAGE_BYTES, WIRE_EPOCH, WIRE_V1,
+    RemoteError, ReportBatch, ServerMsg, StatusReply, MAX_MESSAGE_BYTES, MSG_METRICS, MSG_QUERY,
+    MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
 };
 use crate::net::{NetConfig, NetError};
+use crate::obs::instruments::NetInstruments;
+use crate::obs::{Gauge, MetricsRegistry, TraceEvent, TraceOutcome, TraceRing};
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::storage::store::decode_batch;
@@ -282,10 +286,13 @@ struct ConnQueue {
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
+    /// High-water mark of the queue depth — the registry gauge, updated
+    /// inline so the observed mark is exact, not sampled.
+    depth_hw: Arc<Gauge>,
 }
 
 impl ConnQueue {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, depth_hw: Arc<Gauge>) -> Self {
         Self {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -294,6 +301,7 @@ impl ConnQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap: cap.max(1),
+            depth_hw,
         }
     }
 
@@ -311,6 +319,7 @@ impl ConnQueue {
             }
             if s.queue.len() < self.cap {
                 s.queue.push_back(conn);
+                self.depth_hw.record_max(s.queue.len() as u64);
                 self.not_empty.notify_one();
                 return true;
             }
@@ -362,9 +371,14 @@ where
     queue: ConnQueue,
     shutdown: AtomicBool,
     config: NetConfig,
-    sessions: AtomicU64,
-    frames_absorbed: AtomicU64,
-    frames_rejected: AtomicU64,
+    /// The one registry every tier behind this server reports into.
+    registry: Arc<MetricsRegistry>,
+    /// Net-tier instruments: the *single* accounting path — drain totals
+    /// ([`ServerStats`]) and STATUS replies both read these counters.
+    obs: NetInstruments,
+    trace: Option<Arc<TraceRing>>,
+    /// Monotonic session-id source for trace events.
+    session_ids: AtomicU64,
 }
 
 /// What a drained server reports back from [`LdpServer::shutdown`].
@@ -467,14 +481,38 @@ where
         // Non-blocking accept + poll: the acceptor can observe the
         // shutdown flag without needing a wake-up connection.
         listener.set_nonblocking(true)?;
+        // One registry for every tier behind this server. A durable
+        // backend already carries the registry its storage layer (and
+        // the wrapped service) registered into, so sharing it is what
+        // makes a single METRICS probe see WAL, shard, and session
+        // metrics together; an explicit `config.registry` wins.
+        let registry = match (&config.registry, &backend) {
+            (Some(r), _) => Arc::clone(r),
+            (None, Backend::Durable(d)) => Arc::clone(d.registry()),
+            (None, _) => Arc::new(MetricsRegistry::new()),
+        };
+        match &backend {
+            Backend::Plain(s) => {
+                s.attach_metrics(&registry);
+            }
+            Backend::Windowed(s) => {
+                s.attach_metrics(&registry);
+                s.attach_window_metrics(&registry);
+            }
+            // Durable backends attach at open; re-attaching here would
+            // be a no-op (first attach wins).
+            Backend::Durable(_) => {}
+        }
+        let obs = NetInstruments::register(&registry);
         let shared = Arc::new(Shared {
             backend,
-            queue: ConnQueue::new(config.queue_depth),
+            queue: ConnQueue::new(config.queue_depth, Arc::clone(&obs.queue_depth_hw)),
             shutdown: AtomicBool::new(false),
             config: config.clone(),
-            sessions: AtomicU64::new(0),
-            frames_absorbed: AtomicU64::new(0),
-            frames_rejected: AtomicU64::new(0),
+            registry,
+            obs,
+            trace: config.trace.clone(),
+            session_ids: AtomicU64::new(0),
         });
 
         let acceptor = {
@@ -492,8 +530,10 @@ where
                     .name(format!("ldp-net-worker-{k}"))
                     .spawn(move || {
                         while let Some(stream) = shared.queue.pop() {
-                            run_session(&shared, stream);
-                            shared.sessions.fetch_add(1, Ordering::Relaxed);
+                            let session = shared.session_ids.fetch_add(1, Ordering::Relaxed);
+                            shared.obs.sessions_opened.incr();
+                            run_session(&shared, stream, session);
+                            shared.obs.sessions_closed.incr();
                         }
                     })
             };
@@ -529,6 +569,14 @@ where
         self.addr
     }
 
+    /// The metrics registry this server (and every tier behind it)
+    /// reports into — the same snapshot the METRICS session message
+    /// serves, for in-process scraping and rendering.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
     /// Drains and stops the server: no new connections are accepted,
     /// already-queued sessions finish (their in-flight batches absorb
     /// and ack), every thread is joined, a windowed backend's open epoch
@@ -543,10 +591,13 @@ where
             let _ = worker.join();
         }
         let (sealed_epoch, final_checkpoint, final_snapshot) = self.shared.backend.finalize();
+        // Drain totals read straight from the registry counters — the
+        // registry *is* the accounting path, so an operator scraping
+        // METRICS and a caller holding these stats can never disagree.
         ServerStats {
-            sessions: self.shared.sessions.load(Ordering::Relaxed),
-            frames_absorbed: self.shared.frames_absorbed.load(Ordering::Relaxed),
-            frames_rejected: self.shared.frames_rejected.load(Ordering::Relaxed),
+            sessions: self.shared.obs.sessions_closed.get(),
+            frames_absorbed: self.shared.obs.frames_absorbed.get(),
+            frames_rejected: self.shared.obs.frames_rejected.get(),
             num_reports: self.shared.backend.num_reports(),
             sealed_epoch,
             final_checkpoint,
@@ -667,22 +718,65 @@ where
     true
 }
 
-fn send(stream: &mut TcpStream, msg: &ServerMsg) -> bool {
-    crate::net::proto::write_message(stream, &msg.encode()).is_ok()
+fn send(stream: &mut TcpStream, obs: &NetInstruments, msg: &ServerMsg) -> bool {
+    let body = msg.encode();
+    let ok = crate::net::proto::write_message(stream, &body).is_ok();
+    if ok {
+        // Envelope (4-byte length prefix) + body, counted only when the
+        // write went through — the counter tracks bytes on the wire.
+        obs.bytes_out.add(4 + body.len() as u64);
+    }
+    ok
 }
 
-fn reject(stream: &mut TcpStream, code: ErrorCode, detail: impl Into<String>) -> bool {
+fn reject(
+    stream: &mut TcpStream,
+    obs: &NetInstruments,
+    code: ErrorCode,
+    detail: impl Into<String>,
+) -> bool {
     send(
         stream,
+        obs,
         &ServerMsg::Error(RemoteError::new(code, None, detail)),
     )
+}
+
+/// Records one handled request into the per-message-type latency
+/// histogram and — when tracing is on — the trace ring.
+fn observe<S>(shared: &Shared<S>, session: u64, msg_type: u8, ok: bool, started: Instant)
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let histo = match msg_type {
+        MSG_REPORT => &shared.obs.report_ns,
+        MSG_QUERY => &shared.obs.query_ns,
+        MSG_SEAL => &shared.obs.seal_ns,
+        // STATUS and METRICS share one introspection-latency histogram.
+        _ => &shared.obs.status_ns,
+    };
+    histo.record(ns);
+    if let Some(trace) = &shared.trace {
+        trace.record(TraceEvent {
+            session,
+            msg_type,
+            outcome: if ok {
+                TraceOutcome::Ok
+            } else {
+                TraceOutcome::Error
+            },
+            ns,
+        });
+    }
 }
 
 /// Runs one session to completion. Every hostile input — garbage bytes,
 /// truncated envelopes, absurd lengths, mismatched handshakes, malformed
 /// batches — lands in a typed error reply or a clean close; nothing
 /// panics the worker, and rejected batches leave the backend untouched.
-fn run_session<S>(shared: &Shared<S>, mut stream: TcpStream)
+fn run_session<S>(shared: &Shared<S>, mut stream: TcpStream, session: u64)
 where
     S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
@@ -695,6 +789,7 @@ where
     {
         return;
     }
+    let obs = &shared.obs;
     let mut negotiated: Option<Hello> = None;
     loop {
         let body = match read_session_message(&mut stream, shared) {
@@ -702,6 +797,7 @@ where
                 // Hostile envelope length (zero or over the cap).
                 let _ = reject(
                     &mut stream,
+                    obs,
                     ErrorCode::Protocol,
                     "message length outside (0, cap]",
                 );
@@ -715,13 +811,27 @@ where
                 }
                 continue;
             }
-            ReadOutcome::Gone => return,
+            ReadOutcome::Gone => {
+                if let Some(trace) = &shared.trace {
+                    trace.record(TraceEvent {
+                        session,
+                        msg_type: 0,
+                        outcome: TraceOutcome::Disconnect,
+                        ns: 0,
+                    });
+                }
+                return;
+            }
         };
+        // Envelope (4-byte length prefix) + body, counted once decoded
+        // off the socket.
+        obs.bytes_in.add(4 + body.len() as u64);
+        let started = Instant::now();
         let msg = match ClientMsg::decode(&body) {
             Ok(msg) => msg,
             Err(e) => {
                 let keep = negotiated.is_some();
-                let _ = reject(&mut stream, ErrorCode::Protocol, e.to_string());
+                let _ = reject(&mut stream, obs, ErrorCode::Protocol, e.to_string());
                 // Before the handshake nothing about the peer is trusted;
                 // after it, the envelope kept us in sync, so the session
                 // may continue.
@@ -734,11 +844,11 @@ where
         match msg {
             ClientMsg::Hello(hello) => {
                 if negotiated.is_some() {
-                    let _ = reject(&mut stream, ErrorCode::Protocol, "duplicate HELLO");
+                    let _ = reject(&mut stream, obs, ErrorCode::Protocol, "duplicate HELLO");
                     continue;
                 }
                 if let Err((code, detail)) = validate_hello::<S>(&hello, &shared.backend) {
-                    let _ = reject(&mut stream, code, detail);
+                    let _ = reject(&mut stream, obs, code, detail);
                     return;
                 }
                 let ok = ServerMsg::HelloOk(HelloOk {
@@ -747,22 +857,22 @@ where
                     windowed: hello.windowed,
                     domain: shared.backend.domain(),
                 });
-                if !send(&mut stream, &ok) {
+                if !send(&mut stream, obs, &ok) {
                     return;
                 }
                 negotiated = Some(hello);
             }
             ClientMsg::Report(batch) => {
                 let Some(hello) = negotiated else {
-                    let _ = reject(&mut stream, ErrorCode::BadState, "REPORT before HELLO");
+                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "REPORT before HELLO");
                     return;
                 };
                 match shared.backend.absorb_batch(hello.wire_version, &batch) {
                     Ok(accepted) => {
-                        shared
-                            .frames_absorbed
-                            .fetch_add(accepted, Ordering::Relaxed);
-                        if !send(&mut stream, &ServerMsg::ReportOk { accepted }) {
+                        obs.frames_absorbed.add(accepted);
+                        let sent = send(&mut stream, obs, &ServerMsg::ReportOk { accepted });
+                        observe(shared, session, MSG_REPORT, true, started);
+                        if !sent {
                             return;
                         }
                     }
@@ -772,10 +882,10 @@ where
                         // attacker-declared count — a lying count must
                         // not corrupt an operator-visible counter.
                         let plausible = batch.count.min(batch.frames.len() as u64 / 5);
-                        shared
-                            .frames_rejected
-                            .fetch_add(plausible, Ordering::Relaxed);
-                        if !send(&mut stream, &ServerMsg::Error(e)) {
+                        obs.frames_rejected.add(plausible);
+                        let sent = send(&mut stream, obs, &ServerMsg::Error(e));
+                        observe(shared, session, MSG_REPORT, false, started);
+                        if !sent {
                             return;
                         }
                     }
@@ -783,43 +893,59 @@ where
             }
             ClientMsg::Query(query) => {
                 if negotiated.is_none() {
-                    let _ = reject(&mut stream, ErrorCode::BadState, "QUERY before HELLO");
+                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "QUERY before HELLO");
                     return;
                 }
-                let reply = match shared.backend.query(&query) {
-                    Ok(reply) => ServerMsg::QueryOk(reply),
-                    Err(e) => ServerMsg::Error(e),
+                let (reply, ok) = match shared.backend.query(&query) {
+                    Ok(reply) => (ServerMsg::QueryOk(reply), true),
+                    Err(e) => (ServerMsg::Error(e), false),
                 };
-                if !send(&mut stream, &reply) {
+                let sent = send(&mut stream, obs, &reply);
+                observe(shared, session, MSG_QUERY, ok, started);
+                if !sent {
                     return;
                 }
             }
             ClientMsg::Seal => {
                 if negotiated.is_none() {
-                    let _ = reject(&mut stream, ErrorCode::BadState, "SEAL before HELLO");
+                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "SEAL before HELLO");
                     return;
                 }
-                let reply = match shared.backend.seal() {
-                    Ok(epoch) => ServerMsg::SealOk { epoch },
-                    Err(e) => ServerMsg::Error(e),
+                let (reply, ok) = match shared.backend.seal() {
+                    Ok(epoch) => (ServerMsg::SealOk { epoch }, true),
+                    Err(e) => (ServerMsg::Error(e), false),
                 };
-                if !send(&mut stream, &reply) {
+                let sent = send(&mut stream, obs, &reply);
+                observe(shared, session, MSG_SEAL, ok, started);
+                if !sent {
                     return;
                 }
             }
-            ClientMsg::Status => {
+            ClientMsg::Status { verbose } => {
                 // No handshake required: STATUS names no report kind, so
                 // an operator tool can probe any server blind.
-                let reply = match build_status(shared) {
-                    Ok(status) => ServerMsg::StatusOk(status),
-                    Err(e) => ServerMsg::Error(e),
+                let (reply, ok) = match build_status(shared, verbose) {
+                    Ok(status) => (ServerMsg::StatusOk(status), true),
+                    Err(e) => (ServerMsg::Error(e), false),
                 };
-                if !send(&mut stream, &reply) {
+                let sent = send(&mut stream, obs, &reply);
+                observe(shared, session, MSG_STATUS, ok, started);
+                if !sent {
+                    return;
+                }
+            }
+            ClientMsg::Metrics => {
+                // Also allowed before HELLO: introspection names no
+                // report kind either.
+                let reply = ServerMsg::MetricsOk(shared.registry.snapshot());
+                let sent = send(&mut stream, obs, &reply);
+                observe(shared, session, MSG_METRICS, true, started);
+                if !sent {
                     return;
                 }
             }
             ClientMsg::Bye => {
-                let _ = send(&mut stream, &ServerMsg::ByeOk);
+                let _ = send(&mut stream, obs, &ServerMsg::ByeOk);
                 return;
             }
         }
@@ -829,15 +955,15 @@ where
 /// Assembles the STATUS reply from the server counters, the backend's
 /// published snapshot (no refresh — probing must stay cheap), and the
 /// durable layer's progress.
-fn build_status<S>(shared: &Shared<S>) -> Result<StatusReply, RemoteError>
+fn build_status<S>(shared: &Shared<S>, verbose: bool) -> Result<StatusReply, RemoteError>
 where
     S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
     Ok(StatusReply {
-        sessions: shared.sessions.load(Ordering::Relaxed),
-        frames_absorbed: shared.frames_absorbed.load(Ordering::Relaxed),
-        frames_rejected: shared.frames_rejected.load(Ordering::Relaxed),
+        sessions: shared.obs.sessions_closed.get(),
+        frames_absorbed: shared.obs.frames_absorbed.get(),
+        frames_rejected: shared.obs.frames_rejected.get(),
         num_reports: shared.backend.num_reports(),
         snapshot_version: match &shared.backend {
             Backend::Plain(s) => s.snapshot().version(),
@@ -846,6 +972,9 @@ where
         },
         current_epoch: shared.backend.current_epoch(),
         durable: shared.backend.durable_progress()?,
+        // The metrics section rides along only on request, so the plain
+        // probe's bytes stay identical to the pre-metrics protocol.
+        metrics: verbose.then(|| shared.registry.snapshot()),
     })
 }
 

@@ -1,0 +1,36 @@
+//! The unified telemetry layer: a mergeable metrics registry, per-stage
+//! latency histograms, and wire-exposed runtime introspection.
+//!
+//! Every tier of the service — shard absorb, snapshot publication, epoch
+//! windowing, the session server, and the durable storage layer —
+//! registers its instruments in one shared [`MetricsRegistry`] and
+//! updates them lock-free on its hot paths. The frozen views
+//! ([`RegistrySnapshot`], [`HistoSnapshot`]) obey the same exact
+//! merge/subtract algebra as the mechanism servers, and are exposed on
+//! three surfaces:
+//!
+//! 1. the version-gated METRICS session message
+//!    ([`crate::net::proto::ClientMsg::Metrics`]),
+//! 2. the verbose STATUS_OK payload
+//!    ([`crate::net::proto::StatusReply::metrics`]),
+//! 3. local text/JSON dumps ([`MetricsRegistry::render`] /
+//!    [`MetricsRegistry::render_json`]) used by
+//!    `examples/observability.rs` and the bench bins.
+//!
+//! A [`TraceRing`] rides along for postmortem debugging of the
+//! adversarial session paths: a fixed-size lock-free ring of structured
+//! events behind a runtime flag.
+//!
+//! See the README's "Observability" section for the full metric-name
+//! table (name, type, unit, tier).
+
+pub mod expose;
+pub mod instruments;
+pub mod registry;
+pub mod trace;
+
+pub use expose::{MetricEntry, MetricValue, RegistrySnapshot, MAX_METRICS, MAX_NAME_BYTES};
+pub use registry::{
+    Counter, Gauge, Histo, HistoSnapshot, Metric, MetricsRegistry, ObsError, HISTO_BUCKETS,
+};
+pub use trace::{TraceEvent, TraceOutcome, TraceRing};

@@ -20,14 +20,24 @@
 //! pipelines provide.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
 
 use ldp_ranges::SubtractableServer;
 
 use crate::error::ServiceError;
+use crate::obs::instruments::{ServiceInstruments, ShardInstruments, WindowInstruments};
+use crate::obs::MetricsRegistry;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::window::{EpochRing, WindowedSnapshot};
 use crate::wire::{decode_frame, WireReport};
+
+// The service's resolved instrument handles (shard tier: the per-shard
+// absorb paths run inside this type; service tier: snapshot publication).
+struct ServiceObs {
+    shard: ShardInstruments,
+    service: ServiceInstruments,
+}
 
 /// A sharded LDP aggregation service with snapshot-isolated reads.
 pub struct LdpService<S: SnapshotSource> {
@@ -39,6 +49,13 @@ pub struct LdpService<S: SnapshotSource> {
     /// slow refresher can never overwrite a newer snapshot with staler
     /// data; readers stay lock-free on `published`.
     refresh: Mutex<()>,
+    /// Telemetry handles, attached at most once
+    /// ([`LdpService::attach_metrics`]); unattached, every hot path pays
+    /// one `OnceLock` load and nothing else.
+    obs: OnceLock<ServiceObs>,
+    /// Window-tier handles for the lockstep seal sweep
+    /// (`attach_window_metrics`; meaningful only for windowed backends).
+    window_obs: OnceLock<Arc<WindowInstruments>>,
 }
 
 /// Locks a mutex, surfacing poisoning as a typed error instead of a
@@ -109,6 +126,8 @@ impl<S: SnapshotSource> LdpService<S> {
             published: RwLock::new(initial),
             version: AtomicU64::new(0),
             refresh: Mutex::new(()),
+            obs: OnceLock::new(),
+            window_obs: OnceLock::new(),
         })
     }
 
@@ -116,6 +135,20 @@ impl<S: SnapshotSource> LdpService<S> {
     #[must_use]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Attaches shard- and service-tier telemetry from the shared
+    /// `registry`: batch absorb wall time, accepted/rejected frame
+    /// counts, snapshot refresh latency, and the published version gauge.
+    /// First attachment wins (returns `false` if already attached);
+    /// unattached services carry zero instrumentation cost.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) -> bool {
+        self.obs
+            .set(ServiceObs {
+                shard: ShardInstruments::register(registry),
+                service: ServiceInstruments::register(registry),
+            })
+            .is_ok()
     }
 
     /// Absorbs one decoded report into the next shard (round-robin).
@@ -126,8 +159,14 @@ impl<S: SnapshotSource> LdpService<S> {
     pub fn submit(&self, report: &S::Report) -> Result<(), ServiceError> {
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
-        shard.absorb(report)?;
-        Ok(())
+        let result = shard.absorb(report);
+        if let Some(obs) = self.obs.get() {
+            match &result {
+                Ok(()) => obs.shard.frames_accepted.incr(),
+                Err(_) => obs.shard.frames_rejected.incr(),
+            }
+        }
+        result.map_err(Into::into)
     }
 
     /// Decodes one wire frame and absorbs it. The buffer must hold
@@ -167,6 +206,19 @@ impl<S: SnapshotSource> LdpService<S> {
         if reports.is_empty() {
             return Ok(());
         }
+        let started = self.obs.get().map(|_| Instant::now());
+        let result = self.submit_batch_inner(reports);
+        if let (Some(obs), Some(started)) = (self.obs.get(), started) {
+            obs.shard.absorb_ns.record_elapsed(started);
+            match &result {
+                Ok(()) => obs.shard.frames_accepted.add(reports.len() as u64),
+                Err(_) => obs.shard.frames_rejected.add(reports.len() as u64),
+            }
+        }
+        result
+    }
+
+    fn submit_batch_inner(&self, reports: &[S::Report]) -> Result<(), ServiceError> {
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
         let mut staged = shard.clone();
@@ -217,6 +269,7 @@ impl<S: SnapshotSource> LdpService<S> {
         // without this, a refresher that cloned earlier (staler data)
         // could publish after — and overwrite — a fresher snapshot.
         let _guard = lock(&self.refresh, "refresh")?;
+        let started = self.obs.get().map(|_| Instant::now());
         let merged = self.merge_shards()?;
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
@@ -224,6 +277,13 @@ impl<S: SnapshotSource> LdpService<S> {
             .published
             .write()
             .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&snap);
+        if let Some(obs) = self.obs.get() {
+            if let Some(started) = started {
+                obs.service.refresh_ns.record_elapsed(started);
+            }
+            obs.service.refreshes.incr();
+            obs.service.snapshot_version.set(version);
+        }
         Ok(snap)
     }
 
@@ -290,6 +350,20 @@ where
         lock_infallible(&self.shards[0]).current_epoch()
     }
 
+    /// Attaches window-tier telemetry from the shared `registry`: the
+    /// lockstep seal sweep's latency and count are recorded here, the
+    /// per-ring rotation subtract inside each shard's [`EpochRing`]. One
+    /// instrument set is shared by every shard ring — rotation counts
+    /// from all shards fan into the same counters, exactly like shard
+    /// state fans into one merge. First attachment wins.
+    pub fn attach_window_metrics(&self, registry: &MetricsRegistry) -> bool {
+        let instruments = Arc::new(WindowInstruments::register(registry));
+        for shard in &self.shards {
+            lock_infallible(shard).set_instruments(Arc::clone(&instruments));
+        }
+        self.window_obs.set(instruments).is_ok()
+    }
+
     /// Seals the open epoch on every shard and returns its id. Holds the
     /// refresh lock for the whole sweep so a concurrent
     /// [`LdpService::refresh_snapshot`] or [`LdpService::window_snapshot`]
@@ -309,11 +383,16 @@ where
     /// indicates corrupted state.
     pub fn seal_epoch(&self) -> Result<u64, ServiceError> {
         let _guard = lock(&self.refresh, "refresh")?;
+        let started = self.window_obs.get().map(|_| Instant::now());
         let mut sealed = None;
         for shard in &self.shards {
             let id = lock(shard, "shard")?.seal_epoch()?;
             debug_assert!(sealed.is_none_or(|s| s == id), "shards sealed out of step");
             sealed = Some(id);
+        }
+        if let (Some(obs), Some(started)) = (self.window_obs.get(), started) {
+            obs.seal_ns.record_elapsed(started);
+            obs.epochs_sealed.incr();
         }
         Ok(sealed.expect("at least one shard"))
     }
@@ -339,7 +418,14 @@ where
         }
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
-        shard.absorb_tagged(epoch, &report)
+        let result = shard.absorb_tagged(epoch, &report);
+        if let Some(obs) = self.obs.get() {
+            match &result {
+                Ok(()) => obs.shard.frames_accepted.incr(),
+                Err(_) => obs.shard.frames_rejected.incr(),
+            }
+        }
+        result
     }
 
     /// Absorbs a batch of epoch-tagged reports (`None` = untagged v1
@@ -361,6 +447,22 @@ where
         if reports.is_empty() {
             return Ok(());
         }
+        let started = self.obs.get().map(|_| Instant::now());
+        let result = self.submit_epoch_batch_inner(reports);
+        if let (Some(obs), Some(started)) = (self.obs.get(), started) {
+            obs.shard.absorb_ns.record_elapsed(started);
+            match &result {
+                Ok(()) => obs.shard.frames_accepted.add(reports.len() as u64),
+                Err(_) => obs.shard.frames_rejected.add(reports.len() as u64),
+            }
+        }
+        result
+    }
+
+    fn submit_epoch_batch_inner(
+        &self,
+        reports: &[(Option<u64>, S::Report)],
+    ) -> Result<(), ServiceError> {
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
         let mut staged = shard.clone();

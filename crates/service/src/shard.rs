@@ -18,12 +18,15 @@ use ldp_ranges::MergeableServer;
 
 use crate::error::ServiceError;
 use crate::loadgen::EncodedStream;
+use crate::obs::instruments::ShardInstruments;
+use crate::obs::MetricsRegistry;
 use crate::wire::{decode_frame, WireReport};
 
 /// A pool of independently fed, mergeable shard accumulators.
 #[derive(Debug, Clone)]
 pub struct ShardedAggregator<S: MergeableServer> {
     shards: Vec<S>,
+    obs: Option<ShardInstruments>,
 }
 
 impl<S: MergeableServer> ShardedAggregator<S> {
@@ -39,7 +42,15 @@ impl<S: MergeableServer> ShardedAggregator<S> {
         }
         Ok(Self {
             shards: vec![prototype.clone(); num_shards],
+            obs: None,
         })
+    }
+
+    /// Attaches shard-tier telemetry from the shared `registry`: batch
+    /// absorb wall time and accepted/rejected frame counts. Unattached,
+    /// the ingest paths carry zero instrumentation cost.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(ShardInstruments::register(registry));
     }
 
     /// Number of shards in the pool.
@@ -126,6 +137,25 @@ impl<S: MergeableServer> ShardedAggregator<S> {
     /// [`ServiceError::BadFrame`] is deterministic regardless of thread
     /// timing.
     fn run_sharded<F>(&mut self, n: usize, work: F) -> Result<(), ServiceError>
+    where
+        F: Fn(&mut S, usize, usize) -> Result<(), (usize, ServiceError)> + Sync,
+    {
+        // Handles are cheap Arc clones; unattached pools skip even the
+        // Instant read.
+        let obs = self.obs.clone();
+        let started = obs.as_ref().map(|_| std::time::Instant::now());
+        let result = self.run_sharded_inner(n, work);
+        if let (Some(obs), Some(started)) = (obs, started) {
+            obs.absorb_ns.record_elapsed(started);
+            match &result {
+                Ok(()) => obs.frames_accepted.add(n as u64),
+                Err(_) => obs.frames_rejected.add(n as u64),
+            }
+        }
+        result
+    }
+
+    fn run_sharded_inner<F>(&mut self, n: usize, work: F) -> Result<(), ServiceError>
     where
         F: Fn(&mut S, usize, usize) -> Result<(), (usize, ServiceError)> + Sync,
     {

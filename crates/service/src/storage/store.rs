@@ -15,12 +15,15 @@
 //! bypass the log; a durable deployment ingests only through this type.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
+use crate::obs::instruments::StorageInstruments;
+use crate::obs::MetricsRegistry;
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::storage::recovery::{self, RecoveryReport, ResumePoint};
@@ -50,6 +53,10 @@ pub struct DurableConfig {
     /// recovery differential tests enable this to compare checkpoint +
     /// tail replay against a full-log replay.
     pub retain_history: bool,
+    /// Metrics registry the storage tier (and the wrapped service)
+    /// instruments itself into. `None` (the default) creates a private
+    /// registry, reachable via [`DurableService::registry`].
+    pub registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for DurableConfig {
@@ -60,6 +67,7 @@ impl Default for DurableConfig {
             fsync: FsyncPolicy::Always,
             checkpoint_every_records: 0,
             retain_history: false,
+            registry: None,
         }
     }
 }
@@ -108,14 +116,17 @@ where
     config: DurableConfig,
     /// Newest completed checkpoint id ([`NO_CHECKPOINT`] = none).
     last_checkpoint: AtomicU64,
-    /// Automatic checkpoints that failed (retried on later appends).
-    checkpoint_failures: AtomicU64,
-    /// Fail-stop flag: set when a WAL append fails after its batch was
-    /// already absorbed. In-memory state is then *ahead of the log*, so
-    /// continuing — or worse, checkpointing — would make unacknowledged
-    /// (or retried-and-duplicated) reports durable. Every mutating path
-    /// refuses while wedged; queries keep answering.
-    wedged: AtomicBool,
+    /// The registry every tier below this store reports into.
+    registry: Arc<MetricsRegistry>,
+    /// Storage-tier instruments. These *are* the accounting state: the
+    /// fail-stop wedge flag lives in `obs.wedged` (a `SeqCst` gauge —
+    /// set when a WAL append fails after its batch was already absorbed,
+    /// leaving in-memory state ahead of the log; every mutating path
+    /// refuses while it reads 1, queries keep answering) and the
+    /// auto-checkpoint failure count in `obs.checkpoint_failures`, with
+    /// no shadow copies — [`DurableService::status`] and the METRICS
+    /// exposition cannot disagree.
+    obs: StorageInstruments,
 }
 
 impl<S> Drop for DurableService<S>
@@ -378,6 +389,26 @@ where
             }
         };
         let last = report.checkpoint_id.unwrap_or(NO_CHECKPOINT);
+        // One registry for the whole stack: the storage instruments, the
+        // wrapped service's shard/refresh instruments, and (windowed)
+        // the ring's rotation instruments all register here, so a single
+        // snapshot sees every tier.
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let obs = StorageInstruments::register(&registry);
+        obs.replay_records.add(report.records_replayed);
+        obs.replay_frames.add(report.frames_replayed);
+        match &backend {
+            DurableBackend::Plain(s) => {
+                s.attach_metrics(&registry);
+            }
+            DurableBackend::Windowed(s) => {
+                s.attach_metrics(&registry);
+                s.attach_window_metrics(&registry);
+            }
+        }
         Ok((
             Self {
                 backend,
@@ -388,11 +419,20 @@ where
                 dir,
                 config,
                 last_checkpoint: AtomicU64::new(last),
-                checkpoint_failures: AtomicU64::new(0),
-                wedged: AtomicBool::new(false),
+                registry,
+                obs,
             },
             report,
         ))
+    }
+
+    /// The metrics registry this store (and the service it wraps)
+    /// reports into — share it with [`crate::net::NetConfig::registry`]
+    /// (done automatically by `bind_durable` when that is `None`) so one
+    /// METRICS probe covers every tier.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Whether the backend is windowed.
@@ -465,10 +505,15 @@ where
         }
         // Zero-copy append: the raw frame bytes go straight from the
         // request buffer to the log.
+        let started = Instant::now();
         if let Err(e) = wal.writer.append_frames(wire_version, n, frames) {
-            self.wedged.store(true, Ordering::SeqCst);
+            self.obs.wedged.set(1);
             return Err(e.into());
         }
+        self.obs.append_ns.record_elapsed(started);
+        self.obs.batch_frames.record(n);
+        self.obs.wal_records.incr();
+        self.obs.wal_frames.add(n);
         wal.records_since_checkpoint += 1;
         self.maybe_auto_checkpoint(&mut wal);
         Ok(n)
@@ -489,10 +534,13 @@ where
         let mut wal = self.lock_wal()?;
         self.check_wedged()?;
         let epoch = s.seal_epoch()?;
+        let started = Instant::now();
         if let Err(e) = wal.writer.append(&WalRecord::Seal { epoch }) {
-            self.wedged.store(true, Ordering::SeqCst);
+            self.obs.wedged.set(1);
             return Err(e.into());
         }
+        self.obs.append_ns.record_elapsed(started);
+        self.obs.wal_records.incr();
         wal.records_since_checkpoint += 1;
         self.maybe_auto_checkpoint(&mut wal);
         Ok(epoch)
@@ -540,7 +588,7 @@ where
         if let Err(e) = wal.writer.sync() {
             // A failed flush can leave a partial record on disk; writing
             // anything after it would bury acked records behind garbage.
-            self.wedged.store(true, Ordering::SeqCst);
+            self.obs.wedged.set(1);
             return Err(e.into());
         }
         Ok(())
@@ -559,8 +607,9 @@ where
             wal_segment_seq: wal.writer.seq(),
             wal_records: wal.writer.appended_records(),
             wal_frames: wal.writer.appended_frames(),
-            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
-            wedged: self.wedged.load(Ordering::SeqCst),
+            // Read from the registry instruments — the only copy.
+            checkpoint_failures: self.obs.checkpoint_failures.get(),
+            wedged: self.obs.wedged.get() != 0,
         })
     }
 
@@ -617,7 +666,7 @@ where
     /// Refuses mutating operations after a WAL append failure left
     /// in-memory state ahead of the log.
     fn check_wedged(&self) -> Result<(), ServiceError> {
-        if self.wedged.load(Ordering::SeqCst) {
+        if self.obs.wedged.get() != 0 {
             return Err(ServiceError::Io(std::io::Error::other(
                 "durable service wedged by an earlier WAL append failure; \
                  restart to recover the logged prefix",
@@ -637,11 +686,12 @@ where
             && wal.records_since_checkpoint >= self.config.checkpoint_every_records
             && self.checkpoint_locked(wal).is_err()
         {
-            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.checkpoint_failures.incr();
         }
     }
 
     fn checkpoint_locked(&self, wal: &mut WalInner) -> Result<u64, ServiceError> {
+        let started = Instant::now();
         let last = self.last_checkpoint.load(Ordering::Relaxed);
         let id = if last == NO_CHECKPOINT { 0 } else { last + 1 };
         let state = match &self.backend {
@@ -664,13 +714,14 @@ where
         // not wedge: the log itself is intact and the previous
         // checkpoint still covers it.
         if let Err(e) = wal.writer.append(&WalRecord::Checkpoint { id }) {
-            self.wedged.store(true, Ordering::SeqCst);
+            self.obs.wedged.set(1);
             return Err(e.into());
         }
+        self.obs.wal_records.incr();
         let replay_from_seq = match wal.writer.rotate() {
             Ok(seq) => seq,
             Err(e) => {
-                self.wedged.store(true, Ordering::SeqCst);
+                self.obs.wedged.set(1);
                 return Err(e.into());
             }
         };
@@ -696,6 +747,8 @@ where
         }
         self.last_checkpoint.store(id, Ordering::Relaxed);
         wal.records_since_checkpoint = 0;
+        self.obs.checkpoint_ns.record_elapsed(started);
+        self.obs.checkpoints.incr();
         Ok(id)
     }
 }

@@ -41,11 +41,14 @@
 //! aggregation systems.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 use ldp_ranges::persist::put_varint;
 use ldp_ranges::{MergeableServer, PersistableServer, RangeError, StateReader, SubtractableServer};
 
 use crate::error::ServiceError;
+use crate::obs::instruments::WindowInstruments;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 
 /// One sealed epoch: its id and the accumulator of every report absorbed
@@ -100,6 +103,10 @@ pub struct EpochRing<S: SubtractableServer> {
     window_len: usize,
     /// Auto-seal threshold in reports per epoch; 0 = manual sealing only.
     epoch_width: u64,
+    /// Window-tier telemetry, shared across shard rings (cloned rings
+    /// keep recording into the same instruments). Not part of the ring's
+    /// *state*: excluded from persistence and from merge alignment.
+    obs: Option<Arc<WindowInstruments>>,
 }
 
 impl<S: SubtractableServer> EpochRing<S> {
@@ -121,7 +128,16 @@ impl<S: SubtractableServer> EpochRing<S> {
             current_id: 0,
             window_len,
             epoch_width: 0,
+            obs: None,
         })
+    }
+
+    /// Attaches window-tier telemetry (rotation subtract latency and
+    /// retired-epoch count are recorded by the ring itself; the seal
+    /// sweep is timed by the owner). Shared instruments: clones of this
+    /// ring keep recording into the same counters.
+    pub fn set_instruments(&mut self, instruments: Arc<WindowInstruments>) {
+        self.obs = Some(instruments);
     }
 
     /// Builds a ring that additionally self-seals: absorbing the
@@ -241,7 +257,12 @@ impl<S: SubtractableServer> EpochRing<S> {
             // The rotation that makes sliding windows O(state): remove
             // the retired epoch from the running merge instead of
             // re-merging the survivors.
+            let started = self.obs.as_ref().map(|_| Instant::now());
             self.running.subtract(&retired.server)?;
+            if let (Some(obs), Some(started)) = (&self.obs, started) {
+                obs.rotate_ns.record_elapsed(started);
+                obs.rotations.incr();
+            }
         }
         let id = self.current_id;
         self.current_id += 1;
@@ -320,6 +341,7 @@ impl<S: SubtractableServer> EpochRing<S> {
             current_id: self.current_id,
             window_len: self.window_len,
             epoch_width: self.epoch_width,
+            obs: self.obs.clone(),
         }
     }
 

@@ -1,0 +1,444 @@
+//! The telemetry layer's contracts, end to end.
+//!
+//! The registry's frozen views obey the same exact integer algebra as
+//! the mechanism servers: per-shard histograms merge bit-identically to
+//! a single writer, merge − subtract round-trips exactly, the wire
+//! exposition decodes its own encoding byte-for-byte and rejects
+//! arbitrary byte soup with typed errors, and over a real socket the
+//! drain totals, the STATUS counters, and the METRICS snapshot are one
+//! accounting path that can never disagree.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HhClient, HhConfig, HhServer};
+use ldp_service::net::proto::{read_message, write_message, ClientMsg, ServerMsg};
+use ldp_service::net::{Hello, NetConfig};
+use ldp_service::obs::instruments::names;
+use ldp_service::obs::{Histo, TraceOutcome};
+use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
+use ldp_service::{
+    EncodedStream, LdpClient, LdpServer, LdpService, MetricsRegistry, RegistrySnapshot, TraceRing,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// --- exact histogram algebra -------------------------------------------
+
+/// Sharded recording merges bit-identically to a single writer: the
+/// telemetry analogue of `MergeableServer`'s exactness argument, proven
+/// the same way (differentially).
+#[test]
+fn sharded_histograms_merge_bit_identical_to_single_writer() {
+    let values: Vec<u64> = (0..4000u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect();
+
+    let single = Histo::new();
+    for &v in &values {
+        single.record(v);
+    }
+
+    let shards: Vec<Histo> = (0..4).map(|_| Histo::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        shards[i % 4].record(v);
+    }
+    let mut merged = shards[0].snapshot();
+    for shard in &shards[1..] {
+        merged.merge(&shard.snapshot()).unwrap();
+    }
+
+    let reference = single.snapshot();
+    assert_eq!(merged.count(), reference.count());
+    assert_eq!(merged.sum(), reference.sum());
+    assert_eq!(merged.buckets(), reference.buckets(), "buckets diverged");
+}
+
+/// Four writers hammering *one* histogram lose nothing: the final
+/// snapshot equals a single-threaded recording of the same multiset.
+#[test]
+fn concurrent_recording_is_exact() {
+    let histo = Arc::new(Histo::new());
+    let per_thread = 5000u64;
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let histo = Arc::clone(&histo);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    histo.record(t * per_thread + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let reference = Histo::new();
+    for v in 0..4 * per_thread {
+        reference.record(v);
+    }
+    let got = histo.snapshot();
+    let want = reference.snapshot();
+    assert_eq!(got.count(), want.count());
+    assert_eq!(got.sum(), want.sum());
+    assert_eq!(got.buckets(), want.buckets());
+}
+
+fn snapshot_of(values: &[u64]) -> ldp_service::HistoSnapshot {
+    let h = Histo::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every value lands in the bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in 0u64..u64::MAX) {
+        let i = Histo::bucket_index(v);
+        let (lo, hi) = Histo::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// merge then subtract round-trips bit-identically (histograms).
+    #[test]
+    fn histo_merge_subtract_roundtrip(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb).unwrap();
+        merged.subtract(&sb).unwrap();
+        prop_assert_eq!(merged, sa);
+    }
+
+    /// Subtracting more than a histogram holds is rejected — and the
+    /// rejection is all-or-nothing: the failed operand is unchanged.
+    #[test]
+    fn histo_underflow_rejected_state_unchanged(
+        a in proptest::collection::vec(0u64..1024, 1..32),
+    ) {
+        let sa = snapshot_of(&a);
+        let mut bigger = sa.clone();
+        bigger.merge(&sa).unwrap();
+        let mut victim = sa.clone();
+        prop_assert!(victim.subtract(&bigger).is_err());
+        prop_assert_eq!(victim, sa, "failed subtract mutated its operand");
+    }
+
+    /// A registry's delta between two moments is exact: snapshot twice,
+    /// subtract, merge the delta back — bit-identical to the second
+    /// snapshot. This is the drain-accounting property the server's
+    /// stats rely on.
+    #[test]
+    fn registry_delta_roundtrip(
+        phase1 in proptest::collection::vec(0u64..u64::MAX, 0..32),
+        phase2 in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("t.counter");
+        let gauge = registry.gauge("t.gauge");
+        let histo = registry.histo("t.histo");
+        for &v in &phase1 {
+            counter.add(v % 1024);
+            gauge.record_max(v);
+            histo.record(v);
+        }
+        let s1 = registry.snapshot();
+        for &v in &phase2 {
+            counter.add(v % 1024);
+            gauge.record_max(v);
+            histo.record(v);
+        }
+        let s2 = registry.snapshot();
+
+        let mut delta = s2.clone();
+        delta.subtract(&s1).unwrap();
+        let mut rebuilt = s1.clone();
+        rebuilt.merge(&delta).unwrap();
+        prop_assert_eq!(rebuilt, s2);
+    }
+
+    /// The exposition codec decodes its own encoding to an equal
+    /// snapshot and re-encodes to identical bytes.
+    #[test]
+    fn exposition_roundtrips_canonically(
+        counts in proptest::collection::vec(0u64..u64::MAX, 0..8),
+        values in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let registry = MetricsRegistry::new();
+        for (i, &c) in counts.iter().enumerate() {
+            registry.counter(&format!("c.{i}")).add(c);
+            registry.gauge(&format!("g.{i}")).set(c);
+        }
+        let histo = registry.histo("h.latency");
+        for &v in &values {
+            histo.record(v);
+        }
+        let snapshot = registry.snapshot();
+        let bytes = snapshot.encode();
+        let decoded = RegistrySnapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(decoded.encode(), bytes, "re-encode differs");
+    }
+
+    /// Arbitrary byte soup never panics the snapshot decoder — every
+    /// outcome is `Ok` or a typed `WireError`.
+    #[test]
+    fn arbitrary_bytes_never_panic_decoder(
+        bytes in proptest::collection::vec(0u64..256, 0..256),
+    ) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let _ = RegistrySnapshot::decode(&bytes);
+        // The enclosing protocol messages are total too.
+        let _ = ServerMsg::decode(&bytes);
+        let _ = ClientMsg::decode(&bytes);
+        let mut framed = vec![0x87];
+        framed.extend_from_slice(&bytes);
+        let _ = ServerMsg::decode(&framed);
+    }
+}
+
+// --- the socket surfaces -----------------------------------------------
+
+fn hh_parts() -> (HhClient, HhServer) {
+    let config = HhConfig::new(64, 4, Epsilon::from_exp(3.0)).unwrap();
+    (
+        HhClient::new(config.clone()).unwrap(),
+        HhServer::new(config).unwrap(),
+    )
+}
+
+fn stream_of(client: &HhClient, seed: u64, frames: usize) -> EncodedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = EncodedStream::new();
+    for i in 0..frames {
+        stream.push(&client.report((i * 7) % 64, &mut rng).unwrap());
+    }
+    stream
+}
+
+/// Four concurrent socket writers: the drained stats, the registry's
+/// net/shard counters, and the backend's report count all agree exactly
+/// on the acked total — one accounting path, no lost updates.
+#[test]
+fn four_writer_socket_ingest_totals_are_exact() {
+    let (client, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 4).unwrap());
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = NetConfig {
+        registry: Some(Arc::clone(&registry)),
+        ..NetConfig::default()
+    };
+    let server = LdpServer::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
+    let addr = server.local_addr();
+
+    const WRITERS: u64 = 4;
+    const FRAMES_EACH: usize = 250;
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let stream = stream_of(&client, 9100 + w, FRAMES_EACH);
+            std::thread::spawn(move || {
+                let mut session =
+                    LdpClient::connect(addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+                let acked = session.send_stream(&stream, 50).unwrap();
+                session.bye().unwrap();
+                acked
+            })
+        })
+        .collect();
+    let acked: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let total = WRITERS * FRAMES_EACH as u64;
+    assert_eq!(acked, total);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.frames_absorbed, total);
+    assert_eq!(stats.frames_rejected, 0);
+    assert_eq!(stats.sessions, WRITERS);
+    assert_eq!(stats.num_reports, total);
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter(names::NET_FRAMES_ABSORBED), Some(total));
+    assert_eq!(snapshot.counter(names::SHARD_FRAMES_ACCEPTED), Some(total));
+    assert_eq!(snapshot.counter(names::NET_SESSIONS_OPENED), Some(WRITERS));
+    assert_eq!(snapshot.counter(names::NET_SESSIONS_CLOSED), Some(WRITERS));
+    let report_ns = snapshot.histo(names::NET_REPORT_NS).unwrap();
+    assert_eq!(
+        report_ns.count(),
+        WRITERS * (FRAMES_EACH as u64).div_ceil(50),
+        "one latency sample per REPORT message"
+    );
+    assert!(snapshot.counter(names::NET_BYTES_IN).unwrap() > 0);
+    assert!(snapshot.counter(names::NET_BYTES_OUT).unwrap() > 0);
+}
+
+/// The acceptance gate: a durable *windowed* server exercised over the
+/// socket shows live instruments from every tier — shard, service,
+/// window, net, and storage — in one METRICS snapshot, and the verbose
+/// STATUS carries the same section while the plain probe stays legacy.
+#[test]
+fn metrics_probe_sees_every_tier_live() {
+    let (client, prototype) = hh_parts();
+    let registry = Arc::new(MetricsRegistry::new());
+    let dir = scratch_dir("obs-every-tier").unwrap();
+    let (durable, _) = DurableService::open_windowed(
+        &dir,
+        &prototype,
+        2,
+        DurableConfig {
+            num_shards: 2,
+            fsync: FsyncPolicy::Always,
+            registry: Some(Arc::clone(&registry)),
+            ..DurableConfig::default()
+        },
+    )
+    .unwrap();
+    let durable = Arc::new(durable);
+    // NetConfig.registry is None: bind_durable must share the storage
+    // tier's registry on its own.
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&durable), NetConfig::default()).unwrap();
+    assert!(Arc::ptr_eq(server.registry(), &registry));
+
+    let mut session = LdpClient::connect(
+        server.local_addr(),
+        Hello::windowed::<ldp_ranges::HhReport>(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(9200);
+    for epoch in 0..2u64 {
+        let mut stream = EncodedStream::new();
+        for i in 0..120usize {
+            stream.push_epoch(&client.report((i * 11) % 64, &mut rng).unwrap(), epoch);
+        }
+        assert_eq!(session.send_stream(&stream, 40).unwrap(), 120);
+        assert_eq!(session.seal_epoch().unwrap(), epoch);
+    }
+    let _ = session.quantile(0.5).unwrap();
+
+    // The plain probe stays legacy: no metrics section.
+    let status = session.status().unwrap();
+    assert_eq!(status.metrics, None);
+    // The verbose probe and the dedicated METRICS message agree.
+    let verbose = session.status_full().unwrap();
+    let via_status = verbose.metrics.expect("verbose STATUS carries metrics");
+    let live = session.metrics().unwrap();
+
+    for snapshot in [&via_status, &live] {
+        // Shard tier.
+        assert_eq!(snapshot.counter(names::SHARD_FRAMES_ACCEPTED), Some(240));
+        assert!(snapshot.histo(names::SHARD_ABSORB_NS).unwrap().count() > 0);
+        // Service tier (the query refreshed a snapshot).
+        assert!(snapshot.counter(names::SERVICE_REFRESHES).unwrap() >= 1);
+        assert!(snapshot.histo(names::SERVICE_REFRESH_NS).unwrap().count() >= 1);
+        // Window tier.
+        assert_eq!(snapshot.counter(names::WINDOW_EPOCHS_SEALED), Some(2));
+        assert_eq!(snapshot.histo(names::WINDOW_SEAL_NS).unwrap().count(), 2);
+        // Net tier.
+        assert_eq!(snapshot.counter(names::NET_FRAMES_ABSORBED), Some(240));
+        assert!(snapshot.histo(names::NET_REPORT_NS).unwrap().count() >= 6);
+        // Storage tier: one WAL record per batch + one per seal.
+        assert_eq!(snapshot.counter(names::WAL_FRAMES), Some(240));
+        assert_eq!(snapshot.counter(names::WAL_RECORDS), Some(8));
+        assert!(snapshot.histo(names::WAL_APPEND_NS).unwrap().count() >= 8);
+        assert_eq!(snapshot.gauge(names::STORAGE_WEDGED), Some(0));
+    }
+    // The live snapshot was taken after the verbose STATUS, so it can
+    // only have moved forward: subtracting the earlier one must succeed
+    // (counters and histograms are monotone).
+    let mut delta = live.clone();
+    delta
+        .subtract(&via_status)
+        .expect("later snapshot subtracts the earlier one exactly");
+
+    session.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.frames_absorbed, 240);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// METRICS needs no handshake, and hostile METRICS payloads get a typed
+/// error reply — the session survives none the worse after HELLO, and
+/// pre-HELLO garbage closes cleanly without a panic.
+#[test]
+fn metrics_probe_works_before_hello_and_rejects_garbage() {
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let (_, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let server =
+        LdpServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default()).unwrap();
+
+    // METRICS as the very first message — no HELLO.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(&mut stream, &ClientMsg::Metrics.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut stream).unwrap()).unwrap();
+    let ServerMsg::MetricsOk(snapshot) = reply else {
+        panic!("METRICS answered with {reply:?}");
+    };
+    assert_eq!(snapshot.counter(names::NET_FRAMES_ABSORBED), Some(0));
+
+    // A METRICS request with trailing garbage is a protocol error.
+    write_message(&mut stream, &[0x07, 0xFF]).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut stream).unwrap()).unwrap();
+    assert!(
+        matches!(reply, ServerMsg::Error(_)),
+        "garbage METRICS answered with {reply:?}"
+    );
+    drop(stream);
+    let _ = server.shutdown();
+}
+
+/// With a trace ring configured and enabled, sessions leave structured
+/// events behind: typed, ordered, and never torn.
+#[test]
+fn trace_ring_records_session_events() {
+    let (client, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let trace = Arc::new(TraceRing::enabled_with(64));
+    let config = NetConfig {
+        trace: Some(Arc::clone(&trace)),
+        ..NetConfig::default()
+    };
+    let server = LdpServer::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
+
+    let mut session =
+        LdpClient::connect(server.local_addr(), Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let stream = stream_of(&client, 9300, 100);
+    assert_eq!(session.send_stream(&stream, 25).unwrap(), 100);
+    let _ = session.range(0, 63).unwrap();
+    let _ = session.status().unwrap();
+    session.bye().unwrap();
+    let _ = server.shutdown();
+
+    let events = trace.events();
+    assert!(!events.is_empty(), "enabled ring recorded nothing");
+    // 4 REPORT batches + 1 QUERY + 1 STATUS, all on one session, all Ok.
+    let reports = events
+        .iter()
+        .filter(|(_, e)| e.msg_type == 0x02 && e.outcome == TraceOutcome::Ok)
+        .count();
+    assert_eq!(reports, 4);
+    assert_eq!(
+        events.iter().filter(|(_, e)| e.msg_type == 0x03).count(),
+        1,
+        "one QUERY event"
+    );
+    assert_eq!(
+        events.iter().filter(|(_, e)| e.msg_type == 0x06).count(),
+        1,
+        "one STATUS event"
+    );
+    // Tickets are strictly increasing (the ring orders its history).
+    assert!(events.windows(2).all(|w| w[0].0 < w[1].0));
+}

@@ -39,6 +39,7 @@ fn config() -> DurableConfig {
         fsync: FsyncPolicy::Always,
         checkpoint_every_records: 0,
         retain_history: false,
+        ..DurableConfig::default()
     }
 }
 

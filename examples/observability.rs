@@ -1,0 +1,161 @@
+//! The telemetry layer on one page: a durable windowed `LdpServer` runs
+//! with one shared `MetricsRegistry` spanning every tier — shard absorb,
+//! snapshot refresh, epoch sealing, socket sessions, and the write-ahead
+//! log — plus a `TraceRing` of per-message events. A client watches the
+//! server live over the wire: the version-gated METRICS message, the
+//! verbose STATUS with its embedded metrics section, and exact
+//! before/after deltas computed with the registry's subtract discipline.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use ldp_range_queries::prelude::*;
+use ldp_range_queries::service::net::{Hello, NetConfig};
+use ldp_range_queries::service::obs::instruments::names;
+use ldp_range_queries::service::storage::{
+    scratch_dir, DurableConfig, DurableService, FsyncPolicy,
+};
+use ldp_range_queries::service::{EncodedStream, LdpClient, LdpServer, MetricsRegistry, TraceRing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let domain = 256usize;
+    let epochs = 3usize;
+    let users_per_epoch = 5_000usize;
+
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    // One registry for the whole stack: handed to the storage tier, which
+    // shares it with the wrapped service, window, and shard tiers; the
+    // socket front end adopts it automatically at bind. The trace ring
+    // records one structured event per session message.
+    let registry = Arc::new(MetricsRegistry::new());
+    let trace = Arc::new(TraceRing::enabled_with(256));
+    let dir = scratch_dir("observability-example").expect("scratch dir");
+    let (durable, recovery) = DurableService::open_windowed(
+        &dir,
+        &prototype,
+        2,
+        DurableConfig {
+            num_shards: 4,
+            fsync: FsyncPolicy::EveryBytes(1 << 20),
+            registry: Some(Arc::clone(&registry)),
+            ..DurableConfig::default()
+        },
+    )
+    .expect("open durable store");
+    println!(
+        "# observability: durable windowed store open (checkpoint {:?}, {} records replayed)",
+        recovery.checkpoint_id, recovery.records_replayed
+    );
+    let server = LdpServer::bind_durable(
+        "127.0.0.1:0",
+        Arc::new(durable),
+        NetConfig {
+            trace: Some(Arc::clone(&trace)),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("# LdpServer on {addr}, registry shared across all five tiers\n");
+
+    let mut session = LdpClient::connect(
+        addr,
+        Hello::windowed::<ldp_range_queries::ranges::HhReport>(),
+    )
+    .expect("connect");
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Ingest a few epochs, watching the registry live between them. The
+    // subtract discipline gives *exact* per-epoch deltas: snapshots are
+    // integer statistics, so (after − before) loses nothing.
+    let mut before = session.metrics().expect("METRICS over the wire");
+    println!(
+        "{:>6}  {:>8}  {:>12}  {:>14}  {:>12}",
+        "epoch", "frames", "wal records", "absorb p99 ns", "report ns"
+    );
+    for epoch in 0..epochs {
+        let mut stream = EncodedStream::new();
+        for _ in 0..users_per_epoch {
+            let value = rng.random_range(0..domain);
+            stream.push_epoch(
+                &client.report(value, &mut rng).expect("report"),
+                epoch as u64,
+            );
+        }
+        let acked = session.send_stream(&stream, 512).expect("clean stream");
+        assert_eq!(acked as usize, users_per_epoch);
+        session.seal_epoch().expect("seal over the wire");
+
+        let after = session.metrics().expect("METRICS over the wire");
+        let mut delta = after.clone();
+        delta
+            .subtract(&before)
+            .expect("later snapshot minus earlier is exact");
+        println!(
+            "{epoch:>6}  {:>8}  {:>12}  {:>14}  {:>12.0}",
+            delta.counter(names::NET_FRAMES_ABSORBED).unwrap_or(0),
+            delta.counter(names::WAL_RECORDS).unwrap_or(0),
+            delta
+                .histo(names::SHARD_ABSORB_NS)
+                .map_or(0, |h| h.quantile_bound(0.99)),
+            delta.histo(names::NET_REPORT_NS).map_or(0.0, |h| h.mean()),
+        );
+        before = after;
+    }
+
+    // A query, then the three exposition surfaces.
+    let median = session.quantile(0.5).expect("quantile");
+    println!("\n# median after {epochs} epochs: {}", median.index());
+
+    // 1. Legacy STATUS: byte-identical to the pre-metrics wire format.
+    let status = session.status().expect("status");
+    assert!(status.metrics.is_none(), "plain STATUS stays legacy");
+    // 2. Verbose STATUS: the same counters plus the full metrics section.
+    let verbose = session.status_full().expect("verbose status");
+    let embedded = verbose.metrics.expect("verbose STATUS embeds metrics");
+    assert_eq!(
+        embedded.counter(names::NET_FRAMES_ABSORBED),
+        Some((epochs * users_per_epoch) as u64)
+    );
+    // 3. The dedicated METRICS message (works even before HELLO).
+    let live = session.metrics().expect("metrics");
+    println!(
+        "# exposition: STATUS legacy ({} frames), STATUS verbose (+{} metrics), METRICS ({} metrics)",
+        status.frames_absorbed,
+        embedded.len(),
+        live.len()
+    );
+
+    session.bye().expect("clean close");
+    let stats = server.shutdown();
+    assert_eq!(stats.frames_absorbed, (epochs * users_per_epoch) as u64);
+
+    // The operator views: plain text and JSON, straight off the registry.
+    println!("\n# registry.render() ——————————————————————————————");
+    print!("{}", registry.render());
+    let json = registry.render_json();
+    println!("# registry.render_json(): {} bytes of JSON", json.len());
+
+    // The trace ring: the last few structured session events.
+    let events = trace.events();
+    println!(
+        "\n# trace ring: {} events recorded, tail:",
+        trace.recorded()
+    );
+    for (ticket, event) in events.iter().rev().take(5).rev() {
+        println!(
+            "#   [{ticket:>4}] session {} msg 0x{:02x} {:?} {} ns",
+            event.session, event.msg_type, event.outcome, event.ns
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
