@@ -15,8 +15,10 @@
 //!
 //! * `*_per_sec` — throughput, higher is better: fail when
 //!   `fresh < baseline · (1 − tolerance)`.
-//! * `*_ns` — cost, lower is better: fail when
-//!   `fresh > baseline · (1 + tolerance)`.
+//! * `*_sessions` — capacity (concurrent sessions held), higher is
+//!   better, same rule as throughput.
+//! * `*_ns` / `*_us` — cost (latency in nanoseconds or microseconds),
+//!   lower is better: fail when `fresh > baseline · (1 + tolerance)`.
 //! * anything else — context (shard counts, epoch counts): never gated.
 //!
 //! The default tolerance is deliberately loose (30%) because CI runners
@@ -187,8 +189,8 @@ pub fn gate(
     baseline
         .iter()
         .map(|(name, &base)| {
-            let higher_is_better = name.ends_with("_per_sec");
-            let lower_is_better = name.ends_with("_ns");
+            let higher_is_better = name.ends_with("_per_sec") || name.ends_with("_sessions");
+            let lower_is_better = name.ends_with("_ns") || name.ends_with("_us");
             let current = fresh.get(name).copied();
             let verdict = match current {
                 _ if !higher_is_better && !lower_is_better => Verdict::Ungated,
@@ -337,6 +339,48 @@ mod tests {
         let base = metrics(&[("seal_mean_ns", 5_000.0)]);
         let rows = gate(&base, &metrics(&[("seal_mean_ns", 0.0)]), 0.30);
         assert!(matches!(rows[0].verdict, Verdict::Regressed(_)));
+    }
+
+    #[test]
+    fn gate_directions_cover_all_four_suffixes() {
+        let base = metrics(&[
+            ("net_concurrent_sessions", 10_000.0),
+            ("net_concurrent_p99_reply_us", 2_000.0),
+        ]);
+        // Holding fewer sessions or replying slower both fail.
+        let rows = gate(
+            &base,
+            &metrics(&[
+                ("net_concurrent_sessions", 5_000.0),
+                ("net_concurrent_p99_reply_us", 9_000.0),
+            ]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(rows
+            .iter()
+            .all(|r| matches!(r.verdict, Verdict::Regressed(_))));
+        // More sessions and faster replies both pass.
+        let rows = gate(
+            &base,
+            &metrics(&[
+                ("net_concurrent_sessions", 20_000.0),
+                ("net_concurrent_p99_reply_us", 500.0),
+            ]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(rows.iter().all(|r| matches!(r.verdict, Verdict::Ok)));
+        // A zero p99 is a broken measurement, same as a zero `_ns` cost.
+        let rows = gate(
+            &base,
+            &metrics(&[
+                ("net_concurrent_sessions", 10_000.0),
+                ("net_concurrent_p99_reply_us", 0.0),
+            ]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed(_))));
     }
 
     #[test]

@@ -11,14 +11,17 @@
 //! differential tests in `tests/net_differential.rs` hold it to that.
 //!
 //! ```text
-//!   LdpClient ── TCP ──► acceptor ──► bounded queue ──► worker pool
-//!   (HELLO,                                             (sessions)
-//!    REPORT×n,                                              │ decode +
-//!    QUERY,                                                 ▼ submit_batch
-//!    SEAL, BYE)                               LdpService / EpochRing
-//!                                                           │ freeze
-//!                                                           ▼
-//!                                        RangeSnapshot / WindowedSnapshot
+//!   LdpClient ── TCP ──► reactor thread (epoll / portable poller)
+//!   (HELLO,              │  non-blocking accept
+//!    REPORT×n,           │  per-session read/write buffers + framing
+//!    QUERY,              ▼
+//!    SEAL, BYE)      job queue ──► worker pool ──► completions
+//!                    (decoded        │ decode +        │ replies
+//!                     batches)       ▼ submit_batch    ▼ (vectored
+//!                        LdpService / EpochRing     reactor  writes)
+//!                                    │ freeze
+//!                                    ▼
+//!                 RangeSnapshot / WindowedSnapshot
 //! ```
 //!
 //! * [`proto`] — the length-prefixed session protocol layered on the
@@ -30,12 +33,18 @@
 //!   sealed epochs), and SEAL/BYE control. Decoding is total: hostile
 //!   bytes produce typed errors, never a panic, and declared lengths are
 //!   capped before any allocation.
-//! * [`server`] — [`LdpServer`]: one acceptor thread feeding a bounded
-//!   connection queue (backpressure, not unbounded fan-in) drained by a
-//!   worker pool that runs sessions against a shared [`crate::LdpService`]
-//!   (plain or windowed). Queries answer from snapshots and never block
-//!   ingestion; graceful shutdown drains queued work, seals the open
-//!   epoch on windowed backends, and joins every thread.
+//! * [`server`] — [`LdpServer`]: one reactor thread owns every socket
+//!   through a readiness poller (a thin std-only `epoll` wrapper on
+//!   Linux, a portable tick-based fallback elsewhere), keeps per-session
+//!   partial-read/partial-write buffers over the framing, and hands
+//!   batches of complete messages to a small worker pool that executes
+//!   them against a shared [`crate::LdpService`] (plain or windowed) —
+//!   so a session costs a file descriptor, not an OS thread, and
+//!   pipelined clients are served without a round trip per message.
+//!   Queries answer from snapshots and never block ingestion; graceful
+//!   shutdown drains in-flight work with bounded patience for stalled
+//!   peers, seals the open epoch on windowed backends, and joins every
+//!   thread.
 //! * [`client`] — [`LdpClient`]: the blocking client used by the tests,
 //!   `examples/net_pipeline.rs`, the socket replay path over
 //!   [`crate::EncodedStream`], and the `net_throughput` benchmark.
@@ -50,7 +59,9 @@
 //! path adds transport, not semantics.
 
 pub mod client;
+mod poll;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
 
 use std::fmt;
@@ -58,6 +69,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use client::LdpClient;
+pub use poll::raise_nofile_limit;
 pub use proto::{
     DurableProgress, ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError,
     StatusReply, METRICS_VERSION, WIRE_EPOCH, WIRE_V1,
@@ -71,19 +83,31 @@ use crate::obs::{MetricsRegistry, TraceRing};
 /// laptop-scale benchmarks; a deployment raises `workers`/`queue_depth`.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
-    /// Session worker threads — the bound on concurrently served
-    /// connections.
+    /// Execution worker threads — the bound on *concurrently executing*
+    /// messages, not on open sessions (the reactor holds as many
+    /// sessions as the process has file descriptors).
     pub workers: usize,
-    /// Bounded depth of the accepted-connection queue; when full the
-    /// acceptor blocks (backpressure) instead of queueing unboundedly.
+    /// Bound on message batches in flight between the reactor and the
+    /// worker pool; sessions beyond it keep their messages queued
+    /// (backpressure) instead of fanning in unboundedly.
     pub queue_depth: usize,
-    /// Read-timeout tick used by session loops to poll the shutdown flag
-    /// while idle.
+    /// Reactor poll tick — bounds how stale the shutdown flag and the
+    /// idle/drain clocks can get.
     pub idle_poll: Duration,
-    /// Consecutive idle ticks tolerated *mid-message* once shutdown has
-    /// begun, before the connection is abandoned — bounds how long a
-    /// half-sent message from a stalled client can delay drain.
+    /// Ticks of `idle_poll` tolerated without a byte of progress
+    /// *mid-message or mid-flush* once shutdown has begun, before the
+    /// connection is abandoned — bounds how long a half-sent message
+    /// from a stalled client can delay drain.
     pub drain_patience: u32,
+    /// Evict sessions that have been fully idle (no request in flight,
+    /// nothing buffered either way) for longer than this, answering
+    /// with a typed [`ErrorCode::IdleTimeout`] error before closing.
+    /// `None` (the default) keeps idle sessions forever.
+    pub idle_timeout: Option<Duration>,
+    /// Force the portable tick-based poller even where the `epoll`
+    /// backend is available — the path non-Linux builds run, kept
+    /// selectable so Linux CI exercises it too.
+    pub portable_poller: bool,
     /// Metrics registry the server instruments itself into. `None` (the
     /// default) creates a private registry — except for durable backends,
     /// which share the registry their storage layer already registered
@@ -102,6 +126,8 @@ impl Default for NetConfig {
             queue_depth: 64,
             idle_poll: Duration::from_millis(20),
             drain_patience: 50,
+            idle_timeout: None,
+            portable_poller: false,
             registry: None,
             trace: None,
         }

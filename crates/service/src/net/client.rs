@@ -56,11 +56,36 @@ impl LdpClient {
         }
     }
 
+    /// Like [`LdpClient::connect`], with an explicit reply read timeout
+    /// — the hook the slow-client and idle-eviction tests use to wait
+    /// longer (or shorter) than the 10-second default.
+    ///
+    /// # Errors
+    ///
+    /// As [`LdpClient::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        hello: Hello,
+        read_timeout: Duration,
+    ) -> Result<Self, NetError> {
+        let client = Self::connect(addr, hello)?;
+        client.stream.set_read_timeout(Some(read_timeout))?;
+        Ok(client)
+    }
+
     /// The negotiated session parameters, including the server's snapshot
     /// domain.
     #[must_use]
     pub fn negotiated(&self) -> HelloOk {
         self.negotiated
+    }
+
+    /// Surrenders the underlying stream with the handshake already done —
+    /// the hook tests use to speak raw protocol bytes (pipelined
+    /// envelopes, half-written frames) over a negotiated session.
+    #[must_use]
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
     }
 
     /// Sends one batch of already-encoded frames (`count` back-to-back

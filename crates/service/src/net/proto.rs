@@ -350,6 +350,9 @@ pub enum ErrorCode {
     /// request was valid but could not be served durably; retry after
     /// the operator clears the fault.
     Internal,
+    /// The session sat idle past the server's configured idle timeout
+    /// and was evicted; reconnect to continue.
+    IdleTimeout,
 }
 
 impl ErrorCode {
@@ -367,6 +370,7 @@ impl ErrorCode {
             Self::BadState => 9,
             Self::ShuttingDown => 10,
             Self::Internal => 11,
+            Self::IdleTimeout => 12,
         }
     }
 
@@ -384,6 +388,7 @@ impl ErrorCode {
             9 => Self::BadState,
             10 => Self::ShuttingDown,
             11 => Self::Internal,
+            12 => Self::IdleTimeout,
             _ => return Err(WireError::Malformed("unknown error code")),
         })
     }

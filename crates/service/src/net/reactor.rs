@@ -1,0 +1,807 @@
+//! The readiness-driven session engine behind [`crate::net::LdpServer`].
+//!
+//! One reactor thread owns every socket: it accepts non-blocking
+//! connections, accumulates partial reads into per-session buffers,
+//! slices complete length-prefixed envelopes out of them, and hands
+//! *batches* of decoded message bodies to a small worker pool (the
+//! [`JobQueue`]) that executes them against the shared backend. Workers
+//! never touch sockets: each finished [`Job`] comes back as a [`JobDone`]
+//! carrying encoded replies, which the reactor flushes with vectored
+//! writes through per-session output queues. A session therefore costs
+//! one file descriptor and a few buffers — not an OS thread — which is
+//! what moves the node's session ceiling from worker-pool width to the
+//! file-descriptor limit.
+//!
+//! Ordering: at most one job per session is in flight at a time, and a
+//! job carries the session's queued messages in arrival order, so replies
+//! are generated and flushed in exactly the order a blocking
+//! request-reply loop would have produced — pipelined clients just stop
+//! paying a round trip per message.
+//!
+//! Backpressure: a session whose inbox (parsed-but-undispatched
+//! messages) or output queue grows past its cap has read interest
+//! dropped until the backlog drains, and the number of in-flight jobs is
+//! bounded by the configured queue depth — fan-in is bounded at every
+//! stage, never unbounded.
+
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::net::poll::{Event, Interest, Poller, TOKEN_LISTENER};
+use crate::net::proto::{ErrorCode, Hello, RemoteError, ServerMsg, MAX_MESSAGE_BYTES};
+use crate::obs::instruments::NetInstruments;
+use crate::obs::{TraceEvent, TraceOutcome, TraceRing};
+
+/// Parsed-but-undispatched messages a session may hold before its read
+/// interest is shed (per-session pipelining bound).
+const INBOX_CAP: usize = 32;
+/// Output-queue bytes a session may hold before its read interest is
+/// shed — a peer that stops reading its replies stops being read.
+const OUT_SOFT_CAP: usize = 8 * 1024 * 1024;
+/// Reply chunks gathered into one vectored write.
+const MAX_IOV: usize = 64;
+/// Stack scratch for one read syscall.
+const READ_CHUNK: usize = 16 * 1024;
+/// How long accepting pauses after a hard accept failure (EMFILE and
+/// friends) — the listener is deregistered for the pause so a
+/// level-triggered poller does not busy-loop on the still-pending
+/// connection.
+const ACCEPT_PAUSE: Duration = Duration::from_millis(50);
+
+/// Wraps an encoded message body in the 4-byte little-endian length
+/// envelope the session protocol frames everything with.
+pub(crate) fn envelope(body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&u32::try_from(body.len()).unwrap_or(u32::MAX).to_le_bytes());
+    buf.extend_from_slice(body);
+    buf
+}
+
+/// A batch of complete message bodies from one session, executed by a
+/// worker against the backend. An empty body is the hostile-envelope
+/// sentinel (declared length zero or over the cap): the executor answers
+/// it with a typed protocol error and closes, mirroring the blocking
+/// engine's behavior byte for byte.
+pub(crate) struct Job {
+    /// Slab token of the originating session.
+    pub token: u64,
+    /// Trace-facing session id.
+    pub session: u64,
+    /// Negotiated handshake state at dispatch time.
+    pub hello: Option<Hello>,
+    /// Message bodies in arrival order.
+    pub bodies: Vec<Vec<u8>>,
+}
+
+/// What a worker hands back after executing a [`Job`].
+pub(crate) struct JobDone {
+    /// Slab token of the originating session.
+    pub token: u64,
+    /// Handshake state after the batch (a HELLO inside the batch
+    /// upgrades it).
+    pub hello: Option<Hello>,
+    /// Encoded reply bodies in order; the reactor envelopes and flushes
+    /// them.
+    pub replies: Vec<Vec<u8>>,
+    /// Close the session once the replies are flushed (BYE, fatal
+    /// protocol error, failed handshake).
+    pub close: bool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocking MPMC handoff from the reactor to the worker pool. `pop`
+/// blocks until a job arrives or the queue closes; closing drains
+/// nothing (the reactor only closes after in-flight work hit zero).
+pub(crate) struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn push(&self, job: Job) {
+        lock(&self.state).0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut s = lock(&self.state);
+        loop {
+            if let Some(job) = s.0.pop_front() {
+                return Some(job);
+            }
+            if s.1 {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        lock(&self.state).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between the reactor thread, the worker pool, and the
+/// server handle: the job handoff, the completion mailbox, the poller
+/// (whose `wake` is the completion doorbell), and the shutdown flag.
+pub(crate) struct ReactorShared {
+    /// Reactor → workers.
+    pub jobs: JobQueue,
+    /// Workers → reactor; unbounded so a worker can never deadlock
+    /// against a full completion channel while the reactor is blocked.
+    pub completions: Mutex<Vec<JobDone>>,
+    /// The readiness source; also the reactor's doorbell.
+    pub poller: Poller,
+    /// Set by [`crate::net::LdpServer::shutdown`]; flips the reactor
+    /// into its drain loop.
+    pub shutdown: AtomicBool,
+}
+
+impl ReactorShared {
+    /// Delivers a finished job back to the reactor and rings it.
+    pub(crate) fn complete(&self, done: JobDone) {
+        lock(&self.completions).push(done);
+        self.poller.wake();
+    }
+}
+
+/// Reactor tuning derived from [`crate::net::NetConfig`].
+pub(crate) struct ReactorKnobs {
+    /// Poll tick — bounds how stale the shutdown flag and idle clocks
+    /// can get.
+    pub idle_poll: Duration,
+    /// Mid-message patience during drain, in ticks of `idle_poll`.
+    pub drain_patience: u32,
+    /// Evict sessions quiescent for longer than this (off when `None`).
+    pub idle_timeout: Option<Duration>,
+    /// Max jobs in flight across all sessions.
+    pub inflight_cap: usize,
+}
+
+struct Session {
+    stream: TcpStream,
+    /// Trace-facing id (monotonic accept order).
+    id: u64,
+    /// Partial-read accumulator: raw bytes, possibly mid-envelope.
+    inbuf: Vec<u8>,
+    /// Complete message bodies awaiting dispatch.
+    inbox: VecDeque<Vec<u8>>,
+    /// Enveloped replies awaiting flush.
+    outq: VecDeque<Vec<u8>>,
+    /// Bytes of `outq[0]` already written.
+    out_head: usize,
+    /// Total bytes queued in `outq` (backpressure accounting).
+    out_bytes: usize,
+    /// Negotiated handshake, updated from [`JobDone`].
+    hello: Option<Hello>,
+    /// A job for this session is in flight.
+    busy: bool,
+    /// Close once `outq` flushes (BYE, fatal error, idle eviction).
+    closing: bool,
+    /// Read side saw EOF, a read error, or a hostile envelope.
+    read_gone: bool,
+    /// Write side failed; nothing further can be delivered.
+    write_dead: bool,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// Last byte received (idle-eviction clock).
+    last_rx: Instant,
+    /// Last byte moved either way (drain-patience clock).
+    progress_at: Instant,
+}
+
+impl Session {
+    fn quiescent(&self) -> bool {
+        !self.busy
+            && self.inbox.is_empty()
+            && self.inbuf.is_empty()
+            && self.outq.is_empty()
+            && !self.closing
+    }
+}
+
+struct Slot {
+    gen: u32,
+    sess: Option<Session>,
+}
+
+fn token_of(gen: u32, idx: usize) -> u64 {
+    (u64::from(gen) << 32) | idx as u64
+}
+
+/// The reactor thread's state. Constructed by the server, consumed by
+/// [`Reactor::run`] on a dedicated thread.
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    shared: Arc<ReactorShared>,
+    knobs: ReactorKnobs,
+    obs: NetInstruments,
+    trace: Option<Arc<TraceRing>>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    open: usize,
+    inflight: usize,
+    next_id: u64,
+    /// `Some(deadline)` while accepting is paused after a hard accept
+    /// error; the listener is re-registered once the deadline passes.
+    accept_paused_until: Option<Instant>,
+    listener_registered: bool,
+}
+
+impl Reactor {
+    /// Wires a reactor over an already-bound non-blocking listener and
+    /// registers it with the poller.
+    pub(crate) fn new(
+        listener: TcpListener,
+        shared: Arc<ReactorShared>,
+        knobs: ReactorKnobs,
+        obs: NetInstruments,
+        trace: Option<Arc<TraceRing>>,
+    ) -> std::io::Result<Self> {
+        shared
+            .poller
+            .register(&listener, TOKEN_LISTENER, Interest::READ)?;
+        Ok(Self {
+            listener,
+            shared,
+            knobs,
+            obs,
+            trace,
+            slots: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            inflight: 0,
+            next_id: 0,
+            accept_paused_until: None,
+            listener_registered: true,
+        })
+    }
+
+    /// The event loop. Runs until shutdown has been requested *and*
+    /// every session is torn down with no job in flight, then closes the
+    /// job queue so the workers exit.
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let draining = self
+                .shared
+                .shutdown
+                .load(std::sync::atomic::Ordering::SeqCst);
+            if draining {
+                self.unregister_listener();
+            } else {
+                self.maybe_resume_accepting();
+            }
+            self.shared
+                .poller
+                .wait(&mut events, Some(self.knobs.idle_poll));
+            let done = std::mem::take(&mut *lock(&self.shared.completions));
+            for d in done {
+                self.apply(d);
+            }
+            for &ev in &events {
+                if ev.token == TOKEN_LISTENER {
+                    if !draining {
+                        self.accept_ready();
+                    }
+                } else {
+                    self.session_event(ev);
+                }
+            }
+            self.dispatch_ready();
+            if draining {
+                self.drain_tick();
+                if self.open == 0 && self.inflight == 0 {
+                    break;
+                }
+            } else if self.knobs.idle_timeout.is_some() {
+                self.evict_idle();
+            }
+        }
+        self.shared.jobs.close();
+    }
+
+    fn unregister_listener(&mut self) {
+        if self.listener_registered {
+            self.shared
+                .poller
+                .deregister(&self.listener, TOKEN_LISTENER);
+            self.listener_registered = false;
+        }
+    }
+
+    fn maybe_resume_accepting(&mut self) {
+        if let Some(deadline) = self.accept_paused_until {
+            if Instant::now() >= deadline {
+                match self
+                    .shared
+                    .poller
+                    .register(&self.listener, TOKEN_LISTENER, Interest::READ)
+                {
+                    Ok(()) => {
+                        self.accept_paused_until = None;
+                        self.listener_registered = true;
+                    }
+                    Err(_) => {
+                        self.accept_paused_until = Some(Instant::now() + ACCEPT_PAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener would block. A hard failure (EMFILE
+    /// under fd pressure being the realistic one) pauses accepting for
+    /// [`ACCEPT_PAUSE`] instead of spinning on a level-triggered
+    /// readiness that cannot be consumed.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.unregister_listener();
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_PAUSE);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            // Counted as a served-and-closed session so opened == closed
+            // stays an invariant (the blocking engine did the same for a
+            // connection that failed socket setup).
+            self.obs.sessions_opened.incr();
+            self.obs.sessions_closed.incr();
+            return;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot { gen: 0, sess: None });
+            self.slots.len() - 1
+        });
+        let gen = self.slots[idx].gen;
+        let token = token_of(gen, idx);
+        debug_assert!(token < TOKEN_WAKE_GUARD, "slab token hit a reserved value");
+        if self
+            .shared
+            .poller
+            .register(&stream, token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(idx);
+            self.obs.sessions_opened.incr();
+            self.obs.sessions_closed.incr();
+            return;
+        }
+        let now = Instant::now();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots[idx].sess = Some(Session {
+            stream,
+            id,
+            inbuf: Vec::new(),
+            inbox: VecDeque::new(),
+            outq: VecDeque::new(),
+            out_head: 0,
+            out_bytes: 0,
+            hello: None,
+            busy: false,
+            closing: false,
+            read_gone: false,
+            write_dead: false,
+            registered: Interest::READ,
+            last_rx: now,
+            progress_at: now,
+        });
+        self.open += 1;
+        self.obs.sessions_opened.incr();
+        self.obs.sessions_open.set(self.open as u64);
+    }
+
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let idx = usize::try_from(token & 0xFFFF_FFFF).ok()?;
+        let gen = u32::try_from(token >> 32).ok()?;
+        let slot = self.slots.get(idx)?;
+        (slot.gen == gen && slot.sess.is_some()).then_some(idx)
+    }
+
+    fn session_event(&mut self, ev: Event) {
+        let Some(idx) = self.resolve(ev.token) else {
+            // Stale token: the session was torn down after the event was
+            // harvested (or the slot was even reused — the generation
+            // tag is what makes reuse safe to ignore).
+            return;
+        };
+        if ev.readable {
+            self.do_read(idx);
+        }
+        if self.slots[idx].sess.is_some() && ev.writable {
+            self.do_flush(idx);
+        }
+        if self.slots[idx].sess.is_some() {
+            self.update_interest(idx);
+            self.maybe_teardown(idx);
+        }
+    }
+
+    /// Drains the socket into the session's partial-read buffer, then
+    /// slices complete envelopes out of it.
+    fn do_read(&mut self, idx: usize) {
+        {
+            let s = self.slots[idx].sess.as_mut().expect("resolved session");
+            let mut buf = [0u8; READ_CHUNK];
+            loop {
+                if s.read_gone || s.closing {
+                    break;
+                }
+                // Backpressure: stop pulling bytes while the inbox or
+                // output queue is saturated; interest recomputation will
+                // also shed read readiness until the backlog drains.
+                if s.inbox.len() >= INBOX_CAP || s.out_bytes >= OUT_SOFT_CAP {
+                    break;
+                }
+                match s.stream.read(&mut buf) {
+                    Ok(0) => {
+                        s.read_gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        s.inbuf.extend_from_slice(&buf[..n]);
+                        let now = Instant::now();
+                        s.last_rx = now;
+                        s.progress_at = now;
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        s.read_gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.parse_inbuf(idx);
+    }
+
+    /// Extracts complete envelopes into the inbox. A hostile declared
+    /// length (zero or over the cap) enqueues the empty-body sentinel —
+    /// sequenced *after* every previously queued message, exactly where
+    /// the blocking engine would have tripped over it — and stops the
+    /// read side for good.
+    fn parse_inbuf(&mut self, idx: usize) {
+        let (mut in_bytes, mut hw) = (0u64, 0u64);
+        {
+            let s = self.slots[idx].sess.as_mut().expect("resolved session");
+            let mut off = 0;
+            while !s.closing && s.inbox.len() < INBOX_CAP {
+                let rest = &s.inbuf[off..];
+                if rest.len() < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                if len == 0 || len > MAX_MESSAGE_BYTES {
+                    s.inbox.push_back(Vec::new());
+                    s.read_gone = true;
+                    s.inbuf.clear();
+                    off = 0;
+                    break;
+                }
+                if rest.len() < 4 + len {
+                    break;
+                }
+                s.inbox.push_back(rest[4..4 + len].to_vec());
+                // Envelope + body, counted once decoded off the socket —
+                // same accounting point as the blocking engine.
+                in_bytes += 4 + len as u64;
+                off += 4 + len;
+            }
+            if off > 0 {
+                s.inbuf.drain(..off);
+            }
+            hw = hw.max(s.inbox.len() as u64);
+        }
+        if in_bytes > 0 {
+            self.obs.bytes_in.add(in_bytes);
+        }
+        self.obs.queue_depth_hw.record_max(hw);
+    }
+
+    /// Flushes the output queue with vectored writes until it would
+    /// block or empties.
+    fn do_flush(&mut self, idx: usize) {
+        let mut out_bytes = 0u64;
+        {
+            let s = self.slots[idx].sess.as_mut().expect("resolved session");
+            while !s.outq.is_empty() && !s.write_dead {
+                let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(s.outq.len().min(MAX_IOV));
+                for (k, chunk) in s.outq.iter().take(MAX_IOV).enumerate() {
+                    let from = if k == 0 { s.out_head } else { 0 };
+                    iov.push(IoSlice::new(&chunk[from..]));
+                }
+                match s.stream.write_vectored(&iov) {
+                    Ok(0) => {
+                        s.write_dead = true;
+                    }
+                    Ok(mut n) => {
+                        out_bytes += n as u64;
+                        s.out_bytes -= n.min(s.out_bytes);
+                        s.progress_at = Instant::now();
+                        while n > 0 {
+                            let rem = s.outq[0].len() - s.out_head;
+                            if n >= rem {
+                                n -= rem;
+                                s.out_head = 0;
+                                s.outq.pop_front();
+                            } else {
+                                s.out_head += n;
+                                n = 0;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        s.write_dead = true;
+                    }
+                }
+            }
+        }
+        if out_bytes > 0 {
+            self.obs.bytes_out.add(out_bytes);
+        }
+    }
+
+    /// Recomputes and (only when changed) re-registers poller interest.
+    fn update_interest(&mut self, idx: usize) {
+        let token = token_of(self.slots[idx].gen, idx);
+        let Some(s) = self.slots[idx].sess.as_mut() else {
+            return;
+        };
+        let read = !s.read_gone
+            && !s.closing
+            && !s.write_dead
+            && s.inbox.len() < INBOX_CAP
+            && s.out_bytes < OUT_SOFT_CAP;
+        let write = !s.outq.is_empty() && !s.write_dead;
+        let want = Interest { read, write };
+        if want == s.registered {
+            return;
+        }
+        match self.shared.poller.reregister(&s.stream, token, want) {
+            Ok(()) => s.registered = want,
+            Err(_) => {
+                // The fd is unusable; mark both sides dead so the next
+                // teardown check reclaims the session.
+                s.read_gone = true;
+                s.write_dead = true;
+            }
+        }
+    }
+
+    /// Hands a ready session's queued messages to the worker pool — the
+    /// whole inbox as one job, one job in flight per session.
+    fn dispatch_ready(&mut self) {
+        for idx in 0..self.slots.len() {
+            if self.inflight >= self.knobs.inflight_cap {
+                break;
+            }
+            let gen = self.slots[idx].gen;
+            let Some(s) = self.slots[idx].sess.as_mut() else {
+                continue;
+            };
+            if s.busy || s.closing || s.write_dead || s.inbox.is_empty() {
+                continue;
+            }
+            let bodies: Vec<Vec<u8>> = s.inbox.drain(..).collect();
+            s.busy = true;
+            let job = Job {
+                token: token_of(gen, idx),
+                session: s.id,
+                hello: s.hello,
+                bodies,
+            };
+            self.inflight += 1;
+            self.shared.jobs.push(job);
+        }
+    }
+
+    /// Applies one finished job: reply enqueue, handshake upgrade,
+    /// close-after-flush, then an immediate flush attempt and a fresh
+    /// look at the inbox (bytes may have queued behind the cap).
+    fn apply(&mut self, done: JobDone) {
+        self.inflight -= 1;
+        let Some(idx) = self.resolve(done.token) else {
+            return;
+        };
+        {
+            let s = self.slots[idx].sess.as_mut().expect("resolved session");
+            s.busy = false;
+            s.hello = done.hello;
+            s.closing |= done.close;
+            for body in &done.replies {
+                let env = envelope(body);
+                s.out_bytes += env.len();
+                s.outq.push_back(env);
+            }
+        }
+        self.parse_inbuf(idx);
+        self.do_flush(idx);
+        self.update_interest(idx);
+        self.maybe_teardown(idx);
+    }
+
+    /// Tears the session down when nothing further can or should happen:
+    /// a protocol-initiated close whose replies flushed (or whose peer
+    /// stopped reading), a dead write side, or a gone read side with no
+    /// work left.
+    fn maybe_teardown(&mut self, idx: usize) {
+        let Some(s) = self.slots[idx].sess.as_ref() else {
+            return;
+        };
+        if s.busy {
+            return;
+        }
+        let flushed = s.outq.is_empty();
+        let done = s.write_dead
+            || (s.closing && flushed)
+            || (s.read_gone && s.inbox.is_empty() && flushed);
+        if done {
+            self.teardown(idx);
+        }
+    }
+
+    fn teardown(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        let s = slot.sess.take().expect("teardown of a live session");
+        let token = token_of(slot.gen, idx);
+        slot.gen = slot.gen.wrapping_add(1);
+        self.shared.poller.deregister(&s.stream, token);
+        // A peer-initiated end (EOF or read error, not a BYE/ERROR close
+        // we decided on) is the Disconnect trace event.
+        if s.read_gone && !s.closing {
+            if let Some(trace) = &self.trace {
+                trace.record(TraceEvent {
+                    session: s.id,
+                    msg_type: 0,
+                    outcome: TraceOutcome::Disconnect,
+                    ns: 0,
+                });
+            }
+        }
+        drop(s);
+        self.free.push(idx);
+        self.open -= 1;
+        self.obs.sessions_closed.incr();
+        self.obs.sessions_open.set(self.open as u64);
+    }
+
+    /// One drain sweep: quiescent sessions close immediately (the
+    /// blocking engine closed them at their next idle tick); sessions
+    /// with a half-received message or unflushed replies get bounded
+    /// patience — `drain_patience` ticks without a byte of progress and
+    /// they are abandoned, so a stalled peer cannot hold shutdown
+    /// hostage.
+    fn drain_tick(&mut self) {
+        let patience = self
+            .knobs
+            .idle_poll
+            .saturating_mul(self.knobs.drain_patience.max(1));
+        for idx in 0..self.slots.len() {
+            let Some(s) = self.slots[idx].sess.as_ref() else {
+                continue;
+            };
+            if s.busy || !s.inbox.is_empty() {
+                continue;
+            }
+            let quiescent = s.outq.is_empty() && s.inbuf.is_empty() && !s.closing;
+            if quiescent || s.progress_at.elapsed() > patience {
+                self.teardown(idx);
+            }
+        }
+    }
+
+    /// Evicts sessions that have been fully quiescent past the idle
+    /// timeout: a typed `IdleTimeout` error is queued, the session
+    /// closes once it flushes, and the eviction never races a request —
+    /// busy or backlogged sessions are by definition not idle.
+    fn evict_idle(&mut self) {
+        let Some(timeout) = self.knobs.idle_timeout else {
+            return;
+        };
+        for idx in 0..self.slots.len() {
+            let evict = match self.slots[idx].sess.as_ref() {
+                Some(s) => s.quiescent() && s.last_rx.elapsed() > timeout,
+                None => false,
+            };
+            if !evict {
+                continue;
+            }
+            {
+                let s = self.slots[idx].sess.as_mut().expect("resolved session");
+                let body = ServerMsg::Error(RemoteError::new(
+                    ErrorCode::IdleTimeout,
+                    None,
+                    format!("session idle past the {}ms timeout", timeout.as_millis()),
+                ))
+                .encode();
+                let env = envelope(&body);
+                s.out_bytes += env.len();
+                s.outq.push_back(env);
+                s.closing = true;
+            }
+            self.do_flush(idx);
+            self.update_interest(idx);
+            self.maybe_teardown(idx);
+        }
+    }
+}
+
+/// Guard bound for slab tokens: both reserved tokens live at the very
+/// top of the `u64` space, unreachable for any realistic slab.
+const TOKEN_WAKE_GUARD: u64 = u64::MAX - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_prefixes_length_little_endian() {
+        let env = envelope(&[0xAA, 0xBB, 0xCC]);
+        assert_eq!(env, vec![3, 0, 0, 0, 0xAA, 0xBB, 0xCC]);
+    }
+
+    #[test]
+    fn job_queue_pops_in_order_and_drains_after_close() {
+        let q = JobQueue::new();
+        for k in 0..3u64 {
+            q.push(Job {
+                token: k,
+                session: k,
+                hello: None,
+                bodies: Vec::new(),
+            });
+        }
+        q.close();
+        assert_eq!(q.pop().map(|j| j.token), Some(0));
+        assert_eq!(q.pop().map(|j| j.token), Some(1));
+        assert_eq!(q.pop().map(|j| j.token), Some(2));
+        assert!(q.pop().is_none());
+
+        // A closed queue unblocks waiting poppers.
+        let q = std::sync::Arc::new(JobQueue::new());
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().is_none());
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn token_packing_round_trips() {
+        let t = token_of(7, 42);
+        assert_eq!(t & 0xFFFF_FFFF, 42);
+        assert_eq!(t >> 32, 7);
+        assert!(t < TOKEN_WAKE_GUARD);
+    }
+}

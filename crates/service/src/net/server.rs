@@ -1,45 +1,48 @@
-//! [`LdpServer`] — the threaded TCP acceptor + worker pool serving the
-//! session protocol against a shared [`LdpService`].
+//! [`LdpServer`] — the reactor-driven TCP front end serving the session
+//! protocol against a shared [`LdpService`].
 //!
-//! One acceptor thread pushes connections onto a *bounded* queue (when it
-//! fills, accepting blocks — backpressure instead of unbounded fan-in); a
-//! pool of worker threads pops connections and runs their sessions to
-//! completion. Report batches land through the service's staged
-//! all-or-nothing batch paths, so a session is a pure transport: the
-//! state it leaves behind is bit-identical to calling
-//! [`LdpService::submit_frame`] in-process with the same frames.
+//! One reactor thread (the `net::reactor` module) owns every socket:
+//! non-blocking accept, per-session partial-read/partial-write buffers
+//! over the length-prefixed framing, and vectored reply writes. Complete
+//! message bodies are executed by a small worker pool against the shared
+//! backend — the worker count bounds CPU concurrency, not the session
+//! count, so a node holds as many sessions as it has file descriptors.
+//! Report batches land through the service's staged all-or-nothing batch
+//! paths, so a session is a pure transport: the state it leaves behind
+//! is bit-identical to calling [`LdpService::submit_frame`] in-process
+//! with the same frames.
 //!
-//! Shutdown is graceful and total: the acceptor stops taking connections,
-//! queued sessions are still served to completion, in-flight batches are
-//! absorbed and acked, every thread is joined (nothing leaks), the open
-//! epoch of a windowed backend is sealed, and a final snapshot is
-//! published. On a plain backend `num_reports` after shutdown equals
-//! exactly the number of frames the server acked — the drain contract
-//! the concurrency tests pin down. A windowed backend keeps its
-//! *retention* semantics through the drain: the final seal can rotate
-//! the oldest epoch out of the window, so `num_reports` counts the
-//! retained window (every acked frame is still accounted for in
-//! [`ServerStats::frames_absorbed`]).
+//! Shutdown is graceful and total: accepting stops, in-flight messages
+//! are executed and their replies flushed, half-received messages get
+//! bounded patience (a stalled peer cannot hold the drain hostage),
+//! every thread is joined (nothing leaks), the open epoch of a windowed
+//! backend is sealed, and a final snapshot is published. On a plain
+//! backend `num_reports` after shutdown equals exactly the number of
+//! frames the server acked — the drain contract the concurrency tests
+//! pin down. A windowed backend keeps its *retention* semantics through
+//! the drain: the final seal can rotate the oldest epoch out of the
+//! window, so `num_reports` counts the retained window (every acked
+//! frame is still accounted for in [`ServerStats::frames_absorbed`]).
 
-use std::collections::VecDeque;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
+use crate::net::poll::Poller;
 use crate::net::proto::{
     ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
-    RemoteError, ReportBatch, ServerMsg, StatusReply, MAX_MESSAGE_BYTES, MSG_METRICS, MSG_QUERY,
-    MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
+    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_METRICS, MSG_QUERY, MSG_REPORT, MSG_SEAL,
+    MSG_STATUS, WIRE_EPOCH, WIRE_V1,
 };
+use crate::net::reactor::{Job, JobDone, JobQueue, Reactor, ReactorKnobs, ReactorShared};
 use crate::net::{NetConfig, NetError};
 use crate::obs::instruments::NetInstruments;
-use crate::obs::{Gauge, MetricsRegistry, TraceEvent, TraceOutcome, TraceRing};
+use crate::obs::{MetricsRegistry, TraceEvent, TraceOutcome, TraceRing};
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::storage::store::decode_batch;
@@ -271,95 +274,6 @@ fn service_error(e: ServiceError) -> RemoteError {
     }
 }
 
-// --- bounded connection queue ------------------------------------------
-
-struct QueueState {
-    queue: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-/// A bounded MPMC handoff between the acceptor and the worker pool.
-/// `push` blocks while full (backpressure on accept); `pop` blocks while
-/// empty; `close` lets poppers drain what remains, then return `None`.
-struct ConnQueue {
-    state: Mutex<QueueState>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    cap: usize,
-    /// High-water mark of the queue depth — the registry gauge, updated
-    /// inline so the observed mark is exact, not sampled.
-    depth_hw: Arc<Gauge>,
-}
-
-impl ConnQueue {
-    fn new(cap: usize, depth_hw: Arc<Gauge>) -> Self {
-        Self {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            cap: cap.max(1),
-            depth_hw,
-        }
-    }
-
-    // Queue-state mutations are single operations on a VecDeque (push or
-    // pop), so a poisoned mutex still guards a consistent queue —
-    // recover instead of cascading the panic into every worker.
-    fn push(&self, conn: TcpStream) -> bool {
-        let mut s = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            if s.closed {
-                return false;
-            }
-            if s.queue.len() < self.cap {
-                s.queue.push_back(conn);
-                self.depth_hw.record_max(s.queue.len() as u64);
-                self.not_empty.notify_one();
-                return true;
-            }
-            s = self
-                .not_full
-                .wait(s)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    fn pop(&self) -> Option<TcpStream> {
-        let mut s = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            if let Some(conn) = s.queue.pop_front() {
-                self.not_full.notify_one();
-                return Some(conn);
-            }
-            if s.closed {
-                return None;
-            }
-            s = self
-                .not_empty
-                .wait(s)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    fn close(&self) {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-}
-
 // --- the server --------------------------------------------------------
 
 struct Shared<S>
@@ -368,17 +282,12 @@ where
     S::Report: WireReport,
 {
     backend: Backend<S>,
-    queue: ConnQueue,
-    shutdown: AtomicBool,
-    config: NetConfig,
     /// The one registry every tier behind this server reports into.
     registry: Arc<MetricsRegistry>,
     /// Net-tier instruments: the *single* accounting path — drain totals
     /// ([`ServerStats`]) and STATUS replies both read these counters.
     obs: NetInstruments,
     trace: Option<Arc<TraceRing>>,
-    /// Monotonic session-id source for trace events.
-    session_ids: AtomicU64,
 }
 
 /// What a drained server reports back from [`LdpServer::shutdown`].
@@ -418,8 +327,9 @@ where
     S::Report: WireReport,
 {
     shared: Arc<Shared<S>>,
+    rshared: Arc<ReactorShared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -478,8 +388,8 @@ where
     ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // Non-blocking accept + poll: the acceptor can observe the
-        // shutdown flag without needing a wake-up connection.
+        // The reactor owns the listener non-blocking; readiness comes
+        // from the poller, not accept timeouts.
         listener.set_nonblocking(true)?;
         // One registry for every tier behind this server. A durable
         // backend already carries the registry its storage layer (and
@@ -506,34 +416,49 @@ where
         let obs = NetInstruments::register(&registry);
         let shared = Arc::new(Shared {
             backend,
-            queue: ConnQueue::new(config.queue_depth, Arc::clone(&obs.queue_depth_hw)),
-            shutdown: AtomicBool::new(false),
-            config: config.clone(),
             registry,
-            obs,
+            obs: obs.clone(),
             trace: config.trace.clone(),
-            session_ids: AtomicU64::new(0),
         });
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ldp-net-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .map_err(NetError::Io)?
+        // The portable poller has no kernel readiness and sweeps on a
+        // tick instead; keep that tick well under the idle poll so
+        // request latency stays in the low milliseconds.
+        let tick = config.idle_poll.min(Duration::from_millis(1));
+        let rshared = Arc::new(ReactorShared {
+            jobs: JobQueue::new(),
+            completions: Mutex::new(Vec::new()),
+            poller: Poller::new(config.portable_poller, tick),
+            shutdown: AtomicBool::new(false),
+        });
+        let knobs = ReactorKnobs {
+            idle_poll: config.idle_poll,
+            drain_patience: config.drain_patience,
+            idle_timeout: config.idle_timeout,
+            inflight_cap: config.queue_depth.max(1),
         };
+        let reactor = Reactor::new(
+            listener,
+            Arc::clone(&rshared),
+            knobs,
+            obs,
+            config.trace.clone(),
+        )
+        .map_err(NetError::Io)?;
+        let reactor_handle = std::thread::Builder::new()
+            .name("ldp-net-reactor".into())
+            .spawn(move || reactor.run())
+            .map_err(NetError::Io)?;
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for k in 0..config.workers.max(1) {
             let worker = {
                 let shared = Arc::clone(&shared);
+                let rshared = Arc::clone(&rshared);
                 std::thread::Builder::new()
                     .name(format!("ldp-net-worker-{k}"))
                     .spawn(move || {
-                        while let Some(stream) = shared.queue.pop() {
-                            let session = shared.session_ids.fetch_add(1, Ordering::Relaxed);
-                            shared.obs.sessions_opened.incr();
-                            run_session(&shared, stream, session);
-                            shared.obs.sessions_closed.incr();
+                        while let Some(job) = rshared.jobs.pop() {
+                            let done = execute_job(&shared, job);
+                            rshared.complete(done);
                         }
                     })
             };
@@ -541,13 +466,14 @@ where
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
                     // A partial pool must not outlive the failed bind:
-                    // stop the acceptor, close the queue, and join
-                    // everything already running before reporting the
-                    // error — otherwise orphaned threads keep serving a
-                    // port the caller believes never opened.
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    shared.queue.close();
-                    let _ = acceptor.join();
+                    // stop the reactor (it closes the job queue on
+                    // exit), then join everything already running before
+                    // reporting the error — otherwise orphaned threads
+                    // keep serving a port the caller believes never
+                    // opened.
+                    rshared.shutdown.store(true, Ordering::SeqCst);
+                    rshared.poller.wake();
+                    let _ = reactor_handle.join();
                     for handle in workers {
                         let _ = handle.join();
                     }
@@ -557,8 +483,9 @@ where
         }
         Ok(Self {
             shared,
+            rshared,
             addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor_handle),
             workers,
         })
     }
@@ -578,15 +505,19 @@ where
     }
 
     /// Drains and stops the server: no new connections are accepted,
-    /// already-queued sessions finish (their in-flight batches absorb
-    /// and ack), every thread is joined, a windowed backend's open epoch
-    /// is sealed, and a final snapshot is published.
+    /// in-flight messages are executed and their replies flushed (with
+    /// bounded patience for stalled peers), every thread is joined, a
+    /// windowed backend's open epoch is sealed, and a final snapshot is
+    /// published.
     #[must_use]
     pub fn shutdown(mut self) -> ServerStats {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.rshared.shutdown.store(true, Ordering::SeqCst);
+        self.rshared.poller.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
+        // The reactor closed the job queue on exit, so the workers fall
+        // through their pop loops.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -604,142 +535,6 @@ where
             final_snapshot,
         }
     }
-}
-
-fn accept_loop<S>(listener: &TcpListener, shared: &Shared<S>)
-where
-    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
-    S::Report: WireReport,
-{
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if !shared.queue.push(stream) {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                std::thread::sleep(shared.config.idle_poll);
-            }
-            Err(_) => std::thread::sleep(shared.config.idle_poll),
-        }
-    }
-    // Workers drain whatever was queued before the flag flipped, then
-    // exit — the "graceful" half of graceful shutdown.
-    shared.queue.close();
-}
-
-/// One read attempt's outcome under the session's poll timeout.
-enum ReadOutcome {
-    Msg(Vec<u8>),
-    /// No bytes arrived within one poll tick (connection still alive).
-    Idle,
-    /// Peer closed, errored, or stalled past drain patience.
-    Gone,
-}
-
-/// Reads one enveloped message, tolerating poll-tick timeouts. Before
-/// shutdown a slow sender gets unlimited patience *mid-message*; once
-/// shutdown begins, patience is bounded so a stalled half-message cannot
-/// hold the drain hostage.
-fn read_session_message<S>(stream: &mut TcpStream, shared: &Shared<S>) -> ReadOutcome
-where
-    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
-    S::Report: WireReport,
-{
-    let mut first = [0u8; 1];
-    loop {
-        match stream.read(&mut first) {
-            Ok(0) => return ReadOutcome::Gone,
-            Ok(_) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return ReadOutcome::Idle;
-            }
-            Err(_) => return ReadOutcome::Gone,
-        }
-    }
-    // The length prefix has started; finish it and the body.
-    let mut len_rest = [0u8; 3];
-    if !read_full(stream, &mut len_rest, shared) {
-        return ReadOutcome::Gone;
-    }
-    let len = u32::from_le_bytes([first[0], len_rest[0], len_rest[1], len_rest[2]]) as usize;
-    if len == 0 || len > MAX_MESSAGE_BYTES {
-        // Hostile length: nothing is allocated; the caller answers with
-        // a typed error and closes (resync is impossible).
-        return ReadOutcome::Msg(Vec::new());
-    }
-    let mut body = vec![0u8; len];
-    if !read_full(stream, &mut body, shared) {
-        return ReadOutcome::Gone;
-    }
-    ReadOutcome::Msg(body)
-}
-
-fn read_full<S>(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared<S>) -> bool
-where
-    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
-    S::Report: WireReport,
-{
-    let mut filled = 0;
-    let mut stalled_ticks = 0u32;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return false,
-            Ok(n) => {
-                filled += n;
-                stalled_ticks = 0;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    stalled_ticks += 1;
-                    if stalled_ticks > shared.config.drain_patience {
-                        return false;
-                    }
-                }
-            }
-            Err(_) => return false,
-        }
-    }
-    true
-}
-
-fn send(stream: &mut TcpStream, obs: &NetInstruments, msg: &ServerMsg) -> bool {
-    let body = msg.encode();
-    let ok = crate::net::proto::write_message(stream, &body).is_ok();
-    if ok {
-        // Envelope (4-byte length prefix) + body, counted only when the
-        // write went through — the counter tracks bytes on the wire.
-        obs.bytes_out.add(4 + body.len() as u64);
-    }
-    ok
-}
-
-fn reject(
-    stream: &mut TcpStream,
-    obs: &NetInstruments,
-    code: ErrorCode,
-    detail: impl Into<String>,
-) -> bool {
-    send(
-        stream,
-        obs,
-        &ServerMsg::Error(RemoteError::new(code, None, detail)),
-    )
 }
 
 /// Records one handled request into the per-message-type latency
@@ -772,109 +567,86 @@ where
     }
 }
 
-/// Runs one session to completion. Every hostile input — garbage bytes,
-/// truncated envelopes, absurd lengths, mismatched handshakes, malformed
-/// batches — lands in a typed error reply or a clean close; nothing
-/// panics the worker, and rejected batches leave the backend untouched.
-fn run_session<S>(shared: &Shared<S>, mut stream: TcpStream, session: u64)
+fn error_body(code: ErrorCode, detail: impl Into<String>) -> Vec<u8> {
+    ServerMsg::Error(RemoteError::new(code, None, detail)).encode()
+}
+
+/// Executes one session's queued messages against the backend and
+/// returns the encoded replies. This is the session state machine the
+/// blocking engine ran inline — every hostile input (garbage bytes,
+/// absurd lengths, mismatched handshakes, malformed batches) lands in a
+/// typed error reply or a close decision, nothing panics the worker, and
+/// rejected batches leave the backend untouched. Messages after a
+/// close-triggering one are dropped unprocessed, exactly as a blocking
+/// loop that returned would have left them unread.
+fn execute_job<S>(shared: &Shared<S>, job: Job) -> JobDone
 where
     S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
-    if stream.set_nonblocking(false).is_err()
-        || stream
-            .set_read_timeout(Some(shared.config.idle_poll))
-            .is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
     let obs = &shared.obs;
-    let mut negotiated: Option<Hello> = None;
-    loop {
-        let body = match read_session_message(&mut stream, shared) {
-            ReadOutcome::Msg(body) if body.is_empty() => {
-                // Hostile envelope length (zero or over the cap).
-                let _ = reject(
-                    &mut stream,
-                    obs,
-                    ErrorCode::Protocol,
-                    "message length outside (0, cap]",
-                );
-                return;
-            }
-            ReadOutcome::Msg(body) => body,
-            ReadOutcome::Idle => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // Drained: no in-flight message, shutdown requested.
-                    return;
+    let mut hello: Option<Hello> = job.hello;
+    let mut replies: Vec<Vec<u8>> = Vec::with_capacity(job.bodies.len());
+    let mut close = false;
+    for body in &job.bodies {
+        if body.is_empty() {
+            // Hostile envelope length (zero or over the cap): typed
+            // error, then close — resync is impossible.
+            replies.push(error_body(
+                ErrorCode::Protocol,
+                "message length outside (0, cap]",
+            ));
+            close = true;
+            break;
+        }
+        let started = Instant::now();
+        let msg = match ClientMsg::decode(body) {
+            Ok(msg) => msg,
+            Err(e) => {
+                replies.push(error_body(ErrorCode::Protocol, e.to_string()));
+                // Before the handshake nothing about the peer is
+                // trusted; after it, the envelope kept us in sync, so
+                // the session may continue.
+                if hello.is_none() {
+                    close = true;
+                    break;
                 }
                 continue;
             }
-            ReadOutcome::Gone => {
-                if let Some(trace) = &shared.trace {
-                    trace.record(TraceEvent {
-                        session,
-                        msg_type: 0,
-                        outcome: TraceOutcome::Disconnect,
-                        ns: 0,
-                    });
-                }
-                return;
-            }
-        };
-        // Envelope (4-byte length prefix) + body, counted once decoded
-        // off the socket.
-        obs.bytes_in.add(4 + body.len() as u64);
-        let started = Instant::now();
-        let msg = match ClientMsg::decode(&body) {
-            Ok(msg) => msg,
-            Err(e) => {
-                let keep = negotiated.is_some();
-                let _ = reject(&mut stream, obs, ErrorCode::Protocol, e.to_string());
-                // Before the handshake nothing about the peer is trusted;
-                // after it, the envelope kept us in sync, so the session
-                // may continue.
-                if keep {
-                    continue;
-                }
-                return;
-            }
         };
         match msg {
-            ClientMsg::Hello(hello) => {
-                if negotiated.is_some() {
-                    let _ = reject(&mut stream, obs, ErrorCode::Protocol, "duplicate HELLO");
+            ClientMsg::Hello(h) => {
+                if hello.is_some() {
+                    replies.push(error_body(ErrorCode::Protocol, "duplicate HELLO"));
                     continue;
                 }
-                if let Err((code, detail)) = validate_hello::<S>(&hello, &shared.backend) {
-                    let _ = reject(&mut stream, obs, code, detail);
-                    return;
+                if let Err((code, detail)) = validate_hello::<S>(&h, &shared.backend) {
+                    replies.push(error_body(code, detail));
+                    close = true;
+                    break;
                 }
-                let ok = ServerMsg::HelloOk(HelloOk {
-                    kind: hello.kind,
-                    wire_version: hello.wire_version,
-                    windowed: hello.windowed,
-                    domain: shared.backend.domain(),
-                });
-                if !send(&mut stream, obs, &ok) {
-                    return;
-                }
-                negotiated = Some(hello);
+                replies.push(
+                    ServerMsg::HelloOk(HelloOk {
+                        kind: h.kind,
+                        wire_version: h.wire_version,
+                        windowed: h.windowed,
+                        domain: shared.backend.domain(),
+                    })
+                    .encode(),
+                );
+                hello = Some(h);
             }
             ClientMsg::Report(batch) => {
-                let Some(hello) = negotiated else {
-                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "REPORT before HELLO");
-                    return;
+                let Some(h) = hello else {
+                    replies.push(error_body(ErrorCode::BadState, "REPORT before HELLO"));
+                    close = true;
+                    break;
                 };
-                match shared.backend.absorb_batch(hello.wire_version, &batch) {
+                match shared.backend.absorb_batch(h.wire_version, &batch) {
                     Ok(accepted) => {
                         obs.frames_absorbed.add(accepted);
-                        let sent = send(&mut stream, obs, &ServerMsg::ReportOk { accepted });
-                        observe(shared, session, MSG_REPORT, true, started);
-                        if !sent {
-                            return;
-                        }
+                        replies.push(ServerMsg::ReportOk { accepted }.encode());
+                        observe(shared, job.session, MSG_REPORT, true, started);
                     }
                     Err(e) => {
                         // Count what the payload could physically hold
@@ -883,43 +655,36 @@ where
                         // not corrupt an operator-visible counter.
                         let plausible = batch.count.min(batch.frames.len() as u64 / 5);
                         obs.frames_rejected.add(plausible);
-                        let sent = send(&mut stream, obs, &ServerMsg::Error(e));
-                        observe(shared, session, MSG_REPORT, false, started);
-                        if !sent {
-                            return;
-                        }
+                        replies.push(ServerMsg::Error(e).encode());
+                        observe(shared, job.session, MSG_REPORT, false, started);
                     }
                 }
             }
             ClientMsg::Query(query) => {
-                if negotiated.is_none() {
-                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "QUERY before HELLO");
-                    return;
+                if hello.is_none() {
+                    replies.push(error_body(ErrorCode::BadState, "QUERY before HELLO"));
+                    close = true;
+                    break;
                 }
                 let (reply, ok) = match shared.backend.query(&query) {
                     Ok(reply) => (ServerMsg::QueryOk(reply), true),
                     Err(e) => (ServerMsg::Error(e), false),
                 };
-                let sent = send(&mut stream, obs, &reply);
-                observe(shared, session, MSG_QUERY, ok, started);
-                if !sent {
-                    return;
-                }
+                replies.push(reply.encode());
+                observe(shared, job.session, MSG_QUERY, ok, started);
             }
             ClientMsg::Seal => {
-                if negotiated.is_none() {
-                    let _ = reject(&mut stream, obs, ErrorCode::BadState, "SEAL before HELLO");
-                    return;
+                if hello.is_none() {
+                    replies.push(error_body(ErrorCode::BadState, "SEAL before HELLO"));
+                    close = true;
+                    break;
                 }
                 let (reply, ok) = match shared.backend.seal() {
                     Ok(epoch) => (ServerMsg::SealOk { epoch }, true),
                     Err(e) => (ServerMsg::Error(e), false),
                 };
-                let sent = send(&mut stream, obs, &reply);
-                observe(shared, session, MSG_SEAL, ok, started);
-                if !sent {
-                    return;
-                }
+                replies.push(reply.encode());
+                observe(shared, job.session, MSG_SEAL, ok, started);
             }
             ClientMsg::Status { verbose } => {
                 // No handshake required: STATUS names no report kind, so
@@ -928,27 +693,27 @@ where
                     Ok(status) => (ServerMsg::StatusOk(status), true),
                     Err(e) => (ServerMsg::Error(e), false),
                 };
-                let sent = send(&mut stream, obs, &reply);
-                observe(shared, session, MSG_STATUS, ok, started);
-                if !sent {
-                    return;
-                }
+                replies.push(reply.encode());
+                observe(shared, job.session, MSG_STATUS, ok, started);
             }
             ClientMsg::Metrics => {
                 // Also allowed before HELLO: introspection names no
                 // report kind either.
-                let reply = ServerMsg::MetricsOk(shared.registry.snapshot());
-                let sent = send(&mut stream, obs, &reply);
-                observe(shared, session, MSG_METRICS, true, started);
-                if !sent {
-                    return;
-                }
+                replies.push(ServerMsg::MetricsOk(shared.registry.snapshot()).encode());
+                observe(shared, job.session, MSG_METRICS, true, started);
             }
             ClientMsg::Bye => {
-                let _ = send(&mut stream, obs, &ServerMsg::ByeOk);
-                return;
+                replies.push(ServerMsg::ByeOk.encode());
+                close = true;
+                break;
             }
         }
+    }
+    JobDone {
+        token: job.token,
+        hello,
+        replies,
+        close,
     }
 }
 

@@ -43,6 +43,8 @@ pub mod names {
     pub const NET_SESSIONS_OPENED: &str = "net.sessions_opened";
     /// Counter, sessions: sessions fully torn down.
     pub const NET_SESSIONS_CLOSED: &str = "net.sessions_closed";
+    /// Gauge, sessions: sessions currently open (held by the reactor).
+    pub const NET_SESSIONS_OPEN: &str = "net.sessions_open";
     /// Counter, frames: frames absorbed into the backend over the socket.
     pub const NET_FRAMES_ABSORBED: &str = "net.frames_absorbed";
     /// Counter, frames: frames rejected at the session layer.
@@ -51,7 +53,8 @@ pub mod names {
     pub const NET_BYTES_IN: &str = "net.bytes_in";
     /// Counter, bytes: session-message bytes written.
     pub const NET_BYTES_OUT: &str = "net.bytes_out";
-    /// Gauge, connections: high-water mark of the accept-queue depth.
+    /// Gauge, messages: high-water mark of a session's parsed-but-
+    /// undispatched message backlog (pipelining depth).
     pub const NET_QUEUE_DEPTH_HW: &str = "net.queue_depth_hw";
     /// Histogram, ns: REPORT handling latency (absorb + reply write).
     pub const NET_REPORT_NS: &str = "net.report_ns";
@@ -167,6 +170,8 @@ pub struct NetInstruments {
     pub sessions_opened: Arc<Counter>,
     /// [`names::NET_SESSIONS_CLOSED`].
     pub sessions_closed: Arc<Counter>,
+    /// [`names::NET_SESSIONS_OPEN`].
+    pub sessions_open: Arc<Gauge>,
     /// [`names::NET_FRAMES_ABSORBED`].
     pub frames_absorbed: Arc<Counter>,
     /// [`names::NET_FRAMES_REJECTED`].
@@ -194,6 +199,7 @@ impl NetInstruments {
         Self {
             sessions_opened: registry.counter(names::NET_SESSIONS_OPENED),
             sessions_closed: registry.counter(names::NET_SESSIONS_CLOSED),
+            sessions_open: registry.gauge(names::NET_SESSIONS_OPEN),
             frames_absorbed: registry.counter(names::NET_FRAMES_ABSORBED),
             frames_rejected: registry.counter(names::NET_FRAMES_REJECTED),
             bytes_in: registry.counter(names::NET_BYTES_IN),
