@@ -1,0 +1,161 @@
+//! Replication catch-up benchmark for `ldp-service`.
+//!
+//! A durable leader is pre-loaded with a Cauchy population (HH₄
+//! mechanism, like `wal_throughput`) so its log holds a known number of
+//! FRAMES records, then served over loopback TCP. A cold follower
+//! subscribes from position 0 and the benchmark times how fast the
+//! replication stream drains the backlog: leader-side WAL reads, the
+//! bounded push stream, follower-side decode + all-or-nothing absorb,
+//! and the follower's own WAL appends — the full standby-provisioning
+//! path. Before any number is reported, the caught-up follower is
+//! promoted and its snapshot asserted *bit-identical* to the leader's.
+//!
+//! Emits one gated metric:
+//!
+//! * `repl_catchup_records_per_sec` — WAL records applied per second by
+//!   a cold follower catching up over loopback. Higher is better.
+//!
+//! ```text
+//! cargo run -p ldp-bench --release --bin repl_catchup
+//! LDP_REPL_USERS=400000 LDP_REPL_BATCH=64 \
+//!     cargo run -p ldp-bench --release --bin repl_catchup
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldp_bench::metrics::BenchMetrics;
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HhClient, HhConfig, HhServer};
+use ldp_service::net::{NetConfig, WIRE_V1};
+use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
+use ldp_service::{generate_stream, FollowerService, LdpServer};
+use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let users = env_or("LDP_REPL_USERS", 100_000).max(1);
+    let batch = env_or("LDP_REPL_BATCH", 64).max(1) as usize;
+    let domain = env_or("LDP_SERVICE_DOMAIN", 1_024) as usize;
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = Dataset::sample(
+        DistributionKind::Cauchy(CauchyParams::paper_default()),
+        domain,
+        users,
+        &mut rng,
+    );
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    println!(
+        "# repl_catchup: {users} users, domain {domain}, HH_4/OUE, \
+         batch {batch} frames, cold follower over loopback"
+    );
+    let stream = generate_stream(&dataset, users, 60, |value, rng| {
+        client.report(value, rng).expect("in-domain value")
+    });
+
+    let durable_config = DurableConfig {
+        num_shards: 4,
+        segment_bytes: 8 << 20,
+        fsync: FsyncPolicy::EveryBytes(1 << 20),
+        checkpoint_every_records: 0,
+        retain_history: false,
+        ..DurableConfig::default()
+    };
+
+    // Pre-load the leader's log: the backlog the follower must drain.
+    let leader_dir = scratch_dir("repl-bench-leader").expect("scratch dir");
+    let (leader, _) =
+        DurableService::open(&leader_dir, &prototype, durable_config.clone()).expect("open leader");
+    let leader = Arc::new(leader);
+    let mut records = 0u64;
+    let mut lo = 0;
+    while lo < stream.len() {
+        let hi = (lo + batch).min(stream.len());
+        leader
+            .ingest_batch(WIRE_V1, (hi - lo) as u64, stream.frame_span(lo, hi))
+            .expect("leader ingest");
+        records += 1;
+        lo = hi;
+    }
+    leader.sync().expect("leader sync");
+    let server = LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default())
+        .expect("bind leader");
+    let addr = format!("{}", server.local_addr());
+    println!(
+        "# leader backlog: {records} WAL records ({} frames), serving on {addr}\n",
+        stream.len()
+    );
+
+    // --- cold catch-up --------------------------------------------------
+    let follower_dir = scratch_dir("repl-bench-follower").expect("scratch dir");
+    let started = Instant::now();
+    let (follower, _) =
+        FollowerService::open(&follower_dir, &prototype, &addr, durable_config).expect("follower");
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while follower.position() < records {
+        assert!(
+            Instant::now() < deadline,
+            "follower stalled at {} of {records}: {:?}",
+            follower.position(),
+            follower.last_error()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let catchup = started.elapsed();
+    let record_rate = records as f64 / catchup.as_secs_f64();
+    let report_rate = stream.len() as f64 / catchup.as_secs_f64();
+    println!(
+        "catch-up: {catchup:.2?}  ({record_rate:.0} records/sec, {report_rate:.0} reports/sec)"
+    );
+
+    // Identity check before any number is trusted: the caught-up replica
+    // must be bit-identical to the leader.
+    let leader_snap = leader.refresh_snapshot().expect("leader refresh");
+    let promoted = follower.promote().expect("promote");
+    let replica_snap = promoted.refresh_snapshot().expect("replica refresh");
+    assert_eq!(replica_snap.num_reports(), leader_snap.num_reports());
+    for (z, (a, b)) in replica_snap
+        .estimate()
+        .frequencies()
+        .iter()
+        .zip(leader_snap.estimate().frequencies())
+        .enumerate()
+    {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "replica and leader estimates differ at item {z}: {a} vs {b}"
+        );
+    }
+    println!("identity check: caught-up replica ≡ leader (bit-for-bit)");
+
+    let _ = server.shutdown();
+    drop(leader);
+    drop(promoted);
+    std::fs::remove_dir_all(&leader_dir).expect("cleanup leader");
+    std::fs::remove_dir_all(&follower_dir).expect("cleanup follower");
+
+    let mut metrics = BenchMetrics::new();
+    metrics.record("repl_users", users as f64);
+    metrics.record("repl_batch_frames", batch as f64);
+    metrics.record("repl_catchup_records_per_sec", record_rate);
+    match metrics.write_to_env_path() {
+        Ok(Some(path)) => println!("\n# metrics appended to {path}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write metrics: {e}");
+            std::process::exit(1);
+        }
+    }
+}

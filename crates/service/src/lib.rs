@@ -75,6 +75,13 @@
 //!   first torn record; the same exactness argument makes durability
 //!   *testable by bit-identity*, and the crash-recovery differential
 //!   tests enforce it at arbitrary truncation offsets.
+//! * [`repl`] — WAL-shipping replication: a durable leader streams its
+//!   acked WAL records over the session protocol to followers
+//!   ([`FollowerService`]) that re-apply them through the same
+//!   decode/absorb paths into their own logs — hot standbys promotable
+//!   to leaders ([`FollowerService::promote`]) and read replicas
+//!   serving queries from their own snapshots, bit-identical to the
+//!   leader's at the same replication position.
 //! * [`obs`] — the telemetry layer: a shared lock-free
 //!   [`MetricsRegistry`] of counters, gauges, and log-bucketed latency
 //!   histograms threaded through every tier above, with frozen snapshots
@@ -116,6 +123,7 @@ pub mod error;
 pub mod loadgen;
 pub mod net;
 pub mod obs;
+pub mod repl;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -129,6 +137,7 @@ pub use net::{
     Hello, LdpClient, LdpServer, NetConfig, NetError, Query, QueryOp, QueryReply, ServerStats,
 };
 pub use obs::{HistoSnapshot, MetricsRegistry, RegistrySnapshot, TraceEvent, TraceRing};
+pub use repl::{FollowerService, ReplFeed};
 pub use service::LdpService;
 pub use shard::ShardedAggregator;
 pub use snapshot::{RangeSnapshot, SnapshotSource};

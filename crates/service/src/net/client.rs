@@ -231,6 +231,22 @@ impl LdpClient {
         }
     }
 
+    /// Opens a replication feed against a durable leader, subscribed
+    /// from absolute record position `start` — a stream session, not a
+    /// report session, so it gets its own connection (no HELLO) and its
+    /// own type: [`crate::repl::ReplFeed`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed rejection (`REPL_UNAVAILABLE` from
+    /// a non-durable or pruned leader).
+    pub fn replicate(
+        addr: impl ToSocketAddrs,
+        start: u64,
+    ) -> Result<crate::repl::ReplFeed, NetError> {
+        crate::repl::ReplFeed::connect(addr, start)
+    }
+
     /// Ends the session cleanly.
     ///
     /// # Errors

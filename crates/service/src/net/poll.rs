@@ -450,7 +450,11 @@ pub(crate) mod portable {
 
         pub(crate) fn wake(&self) {
             self.lock().woken = true;
-            self.cv.notify_one();
+            // notify_all, not notify_one: today only the reactor thread
+            // waits, but a single lost notification here would stall a
+            // non-Linux reactor for a full tick — broadcast is free and
+            // immune to a second waiter ever being added.
+            self.cv.notify_all();
         }
     }
 }

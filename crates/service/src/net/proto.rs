@@ -17,6 +17,10 @@
 //!   0x06 STATUS   payload := (empty) | verbose(1B = 1)   (allowed before HELLO;
 //!                            the verbose flag requests the metrics section)
 //!   0x07 METRICS  payload := (empty)   (allowed before HELLO)
+//!   0x08 REPLICATE payload := magic(2B = "LN") proto(1B = 1) start:varint
+//!                             (allowed before HELLO; durable leaders only —
+//!                             flips the session into a WAL push stream)
+//!   0x09 REPL_ACK payload := acked:varint   (follower → leader progress)
 //!
 //! op       := 0 RANGE a:varint b:varint
 //!           | 1 PREFIX b:varint
@@ -41,9 +45,22 @@
 //!                             [metrics(1B = 1) registry_snapshot]
 //!   0x87 METRICS_OK payload := obs_version(1B = METRICS_VERSION)
 //!                              registry_snapshot
+//!   0x88 REPL_OK   payload := start:varint leader_records:varint
+//!   0x89 REPL_REC  payload := position:varint record_body(≥ 1 byte)
+//!                             (leader push; record_body is a WAL record
+//!                             body — type byte + payload, see
+//!                             `crate::storage::wal` — re-framed and
+//!                             CRC'd by the follower's own log)
 //!   0x7F ERROR     payload := code(1B) has_index(1B: 0|1) [index:varint]
 //!                             detail_len:varint detail(UTF-8)
 //! ```
+//!
+//! Replication is version-gated the same way HELLO is: a REPLICATE
+//! request leads with the handshake magic and the session protocol
+//! version, so a server that predates replication answers with a typed
+//! unknown-kind error instead of misparsing, and a future protocol bump
+//! is rejected explicitly ([`WireError::UnsupportedVersion`]) rather than
+//! silently streamed to.
 //!
 //! Version gating of the telemetry surfaces: a STATUS_OK carries the
 //! trailing metrics section *only when the client asked for it* (the
@@ -103,6 +120,8 @@ pub(crate) const MSG_SEAL: u8 = 0x04;
 pub(crate) const MSG_BYE: u8 = 0x05;
 pub(crate) const MSG_STATUS: u8 = 0x06;
 pub(crate) const MSG_METRICS: u8 = 0x07;
+pub(crate) const MSG_REPLICATE: u8 = 0x08;
+pub(crate) const MSG_REPL_ACK: u8 = 0x09;
 
 const MSG_HELLO_OK: u8 = 0x81;
 const MSG_REPORT_OK: u8 = 0x82;
@@ -111,6 +130,8 @@ const MSG_SEAL_OK: u8 = 0x84;
 const MSG_BYE_OK: u8 = 0x85;
 const MSG_STATUS_OK: u8 = 0x86;
 const MSG_METRICS_OK: u8 = 0x87;
+const MSG_REPL_OK: u8 = 0x88;
+const MSG_REPL_REC: u8 = 0x89;
 const MSG_ERROR: u8 = 0x7F;
 
 const OP_RANGE: u8 = 0;
@@ -353,6 +374,11 @@ pub enum ErrorCode {
     /// The session sat idle past the server's configured idle timeout
     /// and was evicted; reconnect to continue.
     IdleTimeout,
+    /// A REPLICATE request cannot be served: the backend is not a
+    /// durable leader, replication has been sealed by promotion, or the
+    /// requested start position precedes the leader's retained log
+    /// (checkpoint pruning discarded it).
+    ReplUnavailable,
 }
 
 impl ErrorCode {
@@ -371,6 +397,7 @@ impl ErrorCode {
             Self::ShuttingDown => 10,
             Self::Internal => 11,
             Self::IdleTimeout => 12,
+            Self::ReplUnavailable => 13,
         }
     }
 
@@ -389,6 +416,7 @@ impl ErrorCode {
             10 => Self::ShuttingDown,
             11 => Self::Internal,
             12 => Self::IdleTimeout,
+            13 => Self::ReplUnavailable,
             _ => return Err(WireError::Malformed("unknown error code")),
         })
     }
@@ -479,6 +507,22 @@ pub enum ClientMsg {
     /// Fetch a full metrics-registry snapshot (allowed before HELLO —
     /// it names no report kind).
     Metrics,
+    /// Become a follower: ask a durable leader to stream its acked WAL
+    /// records from absolute record position `start` (allowed before
+    /// HELLO — it names no report kind; the records carry their own wire
+    /// version). The session becomes a long-lived push stream.
+    Replicate {
+        /// First record (0-based, from the leader's log origin) the
+        /// follower wants; records before it are already applied.
+        start: u64,
+    },
+    /// Follower → leader progress report: records applied so far. The
+    /// leader uses it only for lag accounting — a garbage position can
+    /// never corrupt leader state.
+    ReplAck {
+        /// Absolute record position the follower has durably applied.
+        acked: u64,
+    },
 }
 
 /// Every message a server can send.
@@ -505,6 +549,23 @@ pub enum ServerMsg {
     /// A full metrics-registry snapshot, led by the exposition version
     /// byte ([`METRICS_VERSION`]).
     MetricsOk(RegistrySnapshot),
+    /// Replication accepted: streaming begins at `start`.
+    ReplOk {
+        /// The start position the stream honors (echo of the request).
+        start: u64,
+        /// Records in the leader's log at accept time — the follower's
+        /// initial lag is `leader_records - start`.
+        leader_records: u64,
+    },
+    /// One pushed WAL record (leader → follower).
+    ReplRecord {
+        /// Absolute record position of this record in the leader's log.
+        position: u64,
+        /// The WAL record body (type byte + payload, no len/CRC framing
+        /// — the envelope delimits it and the follower's own log
+        /// re-frames it). Never empty.
+        body: Vec<u8>,
+    },
     /// Request rejected.
     Error(RemoteError),
 }
@@ -562,6 +623,16 @@ impl ClientMsg {
                 }
             }
             Self::Metrics => out.push(MSG_METRICS),
+            Self::Replicate { start } => {
+                out.push(MSG_REPLICATE);
+                out.extend_from_slice(&HELLO_MAGIC);
+                out.push(PROTO_VERSION);
+                put_varint(&mut out, *start);
+            }
+            Self::ReplAck { acked } => {
+                out.push(MSG_REPL_ACK);
+                put_varint(&mut out, *acked);
+            }
         }
         out
     }
@@ -632,8 +703,7 @@ impl ClientMsg {
                     OP_PREFIX => QueryOp::Prefix { b: r.varint()? },
                     OP_POINT => QueryOp::Point { z: r.varint()? },
                     OP_QUANTILE => {
-                        let bits = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8-byte read"));
-                        let phi = f64::from_bits(bits);
+                        let phi = f64::from_bits(u64_le(&mut r)?);
                         if !phi.is_finite() || !(0.0..=1.0).contains(&phi) {
                             return Err(WireError::Malformed("quantile phi outside [0, 1]"));
                         }
@@ -660,6 +730,18 @@ impl ClientMsg {
                 Self::Status { verbose }
             }
             MSG_METRICS => Self::Metrics,
+            MSG_REPLICATE => {
+                let magic = [r.u8()?, r.u8()?];
+                if magic != HELLO_MAGIC {
+                    return Err(WireError::BadMagic(magic));
+                }
+                let proto = r.u8()?;
+                if proto != PROTO_VERSION {
+                    return Err(WireError::UnsupportedVersion(proto));
+                }
+                Self::Replicate { start: r.varint()? }
+            }
+            MSG_REPL_ACK => Self::ReplAck { acked: r.varint()? },
             t => return Err(WireError::UnknownKind(t)),
         };
         expect_consumed(&r, body.len())?;
@@ -757,6 +839,19 @@ impl ServerMsg {
                 out.push(METRICS_VERSION);
                 snapshot.encode_into(&mut out);
             }
+            Self::ReplOk {
+                start,
+                leader_records,
+            } => {
+                out.push(MSG_REPL_OK);
+                put_varint(&mut out, *start);
+                put_varint(&mut out, *leader_records);
+            }
+            Self::ReplRecord { position, body } => {
+                out.push(MSG_REPL_REC);
+                put_varint(&mut out, *position);
+                out.extend_from_slice(body);
+            }
             Self::Error(e) => {
                 out.push(MSG_ERROR);
                 out.push(e.code.to_u8());
@@ -802,13 +897,8 @@ impl ServerMsg {
             },
             MSG_QUERY_OK => {
                 let result = match r.u8()? {
-                    0 => {
-                        let bits = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8-byte read"));
-                        QueryResult::Fraction(f64::from_bits(bits))
-                    }
-                    1 => QueryResult::Index(u64::from_le_bytes(
-                        r.bytes(8)?.try_into().expect("8-byte read"),
-                    )),
+                    0 => QueryResult::Fraction(f64::from_bits(u64_le(&mut r)?)),
+                    1 => QueryResult::Index(u64_le(&mut r)?),
                     _ => return Err(WireError::Malformed("unknown query result tag")),
                 };
                 let version = r.varint()?;
@@ -880,6 +970,18 @@ impl ServerMsg {
                 }
                 Self::MetricsOk(RegistrySnapshot::decode_from(&mut r)?)
             }
+            MSG_REPL_OK => Self::ReplOk {
+                start: r.varint()?,
+                leader_records: r.varint()?,
+            },
+            MSG_REPL_REC => {
+                let position = r.varint()?;
+                if r.remaining() == 0 {
+                    return Err(WireError::Malformed("empty replication record body"));
+                }
+                let body = r.bytes(r.remaining())?.to_vec();
+                Self::ReplRecord { position, body }
+            }
             MSG_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
                 let index = if decode_bool(&mut r)? {
@@ -916,6 +1018,16 @@ pub fn encode_report_body(count: u64, frames: &[u8]) -> Vec<u8> {
     put_varint(&mut out, count);
     out.extend_from_slice(frames);
     out
+}
+
+/// Reads an 8-byte little-endian `u64` totally: short input is
+/// [`WireError::Truncated`], never a panic — there is no `expect` or
+/// `unwrap` on any path reachable from network bytes.
+fn u64_le(r: &mut Reader<'_>) -> Result<u64, WireError> {
+    match <[u8; 8]>::try_from(r.bytes(8)?) {
+        Ok(raw) => Ok(u64::from_le_bytes(raw)),
+        Err(_) => Err(WireError::Truncated),
+    }
 }
 
 fn decode_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
@@ -1044,6 +1156,9 @@ mod tests {
             ClientMsg::Status { verbose: false },
             ClientMsg::Status { verbose: true },
             ClientMsg::Metrics,
+            ClientMsg::Replicate { start: 0 },
+            ClientMsg::Replicate { start: u64::MAX },
+            ClientMsg::ReplAck { acked: 12_345 },
         ];
         for msg in msgs {
             let body = msg.encode();
@@ -1103,10 +1218,23 @@ mod tests {
             }),
             ServerMsg::MetricsOk(RegistrySnapshot::default()),
             ServerMsg::MetricsOk(sample_snapshot()),
+            ServerMsg::ReplOk {
+                start: 17,
+                leader_records: 40_000,
+            },
+            ServerMsg::ReplRecord {
+                position: 190,
+                body: vec![0x01, 0x02, 0xAA, 0xBB],
+            },
             ServerMsg::Error(RemoteError::new(
                 ErrorCode::BadFrame,
                 Some(17),
                 "frame 17 of HhReport batch rejected",
+            )),
+            ServerMsg::Error(RemoteError::new(
+                ErrorCode::ReplUnavailable,
+                None,
+                "start precedes retained log",
             )),
         ];
         for msg in replies {
@@ -1152,6 +1280,16 @@ mod tests {
             q.extend_from_slice(&bad.to_bits().to_le_bytes());
             assert!(ClientMsg::decode(&q).is_err(), "accepted phi {bad}");
         }
+
+        // REPLICATE without the handshake magic or with a future proto
+        // version is rejected, and a pushed record must carry a body.
+        assert!(ClientMsg::decode(&[MSG_REPLICATE, b'X', b'Y', 1, 0]).is_err());
+        assert!(matches!(
+            ClientMsg::decode(&[MSG_REPLICATE, b'L', b'N', PROTO_VERSION + 1, 0]),
+            Err(WireError::UnsupportedVersion(_))
+        ));
+        let empty_rec = ServerMsg::decode(&[MSG_REPL_REC, 0]);
+        assert!(matches!(empty_rec, Err(WireError::Malformed(_))));
     }
 
     /// A plain STATUS probe and its reply must encode to exactly the

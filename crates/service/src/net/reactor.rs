@@ -73,6 +73,8 @@ pub(crate) struct Job {
     pub session: u64,
     /// Negotiated handshake state at dispatch time.
     pub hello: Option<Hello>,
+    /// The session entered replication mode (REPLICATE accepted).
+    pub repl: bool,
     /// Message bodies in arrival order.
     pub bodies: Vec<Vec<u8>>,
 }
@@ -87,9 +89,39 @@ pub(crate) struct JobDone {
     /// Encoded reply bodies in order; the reactor envelopes and flushes
     /// them.
     pub replies: Vec<Vec<u8>>,
+    /// The session entered replication mode during this job.
+    pub repl: bool,
+    /// A server-push source to install on the session (a REPLICATE
+    /// stream). The reactor pumps it whenever the output queue has
+    /// headroom.
+    pub push: Option<Box<dyn PushSource>>,
     /// Close the session once the replies are flushed (BYE, fatal
     /// protocol error, failed handshake).
     pub close: bool,
+}
+
+/// What one [`PushSource::pull`] produced.
+pub(crate) enum Pull {
+    /// Encoded message bodies to envelope and queue, in order.
+    Bodies(Vec<Vec<u8>>),
+    /// Nothing available right now — pull again after the next wake or
+    /// tick (the source's producer rings [`Poller::wake`] on progress).
+    Idle,
+    /// The stream is over: optionally queue one final body (a typed
+    /// error), then close the session once flushed.
+    End(Option<Vec<u8>>),
+}
+
+/// A server-push byte source owned by one session — the long-lived
+/// half of a replication stream. The reactor pulls whenever the
+/// session's output queue is below [`OUT_SOFT_CAP`], so the cap *is*
+/// the bounded per-follower send buffer: a slow or stalled follower
+/// stops costing memory at the cap, not at the log size. `max_bytes`
+/// is the remaining headroom; a pull may return less, never much more
+/// than one record over. Dropping the source (session teardown) must
+/// release anything it registered.
+pub(crate) trait PushSource: Send {
+    fn pull(&mut self, max_bytes: usize) -> Pull;
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -189,6 +221,11 @@ struct Session {
     out_bytes: usize,
     /// Negotiated handshake, updated from [`JobDone`].
     hello: Option<Hello>,
+    /// The session is in replication mode (only REPL_ACK/BYE accepted).
+    repl: bool,
+    /// Installed push stream (replication records), pumped while the
+    /// output queue has headroom.
+    push: Option<Box<dyn PushSource>>,
     /// A job for this session is in flight.
     busy: bool,
     /// Close once `outq` flushes (BYE, fatal error, idle eviction).
@@ -309,8 +346,11 @@ impl Reactor {
                 if self.open == 0 && self.inflight == 0 {
                     break;
                 }
-            } else if self.knobs.idle_timeout.is_some() {
-                self.evict_idle();
+            } else {
+                self.pump_push_all();
+                if self.knobs.idle_timeout.is_some() {
+                    self.evict_idle();
+                }
             }
         }
         self.shared.jobs.close();
@@ -403,6 +443,8 @@ impl Reactor {
             out_head: 0,
             out_bytes: 0,
             hello: None,
+            repl: false,
+            push: None,
             busy: false,
             closing: false,
             read_gone: false,
@@ -619,6 +661,7 @@ impl Reactor {
                 token: token_of(gen, idx),
                 session: s.id,
                 hello: s.hello,
+                repl: s.repl,
                 bodies,
             };
             self.inflight += 1;
@@ -638,6 +681,10 @@ impl Reactor {
             let s = self.slots[idx].sess.as_mut().expect("resolved session");
             s.busy = false;
             s.hello = done.hello;
+            s.repl |= done.repl;
+            if done.push.is_some() {
+                s.push = done.push;
+            }
             s.closing |= done.close;
             for body in &done.replies {
                 let env = envelope(body);
@@ -646,9 +693,71 @@ impl Reactor {
             }
         }
         self.parse_inbuf(idx);
+        self.pump_push(idx);
         self.do_flush(idx);
         self.update_interest(idx);
         self.maybe_teardown(idx);
+    }
+
+    /// Pulls from every session's installed push stream (one sweep per
+    /// event-loop iteration — the hub's append waker rings the poller,
+    /// so a fresh record is pumped on the very next iteration).
+    fn pump_push_all(&mut self) {
+        for idx in 0..self.slots.len() {
+            let pumpable = self.slots[idx]
+                .sess
+                .as_ref()
+                .is_some_and(|s| s.push.is_some());
+            if !pumpable {
+                continue;
+            }
+            self.pump_push(idx);
+            self.do_flush(idx);
+            self.update_interest(idx);
+            self.maybe_teardown(idx);
+        }
+    }
+
+    /// Fills the session's output queue from its push stream up to the
+    /// [`OUT_SOFT_CAP`] headroom — the bounded per-follower send buffer.
+    /// An ended stream queues its final body (if any) and closes the
+    /// session once flushed.
+    fn pump_push(&mut self, idx: usize) {
+        loop {
+            let Some(s) = self.slots[idx].sess.as_mut() else {
+                return;
+            };
+            if s.push.is_none() || s.closing || s.write_dead || s.out_bytes >= OUT_SOFT_CAP {
+                return;
+            }
+            let budget = OUT_SOFT_CAP - s.out_bytes;
+            let Some(push) = s.push.as_mut() else {
+                return;
+            };
+            match push.pull(budget) {
+                Pull::Bodies(bodies) => {
+                    if bodies.is_empty() {
+                        return;
+                    }
+                    for body in &bodies {
+                        let env = envelope(body);
+                        s.out_bytes += env.len();
+                        s.outq.push_back(env);
+                    }
+                }
+                Pull::Idle => return,
+                Pull::End(last) => {
+                    if let Some(body) = last {
+                        let env = envelope(&body);
+                        s.out_bytes += env.len();
+                        s.outq.push_back(env);
+                    }
+                    s.push = None;
+                    s.closing = true;
+                    return;
+                }
+            }
+        }
     }
 
     /// Tears the session down when nothing further can or should happen:
@@ -724,14 +833,26 @@ impl Reactor {
     /// Evicts sessions that have been fully quiescent past the idle
     /// timeout: a typed `IdleTimeout` error is queued, the session
     /// closes once it flushes, and the eviction never races a request —
-    /// busy or backlogged sessions are by definition not idle.
+    /// busy or backlogged sessions (an in-flight job, parsed-but-
+    /// undispatched messages, or unflushed replies) are by definition
+    /// not idle, and neither is a session whose *write* side moved bytes
+    /// recently: a slow reader that just drained its reply backlog gets
+    /// a full timeout of quiet before eviction, not an instant cut the
+    /// moment its queue empties (`progress_at` stamps both directions,
+    /// `last_rx` only reads). Replication sessions are never idle — the
+    /// push stream is the work.
     fn evict_idle(&mut self) {
         let Some(timeout) = self.knobs.idle_timeout else {
             return;
         };
         for idx in 0..self.slots.len() {
             let evict = match self.slots[idx].sess.as_ref() {
-                Some(s) => s.quiescent() && s.last_rx.elapsed() > timeout,
+                Some(s) => {
+                    s.quiescent()
+                        && s.push.is_none()
+                        && s.last_rx.elapsed() > timeout
+                        && s.progress_at.elapsed() > timeout
+                }
                 None => false,
             };
             if !evict {
@@ -779,6 +900,7 @@ mod tests {
                 token: k,
                 session: k,
                 hello: None,
+                repl: false,
                 bodies: Vec::new(),
             });
         }

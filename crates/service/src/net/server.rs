@@ -36,13 +36,16 @@ use crate::error::ServiceError;
 use crate::net::poll::Poller;
 use crate::net::proto::{
     ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
-    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_METRICS, MSG_QUERY, MSG_REPORT, MSG_SEAL,
-    MSG_STATUS, WIRE_EPOCH, WIRE_V1,
+    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_METRICS, MSG_QUERY, MSG_REPLICATE,
+    MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
 };
-use crate::net::reactor::{Job, JobDone, JobQueue, Reactor, ReactorKnobs, ReactorShared};
+use crate::net::reactor::{
+    Job, JobDone, JobQueue, PushSource, Reactor, ReactorKnobs, ReactorShared,
+};
 use crate::net::{NetConfig, NetError};
 use crate::obs::instruments::NetInstruments;
 use crate::obs::{MetricsRegistry, TraceEvent, TraceOutcome, TraceRing};
+use crate::repl::cursor::ReplCursor;
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::storage::store::decode_batch;
@@ -282,6 +285,10 @@ where
     S::Report: WireReport,
 {
     backend: Backend<S>,
+    /// The server fronts a replication follower: QUERY/STATUS/METRICS
+    /// only — REPORT and SEAL are refused, because the follower's log
+    /// must stay a pure copy of its leader's.
+    replica: bool,
     /// The one registry every tier behind this server reports into.
     registry: Arc<MetricsRegistry>,
     /// Net-tier instruments: the *single* accounting path — drain totals
@@ -348,7 +355,7 @@ where
         service: Arc<LdpService<S>>,
         config: NetConfig,
     ) -> Result<Self, NetError> {
-        Self::start(addr, Backend::Plain(service), config)
+        Self::start(addr, Backend::Plain(service), config, false)
     }
 
     /// Binds a server over a windowed (epoch-ring) service.
@@ -361,7 +368,7 @@ where
         service: Arc<LdpService<EpochRing<S>>>,
         config: NetConfig,
     ) -> Result<Self, NetError> {
-        Self::start(addr, Backend::Windowed(service), config)
+        Self::start(addr, Backend::Windowed(service), config, false)
     }
 
     /// Binds a server in durable mode over a [`DurableService`] (plain
@@ -378,13 +385,32 @@ where
         service: Arc<DurableService<S>>,
         config: NetConfig,
     ) -> Result<Self, NetError> {
-        Self::start(addr, Backend::Durable(service), config)
+        Self::start(addr, Backend::Durable(service), config, false)
+    }
+
+    /// Binds a *read replica* server over a replication follower's
+    /// durable service (see [`crate::repl::FollowerService::service`]):
+    /// QUERY, STATUS, and METRICS are served from the follower's own
+    /// snapshots, but REPORT and SEAL are refused — the follower's log
+    /// must stay a pure copy of its leader's. The replica also serves
+    /// REPLICATE, so followers can chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_replica(
+        addr: impl ToSocketAddrs,
+        service: Arc<DurableService<S>>,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        Self::start(addr, Backend::Durable(service), config, true)
     }
 
     fn start(
         addr: impl ToSocketAddrs,
         backend: Backend<S>,
         config: NetConfig,
+        replica: bool,
     ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -416,6 +442,7 @@ where
         let obs = NetInstruments::register(&registry);
         let shared = Arc::new(Shared {
             backend,
+            replica,
             registry,
             obs: obs.clone(),
             trace: config.trace.clone(),
@@ -430,6 +457,17 @@ where
             poller: Poller::new(config.portable_poller, tick),
             shutdown: AtomicBool::new(false),
         });
+        // A durable backend serves REPLICATE: seed the hub (counting the
+        // retained log once) and ring the reactor's doorbell on every
+        // appended record so push streams pump promptly. A store that
+        // cannot state its log (wedged) simply leaves the hub unset and
+        // REPLICATE answered with REPL_UNAVAILABLE.
+        if let Backend::Durable(d) = &shared.backend {
+            if let Ok(hub) = d.ensure_repl_hub() {
+                let doorbell = Arc::clone(&rshared);
+                hub.add_waker(Box::new(move || doorbell.poller.wake()));
+            }
+        }
         let knobs = ReactorKnobs {
             idle_poll: config.idle_poll,
             drain_patience: config.drain_patience,
@@ -588,6 +626,8 @@ where
     let mut hello: Option<Hello> = job.hello;
     let mut replies: Vec<Vec<u8>> = Vec::with_capacity(job.bodies.len());
     let mut close = false;
+    let mut repl = job.repl;
+    let mut push: Option<Box<dyn PushSource>> = None;
     for body in &job.bodies {
         if body.is_empty() {
             // Hostile envelope length (zero or over the cap): typed
@@ -614,6 +654,35 @@ where
                 continue;
             }
         };
+        // A replication stream is one-way after the subscription: the
+        // follower may only acknowledge progress or say goodbye.
+        if repl {
+            match msg {
+                ClientMsg::ReplAck { acked } => {
+                    // Lag accounting only — a hostile position is clamped
+                    // by the hub and can never corrupt leader state.
+                    if let Backend::Durable(d) = &shared.backend {
+                        if let Some(hub) = d.repl_hub() {
+                            hub.ack(job.session, acked);
+                        }
+                    }
+                    continue; // acks carry no reply
+                }
+                ClientMsg::Bye => {
+                    replies.push(ServerMsg::ByeOk.encode());
+                    close = true;
+                    break;
+                }
+                _ => {
+                    replies.push(error_body(
+                        ErrorCode::BadState,
+                        "session is a replication stream: only REPL_ACK and BYE are accepted",
+                    ));
+                    close = true;
+                    break;
+                }
+            }
+        }
         match msg {
             ClientMsg::Hello(h) => {
                 if hello.is_some() {
@@ -642,6 +711,14 @@ where
                     close = true;
                     break;
                 };
+                if shared.replica {
+                    replies.push(error_body(
+                        ErrorCode::BadState,
+                        "replica is read-only: its log is a copy of its leader's",
+                    ));
+                    observe(shared, job.session, MSG_REPORT, false, started);
+                    continue;
+                }
                 match shared.backend.absorb_batch(h.wire_version, &batch) {
                     Ok(accepted) => {
                         obs.frames_absorbed.add(accepted);
@@ -679,6 +756,14 @@ where
                     close = true;
                     break;
                 }
+                if shared.replica {
+                    replies.push(error_body(
+                        ErrorCode::BadState,
+                        "replica is read-only: its log is a copy of its leader's",
+                    ));
+                    observe(shared, job.session, MSG_SEAL, false, started);
+                    continue;
+                }
                 let (reply, ok) = match shared.backend.seal() {
                     Ok(epoch) => (ServerMsg::SealOk { epoch }, true),
                     Err(e) => (ServerMsg::Error(e), false),
@@ -702,6 +787,43 @@ where
                 replies.push(ServerMsg::MetricsOk(shared.registry.snapshot()).encode());
                 observe(shared, job.session, MSG_METRICS, true, started);
             }
+            ClientMsg::Replicate { start } => {
+                // Allowed before HELLO only (like STATUS it names no
+                // report kind) — and *instead of* it: a stream session
+                // never negotiates a report session.
+                if hello.is_some() {
+                    replies.push(error_body(
+                        ErrorCode::BadState,
+                        "REPLICATE on a negotiated report session",
+                    ));
+                    close = true;
+                    break;
+                }
+                match setup_replication(shared, job.session, start) {
+                    Ok((reply, source)) => {
+                        replies.push(reply);
+                        repl = true;
+                        push = Some(source);
+                        observe(shared, job.session, MSG_REPLICATE, true, started);
+                        // Anything pipelined after this body hits the
+                        // stream-session guard above.
+                    }
+                    Err((code, detail)) => {
+                        replies.push(error_body(code, detail));
+                        observe(shared, job.session, MSG_REPLICATE, false, started);
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            ClientMsg::ReplAck { .. } => {
+                replies.push(error_body(
+                    ErrorCode::BadState,
+                    "REPL_ACK outside a replication stream",
+                ));
+                close = true;
+                break;
+            }
             ClientMsg::Bye => {
                 replies.push(ServerMsg::ByeOk.encode());
                 close = true;
@@ -713,7 +835,56 @@ where
         token: job.token,
         hello,
         replies,
+        repl,
+        push,
         close,
+    }
+}
+
+/// A granted replication stream: the encoded `REPL_OK` reply plus the
+/// push source feeding the session, or the typed refusal to send back.
+type ReplGrant = Result<(Vec<u8>, Box<dyn PushSource>), (ErrorCode, String)>;
+
+/// Subscribes a session to the leader's log and builds its push stream:
+/// the hub admits the position, the cursor opens the log, and the
+/// `REPL_OK` reply carries the leader's record count. Any failure after
+/// the subscription unsubscribes before reporting, so a refused stream
+/// leaks nothing.
+fn setup_replication<S>(shared: &Shared<S>, session: u64, start: u64) -> ReplGrant
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    let Backend::Durable(d) = &shared.backend else {
+        return Err((
+            ErrorCode::ReplUnavailable,
+            "replication requires a durable backend (no write-ahead log to stream)".to_string(),
+        ));
+    };
+    let Some(hub) = d.repl_hub() else {
+        return Err((
+            ErrorCode::ReplUnavailable,
+            "replication hub unavailable: the store could not state its log".to_string(),
+        ));
+    };
+    hub.subscribe(session, start)
+        .map_err(|detail| (ErrorCode::ReplUnavailable, detail))?;
+    match ReplCursor::new(Arc::clone(hub), session, d.dir(), start) {
+        Ok(cursor) => {
+            let reply = ServerMsg::ReplOk {
+                start,
+                leader_records: hub.records(),
+            }
+            .encode();
+            Ok((reply, Box::new(cursor)))
+        }
+        Err(e) => {
+            hub.unsubscribe(session);
+            Err((
+                ErrorCode::Internal,
+                format!("opening a log cursor for the stream failed: {e}"),
+            ))
+        }
     }
 }
 

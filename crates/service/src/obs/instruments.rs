@@ -86,6 +86,16 @@ pub mod names {
     pub const STORAGE_REPLAY_RECORDS: &str = "storage.replay_records";
     /// Counter, frames: frames replayed by recovery at open.
     pub const STORAGE_REPLAY_FRAMES: &str = "storage.replay_frames";
+
+    /// Gauge, sessions: follower sessions currently subscribed to this
+    /// leader's WAL stream.
+    pub const REPL_FOLLOWERS: &str = "repl.followers";
+    /// Gauge, records: records the slowest subscribed follower has yet
+    /// to acknowledge (0 with no followers).
+    pub const REPL_FOLLOWER_LAG_RECORDS: &str = "repl.follower_lag_records";
+    /// Counter, records: replicated WAL records a follower has applied
+    /// and persisted to its own log.
+    pub const REPL_RECORDS_APPLIED: &str = "repl.records_applied";
 }
 
 /// Shard-tier instruments (`crate::ShardedAggregator` and the service's
@@ -255,6 +265,32 @@ impl StorageInstruments {
             wedged: registry.gauge(names::STORAGE_WEDGED),
             replay_records: registry.counter(names::STORAGE_REPLAY_RECORDS),
             replay_frames: registry.counter(names::STORAGE_REPLAY_FRAMES),
+        }
+    }
+}
+
+/// Replication-tier instruments. On a leader the two gauges track its
+/// subscribed followers; on a follower the counter tracks applied
+/// records. Both sides register the full bundle so the exposition shape
+/// does not depend on the role.
+#[derive(Debug, Clone)]
+pub struct ReplInstruments {
+    /// [`names::REPL_FOLLOWERS`].
+    pub followers: Arc<Gauge>,
+    /// [`names::REPL_FOLLOWER_LAG_RECORDS`].
+    pub follower_lag_records: Arc<Gauge>,
+    /// [`names::REPL_RECORDS_APPLIED`].
+    pub records_applied: Arc<Counter>,
+}
+
+impl ReplInstruments {
+    /// Resolves the replication-tier instruments from `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            followers: registry.gauge(names::REPL_FOLLOWERS),
+            follower_lag_records: registry.gauge(names::REPL_FOLLOWER_LAG_RECORDS),
+            records_applied: registry.counter(names::REPL_RECORDS_APPLIED),
         }
     }
 }

@@ -16,14 +16,15 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
-use crate::obs::instruments::StorageInstruments;
+use crate::obs::instruments::{ReplInstruments, StorageInstruments};
 use crate::obs::MetricsRegistry;
+use crate::repl::hub::ReplHub;
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
 use crate::storage::recovery::{self, RecoveryReport, ResumePoint};
@@ -127,6 +128,10 @@ where
     /// no shadow copies — [`DurableService::status`] and the METRICS
     /// exposition cannot disagree.
     obs: StorageInstruments,
+    /// The replication hub, once this store serves as a leader (created
+    /// lazily by [`DurableService::ensure_repl_hub`]). Append paths
+    /// publish each logged record through it; `None` costs nothing.
+    repl: OnceLock<Arc<ReplHub>>,
 }
 
 impl<S> Drop for DurableService<S>
@@ -421,6 +426,7 @@ where
                 last_checkpoint: AtomicU64::new(last),
                 registry,
                 obs,
+                repl: OnceLock::new(),
             },
             report,
         ))
@@ -515,6 +521,7 @@ where
         self.obs.wal_records.incr();
         self.obs.wal_frames.add(n);
         wal.records_since_checkpoint += 1;
+        self.notify_repl(&mut wal);
         self.maybe_auto_checkpoint(&mut wal);
         Ok(n)
     }
@@ -542,6 +549,7 @@ where
         self.obs.append_ns.record_elapsed(started);
         self.obs.wal_records.incr();
         wal.records_since_checkpoint += 1;
+        self.notify_repl(&mut wal);
         self.maybe_auto_checkpoint(&mut wal);
         Ok(epoch)
     }
@@ -657,6 +665,129 @@ where
         }
     }
 
+    /// The attached replication hub, if this store has ever served as a
+    /// replication leader.
+    pub(crate) fn repl_hub(&self) -> Option<&Arc<ReplHub>> {
+        self.repl.get()
+    }
+
+    /// Attaches (or returns) the replication hub: scans the retained log
+    /// once — under the WAL lock, so the count cannot race an append —
+    /// to seed the absolute record count and decide availability (the
+    /// log must still start at segment 0 for positions to be exact from
+    /// the origin).
+    ///
+    /// # Errors
+    ///
+    /// I/O and lock failures during the seeding scan.
+    pub(crate) fn ensure_repl_hub(&self) -> Result<Arc<ReplHub>, ServiceError> {
+        let mut wal = self.lock_wal()?;
+        if let Some(hub) = self.repl.get() {
+            return Ok(Arc::clone(hub));
+        }
+        let (records, origin) = self.scan_log_locked(&mut wal)?;
+        let hub = Arc::new(ReplHub::new(
+            records,
+            origin,
+            ReplInstruments::register(&self.registry),
+        ));
+        let _ = self.repl.set(Arc::clone(&hub));
+        Ok(hub)
+    }
+
+    /// Counts every record in the retained log (FRAMES, SEAL, and
+    /// CHECKPOINT markers alike) and reports whether the log still
+    /// starts at segment 0. Used to seed the leader's replication hub
+    /// and to position a follower at its local tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O and lock failures; corruption inside a sealed segment.
+    pub(crate) fn scan_log(&self) -> Result<(u64, bool), ServiceError> {
+        let mut wal = self.lock_wal()?;
+        self.scan_log_locked(&mut wal)
+    }
+
+    fn scan_log_locked(&self, wal: &mut WalInner) -> Result<(u64, bool), ServiceError> {
+        if let Err(e) = wal.writer.flush_buffer() {
+            // A failed flush can leave a partial record on disk; writing
+            // past it would bury acked records behind garbage.
+            self.obs.wedged.set(1);
+            return Err(e.into());
+        }
+        let origin = wal::list_segments(&self.dir)?
+            .first()
+            .is_some_and(|(seq, _)| *seq == 0);
+        let mut reader = wal::WalReader::open_start(&self.dir)?;
+        while !reader.next_batch(usize::MAX)?.is_empty() {}
+        Ok((reader.records_read(), origin))
+    }
+
+    /// Publishes one appended record to the replication hub: flushes the
+    /// writer's buffer so tail-following cursors see the record even
+    /// under lazy fsync policies, then bumps the hub's absolute count
+    /// and wakes streaming sessions. Called with the WAL lock held, so
+    /// hub count order is log order.
+    fn notify_repl(&self, wal: &mut WalInner) {
+        let Some(hub) = self.repl.get() else {
+            return;
+        };
+        if hub.has_followers() && wal.writer.flush_buffer().is_err() {
+            // Same hazard as a failed sync: a partial record may now be
+            // on disk, and appending past it would corrupt the log.
+            self.obs.wedged.set(1);
+        }
+        hub.record_appended();
+    }
+
+    /// Applies one replicated WAL record through the same decode/absorb/
+    /// seal paths live ingestion uses, and appends it to this store's
+    /// *own* log — all-or-nothing, exactly like the leader did. FRAMES
+    /// and SEAL records mutate state; a CHECKPOINT record is appended as
+    /// a marker only (the follower checkpoints on its own schedule,
+    /// which for a live follower is never), so the follower's record
+    /// positions stay aligned with the leader's.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableService::ingest_batch`] / [`DurableService::seal_epoch`];
+    /// a SEAL naming a different epoch than the follower's ring sealed
+    /// surfaces as corrupt state (the logs have diverged).
+    pub(crate) fn apply_replicated(&self, record: &WalRecord) -> Result<(), ServiceError> {
+        match record {
+            WalRecord::Frames {
+                wire_version,
+                count,
+                frames,
+            } => self.ingest_batch(*wire_version, *count, frames).map(|_| ()),
+            WalRecord::Seal { epoch } => {
+                let sealed = self.seal_epoch()?;
+                if sealed != *epoch {
+                    return Err(ServiceError::Range(ldp_ranges::RangeError::CorruptState(
+                        "replicated SEAL names a different epoch than the follower sealed \
+                         — the logs have diverged",
+                    )));
+                }
+                Ok(())
+            }
+            WalRecord::Checkpoint { id } => self.append_checkpoint_marker(*id),
+        }
+    }
+
+    /// Appends a CHECKPOINT marker without checkpointing (the follower's
+    /// mirror of the leader's marker — recovery skips it on replay).
+    fn append_checkpoint_marker(&self, id: u64) -> Result<(), ServiceError> {
+        let mut wal = self.lock_wal()?;
+        self.check_wedged()?;
+        if let Err(e) = wal.writer.append(&WalRecord::Checkpoint { id }) {
+            self.obs.wedged.set(1);
+            return Err(e.into());
+        }
+        self.obs.wal_records.incr();
+        self.notify_repl(&mut wal);
+        Ok(())
+    }
+
     fn lock_wal(&self) -> Result<std::sync::MutexGuard<'_, WalInner>, ServiceError> {
         self.wal
             .lock()
@@ -718,6 +849,7 @@ where
             return Err(e.into());
         }
         self.obs.wal_records.incr();
+        self.notify_repl(wal);
         let replay_from_seq = match wal.writer.rotate() {
             Ok(seq) => seq,
             Err(e) => {
@@ -734,14 +866,25 @@ where
             },
         )?;
         if !self.config.retain_history {
+            let mut pruned = false;
             for (seq, path) in wal::list_segments(&self.dir)? {
                 if seq < replay_from_seq {
                     std::fs::remove_file(path)?;
+                    pruned = true;
                 }
             }
             for (old_id, path) in checkpoint::list_checkpoints(&self.dir)? {
                 if old_id < id {
                     std::fs::remove_file(path)?;
+                }
+            }
+            if pruned {
+                // Records before the checkpoint no longer exist on disk:
+                // positions can no longer be served from the origin, so
+                // new replication subscriptions are refused (in-flight
+                // cursors past the pruned point keep streaming).
+                if let Some(hub) = self.repl.get() {
+                    hub.mark_pruned();
                 }
             }
         }

@@ -494,6 +494,18 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Flushes buffered bytes to the OS without forcing them to disk —
+    /// under a lazy [`FsyncPolicy`] this is what makes freshly appended
+    /// records visible to a tail-following [`WalReader`] promptly (the
+    /// replication stream) without paying an fsync per record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn flush_buffer(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+
     /// Syncs and closes the current segment and opens the next one,
     /// returning the new sequence number. Checkpoints rotate explicitly
     /// so the checkpoint boundary is a segment boundary.
@@ -510,6 +522,208 @@ impl WalWriter {
         self.appended_records = appended_records;
         self.appended_frames = appended_frames;
         Ok(self.seq)
+    }
+}
+
+// --- the tail-follow reader --------------------------------------------
+
+/// Read side of a *live* WAL: a cursor that scans records in order and
+/// follows the tail while a [`WalWriter`] keeps appending — the feed a
+/// replication leader streams to its followers from.
+///
+/// The cursor distinguishes three tail shapes:
+///
+/// * **Nothing more yet** — the current segment ends cleanly (or in a
+///   partial record the writer is still producing) and no later segment
+///   exists: [`WalReader::next_batch`] returns an empty batch and the
+///   caller retries after the next append.
+/// * **Rotation** — the current segment is exhausted on a record
+///   boundary and segment `seq + 1` exists: the cursor advances into it
+///   transparently.
+/// * **Damage** — an undecodable record in a *sealed* segment (one with
+///   a successor: the writer only rotates on record boundaries), or a
+///   segment deleted under the cursor (checkpoint pruning outran it).
+///   Both are hard errors; a torn tail in the *last* segment is never
+///   one, because it is indistinguishable from a write in progress.
+#[derive(Debug)]
+pub struct WalReader {
+    dir: PathBuf,
+    seq: u64,
+    file: Option<File>,
+    /// Unconsumed bytes read from the current segment, starting at a
+    /// record boundary (or at byte 0 before the header is validated).
+    buf: Vec<u8>,
+    /// Whether the current segment's header has been validated (and
+    /// stripped from `buf`).
+    header_done: bool,
+    /// Records yielded so far — position `records_read()` is the next
+    /// record the cursor will produce.
+    records_read: u64,
+}
+
+impl WalReader {
+    /// Opens a cursor at the first record of the earliest segment in
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be listed or holds no segments.
+    pub fn open_start(dir: &Path) -> std::io::Result<Self> {
+        let segments = list_segments(dir)?;
+        let Some(&(seq, _)) = segments.first() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "WAL directory holds no segments",
+            ));
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            seq,
+            file: None,
+            buf: Vec::new(),
+            header_done: false,
+            records_read: 0,
+        })
+    }
+
+    /// Sequence number of the segment the cursor is positioned in.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records yielded so far — the absolute position (relative to the
+    /// first retained segment) of the next record.
+    #[must_use]
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Pulls bytes from the current segment file into `buf`. Returns
+    /// whether any new bytes arrived.
+    fn fill(&mut self) -> std::io::Result<bool> {
+        use std::io::Read;
+        if self.file.is_none() {
+            match File::open(segment_path(&self.dir, self.seq)) {
+                Ok(f) => self.file = Some(f),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Not created yet (the writer is about to) — unless a
+                    // later segment exists, in which case this one was
+                    // pruned out from under the cursor.
+                    let later = list_segments(&self.dir)?
+                        .iter()
+                        .any(|&(seq, _)| seq > self.seq);
+                    if later {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            format!("WAL segment {} pruned under the cursor", self.seq),
+                        ));
+                    }
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let file = self.file.as_mut().expect("file just opened");
+        let before = self.buf.len();
+        // The file handle's own cursor tracks how far we have read; a
+        // concurrent writer only ever appends past it.
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match file.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.buf.len() > before)
+    }
+
+    /// Reads the next run of complete records, up to roughly `max_bytes`
+    /// of record bodies per call (at least one record when one is
+    /// available). An empty result means the log holds no complete
+    /// record past the cursor *yet* — retry after the writer appends.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors, a pruned segment, or corruption in a
+    /// sealed (non-last) segment. A partial record at the very tail is
+    /// not an error.
+    pub fn next_batch(&mut self, max_bytes: usize) -> std::io::Result<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        let mut budget = max_bytes;
+        loop {
+            self.fill()?;
+            if !self.header_done {
+                if self.buf.len() < SEGMENT_HEADER_BYTES as usize {
+                    return Ok(out); // header still being written
+                }
+                check_segment_header(&self.buf, self.seq)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                self.buf.drain(..SEGMENT_HEADER_BYTES as usize);
+                self.header_done = true;
+            }
+            let mut pos = 0usize;
+            let mut stalled = false;
+            while pos < self.buf.len() {
+                match decode_framed(&self.buf[pos..]) {
+                    Ok((record, used)) => {
+                        pos += used;
+                        budget = budget.saturating_sub(used);
+                        self.records_read += 1;
+                        out.push(record);
+                        if budget == 0 {
+                            self.buf.drain(..pos);
+                            return Ok(out);
+                        }
+                    }
+                    Err(WireError::Truncated) => {
+                        stalled = true;
+                        break;
+                    }
+                    Err(e) => {
+                        // Complete-looking but invalid bytes. In the last
+                        // segment this can transiently happen while the
+                        // writer's bytes land; only a *sealed* segment
+                        // (successor exists) makes it real corruption.
+                        if segment_path(&self.dir, self.seq + 1).exists() {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("WAL record corrupt in sealed segment {}: {e}", self.seq),
+                            ));
+                        }
+                        stalled = true;
+                        break;
+                    }
+                }
+            }
+            self.buf.drain(..pos);
+            if stalled || self.buf.is_empty() {
+                // At the readable end of this segment. If the writer has
+                // rotated past it, leftover bytes are a torn rotation
+                // (impossible from the writer, so: corruption); a clean
+                // boundary advances the cursor.
+                if segment_path(&self.dir, self.seq + 1).exists() {
+                    // Re-read once: the tail bytes may have completed
+                    // between our fill and the rotation.
+                    if self.fill()? {
+                        continue;
+                    }
+                    if !self.buf.is_empty() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("torn record at end of sealed segment {}", self.seq),
+                        ));
+                    }
+                    self.seq += 1;
+                    self.file = None;
+                    self.header_done = false;
+                    continue;
+                }
+                return Ok(out);
+            }
+        }
     }
 }
 
@@ -658,6 +872,95 @@ mod tests {
             }
         }
         assert_eq!(total, 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_tail_follows_across_rotations() {
+        let dir = crate::storage::scratch_dir("wal-reader").unwrap();
+        let mut writer = WalWriter::create(&dir, 0, 256, FsyncPolicy::Never).unwrap();
+        let mut reader = WalReader::open_start(&dir).unwrap();
+        // Nothing yet (header only).
+        writer.flush_buffer().unwrap();
+        assert!(reader.next_batch(1 << 20).unwrap().is_empty());
+
+        let mut written = Vec::new();
+        for i in 0..25u64 {
+            let rec = WalRecord::Frames {
+                wire_version: 1,
+                count: 1,
+                frames: vec![i as u8; 16],
+            };
+            writer.append(&rec).unwrap();
+            written.push(rec);
+        }
+        writer.append(&WalRecord::Seal { epoch: 0 }).unwrap();
+        written.push(WalRecord::Seal { epoch: 0 });
+        writer.flush_buffer().unwrap();
+        assert!(writer.seq() > 0, "no rotation happened");
+
+        // The reader walks every record across the rotations, in order.
+        let mut seen = Vec::new();
+        loop {
+            let batch = reader.next_batch(128).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch);
+        }
+        assert_eq!(seen, written);
+        assert_eq!(reader.records_read(), written.len() as u64);
+
+        // A partial record at the tail is "nothing yet", not an error —
+        // hand-append a framed record minus its last byte.
+        let framed = WalRecord::Seal { epoch: 9 }.encode_framed();
+        let tail_path = segment_path(&dir, writer.seq());
+        use std::io::Write as _;
+        let mut raw = OpenOptions::new().append(true).open(&tail_path).unwrap();
+        raw.write_all(&framed[..framed.len() - 1]).unwrap();
+        raw.flush().unwrap();
+        assert!(reader.next_batch(1 << 20).unwrap().is_empty());
+        // Completing the record makes it readable.
+        raw.write_all(&framed[framed.len() - 1..]).unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+        assert_eq!(
+            reader.next_batch(1 << 20).unwrap(),
+            vec![WalRecord::Seal { epoch: 9 }]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_errors_on_pruned_segment_and_sealed_corruption() {
+        let dir = crate::storage::scratch_dir("wal-reader-err").unwrap();
+        let mut writer = WalWriter::create(&dir, 0, 200, FsyncPolicy::Never).unwrap();
+        for i in 0..20u64 {
+            writer
+                .append(&WalRecord::Frames {
+                    wire_version: 1,
+                    count: 1,
+                    frames: vec![i as u8; 16],
+                })
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        assert!(writer.seq() >= 2, "need several segments");
+
+        // Corruption inside a sealed (non-last) segment is a hard error.
+        let mut reader = WalReader::open_start(&dir).unwrap();
+        let bytes = std::fs::read(segment_path(&dir, 0)).unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[SEGMENT_HEADER_BYTES as usize + 9] ^= 0x20;
+        std::fs::write(segment_path(&dir, 0), &corrupt).unwrap();
+        assert!(reader.next_batch(1 << 20).is_err());
+        std::fs::write(segment_path(&dir, 0), &bytes).unwrap();
+
+        // A segment deleted under the cursor (pruning outran it) errors
+        // rather than silently skipping records.
+        let mut reader = WalReader::open_start(&dir).unwrap();
+        std::fs::remove_file(segment_path(&dir, 0)).unwrap();
+        assert!(reader.next_batch(1 << 20).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -320,3 +320,152 @@ fn hostile_queries_and_epoch_mismatches_are_typed() {
     session.bye().unwrap();
     let _ = server.shutdown();
 }
+
+/// Hostile replication clients: bogus start positions, garbage acks,
+/// non-ack messages on the stream, and mid-record disconnects. The
+/// leader must stay live for its report sessions throughout, the lag
+/// accounting must stay clamped, and every dead stream must leave zero
+/// follower state behind.
+#[test]
+fn hostile_followers_cannot_wedge_the_leader() {
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
+    use ldp_service::ReplFeed;
+
+    let names = ldp_service::obs::instruments::names::REPL_FOLLOWERS;
+    let lag_name = ldp_service::obs::instruments::names::REPL_FOLLOWER_LAG_RECORDS;
+
+    // REPLICATE against a non-durable backend: a typed refusal, and the
+    // server keeps serving.
+    let (client, _, plain_server) = hh_fixture();
+    let err = ReplFeed::connect(plain_server.local_addr(), 0).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::ReplUnavailable));
+    probe_alive(plain_server.local_addr(), &client, 0);
+    let _ = plain_server.shutdown();
+
+    // A durable leader with four acked FRAMES records.
+    let config = HhConfig::new(64, 4, Epsilon::new(1.1)).unwrap();
+    let client = HhClient::new(config.clone()).unwrap();
+    let prototype = HhServer::new(config).unwrap();
+    let dir = scratch_dir("repl-hostile").unwrap();
+    let (leader, _) = DurableService::open(
+        &dir,
+        &prototype,
+        DurableConfig {
+            num_shards: 2,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_records: 0,
+            ..DurableConfig::default()
+        },
+    )
+    .unwrap();
+    let leader = Arc::new(leader);
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut session = LdpClient::connect(addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    for _ in 0..4 {
+        let mut stream = EncodedStream::new();
+        for i in 0..8 {
+            stream.push(&client.report(i % 64, &mut rng).unwrap());
+        }
+        assert_eq!(session.send_batch(8, stream.as_bytes()).unwrap(), 8);
+    }
+    let gauge = |name: &str| server.registry().snapshot().gauge(name).unwrap_or(0);
+    let await_gauge = |name: &str, want: u64, what: &str| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while gauge(name) != want {
+            assert!(
+                Instant::now() < deadline,
+                "{what}: gauge {name} never hit {want}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    // 1. Subscribing past the log end: typed refusal, nothing registered.
+    let err = ReplFeed::connect(addr, 999).unwrap_err();
+    assert!(matches!(err, NetError::Remote(ref e) if e.code == ErrorCode::ReplUnavailable));
+    assert_eq!(gauge(names), 0, "refused subscription leaked a follower");
+
+    // 2. REPLICATE on an already-negotiated report session: a state
+    //    error — a stream session never negotiates.
+    let negotiated = LdpClient::connect(addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let mut raw = negotiated.into_stream();
+    write_message(&mut raw, &ClientMsg::Replicate { start: 0 }.encode()).unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::BadState);
+    drop(raw);
+
+    // 3. A subscribed follower that acks garbage: u64::MAX clamps to the
+    //    log end, a replayed stale ack cannot move the gauge backwards,
+    //    and a QUERY on the stream is a typed state error that ends it.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_message(&mut raw, &ClientMsg::Replicate { start: 0 }.encode()).unwrap();
+    let body = read_message(&mut raw).unwrap();
+    assert!(matches!(
+        ServerMsg::decode(&body).unwrap(),
+        ServerMsg::ReplOk {
+            start: 0,
+            leader_records: 4,
+        }
+    ));
+    assert_eq!(gauge(names), 1, "subscription not registered");
+    for expected in 0..4u64 {
+        let body = read_message(&mut raw).unwrap();
+        match ServerMsg::decode(&body).unwrap() {
+            ServerMsg::ReplRecord { position, .. } => assert_eq!(position, expected),
+            other => panic!("expected pushed record {expected}, got {other:?}"),
+        }
+    }
+    write_message(&mut raw, &ClientMsg::ReplAck { acked: u64::MAX }.encode()).unwrap();
+    await_gauge(lag_name, 0, "clamped ack");
+    write_message(&mut raw, &ClientMsg::ReplAck { acked: 0 }.encode()).unwrap();
+    write_message(
+        &mut raw,
+        &ClientMsg::Query(Query {
+            op: QueryOp::Point { z: 0 },
+            window: None,
+        })
+        .encode(),
+    )
+    .unwrap();
+    let e = read_error(&mut raw);
+    assert_eq!(e.code, ErrorCode::BadState);
+    // The stale ack arrived before the QUERY killed the stream and must
+    // not have moved the gauge backwards.
+    assert_eq!(gauge(lag_name), 0, "stale ack moved the lag backwards");
+    drop(raw);
+    await_gauge(names, 0, "stream teardown");
+
+    // 4. Mid-record disconnect: subscribe, swallow a few bytes of the
+    //    push stream (a partial envelope), vanish without a word.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_message(&mut raw, &ClientMsg::Replicate { start: 0 }.encode()).unwrap();
+    let mut partial = [0u8; 13]; // REPL_OK and then part of a pushed record
+    raw.read_exact(&mut partial).unwrap();
+    drop(raw);
+    await_gauge(names, 0, "mid-record disconnect");
+    assert_eq!(gauge(lag_name), 0, "dead stream left lag behind");
+
+    // Throughout: the leader absorbed exactly its report traffic and
+    // still serves it.
+    assert_eq!(leader.num_reports(), 32, "replication leaked reports");
+    let reply = session.range(0, 63).unwrap();
+    assert_eq!(reply.num_reports, 32);
+    let mut stream = EncodedStream::new();
+    for i in 0..8 {
+        stream.push(&client.report(i % 64, &mut rng).unwrap());
+    }
+    assert_eq!(session.send_batch(8, stream.as_bytes()).unwrap(), 8);
+    session.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.frames_absorbed, 40);
+    drop(leader);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

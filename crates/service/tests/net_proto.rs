@@ -42,7 +42,7 @@ fn query_from(selector: u64, a: u64, b: u64, phi_milli: u64, window: u64) -> Que
     }
 }
 
-const CODES: [ErrorCode; 11] = [
+const CODES: [ErrorCode; 14] = [
     ErrorCode::Protocol,
     ErrorCode::UnsupportedProto,
     ErrorCode::KindMismatch,
@@ -54,6 +54,9 @@ const CODES: [ErrorCode; 11] = [
     ErrorCode::EmptyWindow,
     ErrorCode::BadState,
     ErrorCode::ShuttingDown,
+    ErrorCode::Internal,
+    ErrorCode::IdleTimeout,
+    ErrorCode::ReplUnavailable,
 ];
 
 proptest! {
@@ -69,7 +72,7 @@ proptest! {
         window in 0u64..1_000,
         frames in proptest::collection::vec(0u64..256, 0..64),
     ) {
-        let msg = match selector % 5 {
+        let msg = match selector % 7 {
             0 => ClientMsg::Hello(Hello {
                 kind: kind as u8,
                 wire_version: if wire_v2 == 1 { WIRE_EPOCH } else { WIRE_V1 },
@@ -83,6 +86,8 @@ proptest! {
             }
             2 => ClientMsg::Query(query_from(selector, a, b, phi_milli, window)),
             3 => ClientMsg::Seal,
+            4 => ClientMsg::Replicate { start: a },
+            5 => ClientMsg::ReplAck { acked: b },
             _ => ClientMsg::Bye,
         };
         roundtrip_client(&msg);
@@ -95,11 +100,12 @@ proptest! {
         windowed in 0u64..2,
         x in 0u64..u64::MAX,
         y in 0u64..u64::MAX,
-        code_idx in 0usize..11,
+        code_idx in 0usize..14,
         has_index in 0u64..2,
         detail_len in 0usize..64,
+        body in proptest::collection::vec(0u64..256, 1..48),
     ) {
-        let msg = match selector % 6 {
+        let msg = match selector % 8 {
             0 => ServerMsg::HelloOk(HelloOk {
                 kind: kind as u8,
                 wire_version: if windowed == 1 { WIRE_EPOCH } else { WIRE_V1 },
@@ -120,6 +126,15 @@ proptest! {
             }),
             3 => ServerMsg::SealOk { epoch: x },
             4 => ServerMsg::ByeOk,
+            5 => ServerMsg::ReplOk {
+                start: x.min(y),
+                leader_records: x.max(y),
+            },
+            6 => ServerMsg::ReplRecord {
+                position: x,
+                // The codec enforces a non-empty record body.
+                body: body.iter().map(|&b| b as u8).collect(),
+            },
             _ => ServerMsg::Error(RemoteError::new(
                 CODES[code_idx],
                 (has_index == 1).then_some(x),
@@ -145,5 +160,52 @@ proptest! {
         framed.extend_from_slice(&soup);
         let _ = ClientMsg::decode(&framed);
         let _ = ServerMsg::decode(&framed);
+    }
+
+    /// The REPLICATE codec at every truncation split: valid stream
+    /// messages cut at every byte boundary must decode to Err (never a
+    /// panic, never a bogus Ok shorter than the original), and the
+    /// surviving full messages round-trip — the leader's stream can die
+    /// mid-envelope at any offset, and the follower's parser must treat
+    /// every cut as a clean torn tail.
+    #[test]
+    fn replication_messages_survive_every_truncation(
+        start in 0u64..u64::MAX,
+        position in 0u64..u64::MAX,
+        acked in 0u64..u64::MAX,
+        body in proptest::collection::vec(0u64..256, 1..64),
+    ) {
+        let client_msgs = [
+            ClientMsg::Replicate { start },
+            ClientMsg::ReplAck { acked },
+        ];
+        for msg in &client_msgs {
+            roundtrip_client(msg);
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                prop_assert!(ClientMsg::decode(&bytes[..cut]).is_err());
+            }
+        }
+        let server_msgs = [
+            ServerMsg::ReplOk { start, leader_records: start.saturating_add(position) },
+            ServerMsg::ReplRecord {
+                position,
+                body: body.iter().map(|&b| b as u8).collect(),
+            },
+        ];
+        for msg in &server_msgs {
+            roundtrip_server(msg);
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // A REPL_REC body is delimited by the envelope, so a cut
+                // inside it *is* a valid shorter record — acceptable only
+                // if byte-exact self-consistent; everything else must be
+                // a clean decode error.
+                if let Ok(decoded) = ServerMsg::decode(&bytes[..cut]) {
+                    prop_assert_eq!(decoded.encode(), &bytes[..cut]);
+                    prop_assert!(matches!(decoded, ServerMsg::ReplRecord { .. }));
+                }
+            }
+        }
     }
 }

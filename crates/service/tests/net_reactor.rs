@@ -180,6 +180,82 @@ fn idle_sessions_are_evicted_with_a_typed_error() {
     assert_eq!(stats.sessions, 2);
 }
 
+/// Regression: a session whose replies are still being flushed is not
+/// "idle". The client pipelines megabytes of METRICS requests and then
+/// goes quiet for twice the idle timeout *without reading* — the
+/// server's outbound buffer (and the kernel's) are full of its replies
+/// the whole time, so evicting it would drop acked work. Every reply
+/// must still arrive, and because flushing them is write progress (which
+/// stamps the eviction clock), the session must answer a STATUS sent
+/// right after the drain.
+#[test]
+fn pending_replies_shield_a_session_from_idle_eviction() {
+    let (_client, _service, server) = hh_fixture(NetConfig {
+        idle_poll: Duration::from_millis(10),
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..NetConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Size one METRICS reply (allowed before HELLO), then pipeline
+    // enough of them that their replies cannot fit in kernel socket
+    // buffers even with autotuning — the server must hold the overflow
+    // across the quiet period.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    let request = ldp_service::net::proto::ClientMsg::Metrics.encode();
+    write_message(&mut stream, &request).unwrap();
+    let reply_len = read_message(&mut stream).unwrap().len() + 4;
+    let n = (16 << 20) / reply_len + 1;
+    let mut burst = Vec::new();
+    for _ in 0..n {
+        burst.extend_from_slice(&(u32::try_from(request.len()).unwrap()).to_le_bytes());
+        burst.extend_from_slice(&request);
+    }
+    stream.write_all(&burst).unwrap();
+
+    // Dead quiet for 2× the idle timeout, replies pending throughout.
+    std::thread::sleep(Duration::from_millis(600));
+
+    for k in 0..n {
+        let body = read_message(&mut stream)
+            .unwrap_or_else(|e| panic!("reply {k} of {n} lost after the idle sleep: {e}"));
+        match ServerMsg::decode(&body).unwrap() {
+            ServerMsg::MetricsOk(_) => {}
+            other => panic!("reply {k} of {n}: expected METRICS_OK, got {other:?}"),
+        }
+    }
+
+    // The drain itself refreshed the eviction clock: the session still
+    // answers, then closes cleanly.
+    write_message(
+        &mut stream,
+        &ldp_service::net::proto::ClientMsg::Status { verbose: false }.encode(),
+    )
+    .unwrap();
+    let body = read_message(&mut stream).unwrap();
+    assert!(matches!(
+        ServerMsg::decode(&body).unwrap(),
+        ServerMsg::StatusOk(_)
+    ));
+    write_message(
+        &mut stream,
+        &ldp_service::net::proto::ClientMsg::Bye.encode(),
+    )
+    .unwrap();
+    let body = read_message(&mut stream).unwrap();
+    assert!(matches!(
+        ServerMsg::decode(&body).unwrap(),
+        ServerMsg::ByeOk
+    ));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions, 1);
+}
+
 /// The portable fallback poller (the non-Linux code path, forced here)
 /// serves the identical protocol: same acks, same estimates as the
 /// in-process snapshot of the very service behind the server.

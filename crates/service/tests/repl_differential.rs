@@ -1,0 +1,557 @@
+//! Replication differential tests: a follower is a *pure function* of
+//! the leader's acked record stream.
+//!
+//! For all six mechanisms, windowed and unwindowed: ingest through a
+//! durable leader over the socket while a [`FollowerService`] streams
+//! the WAL, disconnect the follower at an arbitrary acked offset,
+//! ingest more, restart the follower from its own local log tail, let
+//! it catch up, and promote it. The promoted service's snapshot must be
+//! bit-identical to a fresh in-process service fed exactly the acked
+//! traffic — and a read replica's QUERY replies over the socket must be
+//! bit-identical to the leader's at the same replication position.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldp_freq_oracle::{AnyReport, Epsilon};
+use ldp_ranges::{
+    FlatClient, FlatConfig, FlatServer, HaarConfig, HaarHrrClient, HaarHrrServer, HaarOueClient,
+    HaarOueServer, Hh2dClient, Hh2dConfig, Hh2dServer, HhClient, HhConfig, HhServer, HhSplitClient,
+    HhSplitServer, PersistableServer, SubtractableServer,
+};
+use ldp_service::net::proto::QueryResult;
+use ldp_service::net::{Hello, NetConfig, WIRE_V1};
+use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
+use ldp_service::{
+    EncodedStream, EpochRing, FollowerService, LdpClient, LdpServer, LdpService, RangeSnapshot,
+    SnapshotSource, WireReport,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config() -> DurableConfig {
+    DurableConfig {
+        num_shards: 3,
+        // Small segments so every stream exercises segment rotation.
+        segment_bytes: 4 << 10,
+        fsync: FsyncPolicy::Always,
+        checkpoint_every_records: 0,
+        retain_history: false,
+        ..DurableConfig::default()
+    }
+}
+
+fn assert_snapshots_identical(a: &RangeSnapshot, b: &RangeSnapshot, what: &str) {
+    assert_eq!(a.num_reports(), b.num_reports(), "{what}: num_reports");
+    let fa = a.estimate().frequencies();
+    let fb = b.estimate().frequencies();
+    assert_eq!(fa.len(), fb.len(), "{what}: domain");
+    for (z, (x, y)) in fa.iter().zip(fb).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: estimates differ at item {z}: {x} vs {y}"
+        );
+    }
+}
+
+/// Polls the follower until it reaches `position` (every record applied
+/// *and* logged locally) or the deadline passes.
+fn await_position<S>(follower: &FollowerService<S>, position: u64, what: &str)
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while follower.position() < position {
+        assert!(
+            Instant::now() < deadline,
+            "{what}: follower stuck at {} of {position} (stream error: {:?})",
+            follower.position(),
+            follower.last_error()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(follower.position(), position, "{what}: follower overshot");
+}
+
+/// In-process reference fed the same frames the leader acked.
+fn reference_plain<S>(prototype: &S, batches: &[EncodedStream]) -> RangeSnapshot
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    let service = LdpService::new(prototype, 1).unwrap();
+    for batch in batches {
+        let mut buf = batch.as_bytes();
+        while !buf.is_empty() {
+            let (_, used) = ldp_service::decode_frame::<S::Report>(buf).unwrap();
+            service.submit_frame(&buf[..used]).unwrap();
+            buf = &buf[used..];
+        }
+    }
+    service.refresh_snapshot().unwrap().as_ref().clone()
+}
+
+fn reference_windowed<S>(prototype: &S, window: usize, epochs: &[EncodedStream]) -> RangeSnapshot
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    let service = LdpService::<EpochRing<S>>::windowed(prototype, 1, window).unwrap();
+    for stream in epochs {
+        let mut buf = stream.as_bytes();
+        while !buf.is_empty() {
+            let (_, _, used) = ldp_service::decode_epoch_frame::<S::Report>(buf).unwrap();
+            service.submit_epoch_frame(&buf[..used]).unwrap();
+            buf = &buf[used..];
+        }
+        service.seal_epoch().unwrap();
+    }
+    service.refresh_snapshot().unwrap().as_ref().clone()
+}
+
+/// The unwindowed acceptance loop for one mechanism: stream `cut`
+/// batches to a follower, disconnect it, stream the rest, restart the
+/// follower from its local tail, catch up, check replica queries, and
+/// promote — the promoted state must equal the reference bit for bit.
+fn check_plain_replication<S>(prototype: &S, batches: &[EncodedStream], cut: usize, tag: &str)
+where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    assert!(cut > 0 && cut < batches.len(), "cut must be interior");
+    let leader_dir = scratch_dir(&format!("repl-{tag}-leader")).unwrap();
+    let follower_dir = scratch_dir(&format!("repl-{tag}-follower")).unwrap();
+    let (leader, _) = DurableService::open(&leader_dir, prototype, config()).unwrap();
+    let leader = Arc::new(leader);
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default()).unwrap();
+    let addr = format!("{}", server.local_addr());
+
+    // Phase 1: follower subscribed from the origin.
+    let (follower, report) =
+        FollowerService::open(&follower_dir, prototype, &addr, config()).unwrap();
+    assert_eq!(report.records_replayed, 0);
+    let mut session = LdpClient::connect(&addr, Hello::plain::<S::Report>()).unwrap();
+    for batch in &batches[..cut] {
+        let acked = session
+            .send_batch(batch.len() as u64, batch.as_bytes())
+            .unwrap();
+        assert_eq!(acked, batch.len() as u64);
+    }
+    await_position(&follower, cut as u64, tag);
+    drop(follower); // arbitrary disconnect offset: the cut
+
+    // Phase 2: the leader keeps ingesting with no follower attached.
+    for batch in &batches[cut..] {
+        session
+            .send_batch(batch.len() as u64, batch.as_bytes())
+            .unwrap();
+    }
+
+    // Phase 3: restart from the local tail — recovery replays the local
+    // log (cut records), and the stream resumes at exactly that position.
+    let (follower, report) =
+        FollowerService::open(&follower_dir, prototype, &addr, config()).unwrap();
+    assert_eq!(report.records_replayed, cut as u64, "{tag}: local tail");
+    await_position(&follower, batches.len() as u64, tag);
+
+    // The read replica answers queries bit-identically to the leader at
+    // the same replication position (both are quiescent here).
+    let replica = LdpServer::bind_replica(
+        "127.0.0.1:0",
+        Arc::clone(follower.service()),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let replica_addr = replica.local_addr();
+    let mut replica_session =
+        LdpClient::connect(replica_addr, Hello::plain::<S::Report>()).unwrap();
+    let domain = replica_session.negotiated().domain;
+    for (a, b) in [(0, domain - 1), (0, domain / 2), (domain / 3, domain - 1)] {
+        let ours = replica_session.range(a, b).unwrap();
+        let leaders = session.range(a, b).unwrap();
+        let (QueryResult::Fraction(x), QueryResult::Fraction(y)) = (ours.result, leaders.result)
+        else {
+            panic!("{tag}: range query returned non-fraction");
+        };
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{tag}: replica range [{a}, {b}] differs from leader"
+        );
+    }
+    // A replica is read-only: REPORT is refused and absorbs nothing.
+    let err = replica_session
+        .send_batch(batches[0].len() as u64, batches[0].as_bytes())
+        .unwrap_err();
+    assert!(
+        matches!(err, ldp_service::NetError::Remote(_)),
+        "{tag}: replica accepted a REPORT"
+    );
+    let _ = replica.shutdown();
+    session.bye().unwrap();
+
+    // Phase 4: the leader dies; the promoted follower must be the
+    // reference state, bit for bit.
+    let _ = server.shutdown();
+    drop(leader);
+    let promoted = follower.promote().unwrap();
+    let snap = promoted.refresh_snapshot().unwrap();
+    let expected = reference_plain(prototype, batches);
+    assert_snapshots_identical(&snap, &expected, &format!("{tag} promoted"));
+    // The promoted service is a normal durable leader: it keeps
+    // ingesting through its own (replicated) log.
+    let more = promoted
+        .ingest_batch(WIRE_V1, batches[0].len() as u64, batches[0].as_bytes())
+        .unwrap();
+    assert_eq!(more, batches[0].len() as u64);
+    drop(promoted);
+    std::fs::remove_dir_all(&leader_dir).unwrap();
+    std::fs::remove_dir_all(&follower_dir).unwrap();
+}
+
+/// The windowed acceptance loop: epoch batches with interleaved seals —
+/// the stream ships SEAL records and the follower's ring rotates in
+/// lockstep with the leader's.
+fn check_windowed_replication<S>(
+    prototype: &S,
+    epochs: &[EncodedStream],
+    window: usize,
+    cut_epoch: usize,
+    tag: &str,
+) where
+    S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
+    S::Report: WireReport,
+{
+    assert!(cut_epoch > 0 && cut_epoch < epochs.len());
+    let leader_dir = scratch_dir(&format!("replw-{tag}-leader")).unwrap();
+    let follower_dir = scratch_dir(&format!("replw-{tag}-follower")).unwrap();
+    let (leader, _) =
+        DurableService::open_windowed(&leader_dir, prototype, window, config()).unwrap();
+    let leader = Arc::new(leader);
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default()).unwrap();
+    let addr = format!("{}", server.local_addr());
+
+    let (follower, _) =
+        FollowerService::open_windowed(&follower_dir, prototype, window, &addr, config()).unwrap();
+    let mut session = LdpClient::connect(&addr, Hello::windowed::<S::Report>()).unwrap();
+    // Two FRAMES records + one SEAL per epoch: position = 3 per epoch.
+    let mut drive = |stream: &EncodedStream, epoch: usize| {
+        let mid = stream.len() / 2;
+        session
+            .send_batch(mid as u64, stream.frame_span(0, mid))
+            .unwrap();
+        session
+            .send_batch(
+                (stream.len() - mid) as u64,
+                stream.frame_span(mid, stream.len()),
+            )
+            .unwrap();
+        assert_eq!(session.seal_epoch().unwrap(), epoch as u64);
+    };
+    for (e, stream) in epochs[..cut_epoch].iter().enumerate() {
+        drive(stream, e);
+    }
+    await_position(&follower, 3 * cut_epoch as u64, tag);
+    drop(follower); // disconnect mid-window
+
+    for (e, stream) in epochs[cut_epoch..].iter().enumerate() {
+        drive(stream, cut_epoch + e);
+    }
+
+    let (follower, report) =
+        FollowerService::open_windowed(&follower_dir, prototype, window, &addr, config()).unwrap();
+    // Recovery does not count checkpoint markers (there are none on a
+    // follower anyway), so the replayed count is exactly the local tail.
+    assert_eq!(report.records_replayed, 3 * cut_epoch as u64, "{tag}");
+    await_position(&follower, 3 * epochs.len() as u64, tag);
+    session.bye().unwrap();
+
+    let _ = server.shutdown();
+    drop(leader);
+    let promoted = follower.promote().unwrap();
+    let snap = promoted.refresh_snapshot().unwrap();
+    let expected = reference_windowed(prototype, window, epochs);
+    assert_snapshots_identical(&snap, &expected, &format!("{tag} promoted (live)"));
+    // The trailing window agrees too — the follower's ring sealed and
+    // rotated epoch by epoch, exactly as the leader's did.
+    let win = promoted.window_snapshot(window).unwrap();
+    let reference = LdpService::<EpochRing<S>>::windowed(prototype, 1, window).unwrap();
+    for stream in epochs {
+        let mut buf = stream.as_bytes();
+        while !buf.is_empty() {
+            let (_, _, used) = ldp_service::decode_epoch_frame::<S::Report>(buf).unwrap();
+            reference.submit_epoch_frame(&buf[..used]).unwrap();
+            buf = &buf[used..];
+        }
+        reference.seal_epoch().unwrap();
+    }
+    let exp_win = reference.window_snapshot(window).unwrap();
+    assert_eq!(win.first_epoch(), exp_win.first_epoch(), "{tag}");
+    assert_eq!(win.last_epoch(), exp_win.last_epoch(), "{tag}");
+    assert_snapshots_identical(
+        win.snapshot(),
+        exp_win.snapshot(),
+        &format!("{tag} promoted (window)"),
+    );
+    drop(promoted);
+    std::fs::remove_dir_all(&leader_dir).unwrap();
+    std::fs::remove_dir_all(&follower_dir).unwrap();
+}
+
+fn plain_batches<T: WireReport>(
+    batches: usize,
+    per_batch: usize,
+    seed: u64,
+    mut encode: impl FnMut(usize, &mut StdRng) -> T,
+) -> Vec<EncodedStream> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|b| {
+            let mut stream = EncodedStream::new();
+            for i in 0..per_batch {
+                stream.push(&encode(b * per_batch + i, &mut rng));
+            }
+            stream
+        })
+        .collect()
+}
+
+fn epoch_streams<T: WireReport>(
+    epochs: usize,
+    per_epoch: usize,
+    seed: u64,
+    mut encode: impl FnMut(usize, &mut StdRng) -> T,
+) -> Vec<EncodedStream> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..epochs)
+        .map(|e| {
+            let mut stream = EncodedStream::new();
+            for i in 0..per_epoch {
+                stream.push_epoch(&encode(e * per_epoch + i, &mut rng), e as u64);
+            }
+            stream
+        })
+        .collect()
+}
+
+/// The acceptance-criterion sweep, unwindowed: all six mechanisms, each
+/// with a different disconnect offset.
+#[test]
+fn replication_is_bit_identical_for_all_six_mechanisms() {
+    const BATCHES: usize = 6;
+    const PER_BATCH: usize = 40;
+    let eps = Epsilon::new(1.1);
+
+    let flat_config = FlatConfig::new(32, eps).unwrap();
+    let flat_client = FlatClient::new(&flat_config).unwrap();
+    check_plain_replication(
+        &FlatServer::new(&flat_config).unwrap(),
+        &plain_batches::<AnyReport>(BATCHES, PER_BATCH, 4001, |i, rng| {
+            flat_client.report(i % 32, rng).unwrap()
+        }),
+        1,
+        "flat",
+    );
+
+    let hh_config = HhConfig::new(64, 4, eps).unwrap();
+    let hh_client = HhClient::new(hh_config.clone()).unwrap();
+    check_plain_replication(
+        &HhServer::new(hh_config.clone()).unwrap(),
+        &plain_batches(BATCHES, PER_BATCH, 4002, |i, rng| {
+            hh_client.report((i * 7) % 64, rng).unwrap()
+        }),
+        2,
+        "hh",
+    );
+
+    let split_config = HhConfig::new(64, 2, eps).unwrap();
+    let split_client = HhSplitClient::new(split_config.clone()).unwrap();
+    check_plain_replication(
+        &HhSplitServer::new(split_config.clone()).unwrap(),
+        &plain_batches(BATCHES, PER_BATCH, 4003, |i, rng| {
+            split_client.report((i * 5) % 64, rng).unwrap()
+        }),
+        3,
+        "hhsplit",
+    );
+
+    let haar_config = HaarConfig::new(64, eps).unwrap();
+    let haar_client = HaarHrrClient::new(haar_config.clone()).unwrap();
+    check_plain_replication(
+        &HaarHrrServer::new(haar_config.clone()).unwrap(),
+        &plain_batches(BATCHES, PER_BATCH, 4004, |i, rng| {
+            haar_client.report((i * 11) % 64, rng).unwrap()
+        }),
+        4,
+        "haarhrr",
+    );
+
+    let haar_oue_client = HaarOueClient::new(haar_config.clone()).unwrap();
+    check_plain_replication(
+        &HaarOueServer::new(haar_config.clone()).unwrap(),
+        &plain_batches(BATCHES, PER_BATCH, 4005, |i, rng| {
+            haar_oue_client.report((i * 3) % 64, rng).unwrap()
+        }),
+        5,
+        "haaroue",
+    );
+
+    let config_2d = Hh2dConfig::new(16, 2, eps).unwrap();
+    let client_2d = Hh2dClient::new(config_2d.clone()).unwrap();
+    check_plain_replication(
+        &Hh2dServer::new(config_2d.clone()).unwrap(),
+        &plain_batches(BATCHES, PER_BATCH, 4006, |i, rng| {
+            client_2d.report(i % 16, (i * 3) % 16, rng).unwrap()
+        }),
+        3,
+        "hh2d",
+    );
+}
+
+/// The acceptance-criterion sweep, windowed: all six mechanisms with
+/// seals in the stream and window rotation on both sides.
+#[test]
+fn windowed_replication_is_bit_identical_for_all_six_mechanisms() {
+    const EPOCHS: usize = 4;
+    const PER_EPOCH: usize = 40;
+    const WINDOW: usize = 2;
+    let eps = Epsilon::new(1.1);
+
+    let flat_config = FlatConfig::new(32, eps).unwrap();
+    let flat_client = FlatClient::new(&flat_config).unwrap();
+    check_windowed_replication(
+        &FlatServer::new(&flat_config).unwrap(),
+        &epoch_streams::<AnyReport>(EPOCHS, PER_EPOCH, 4101, |i, rng| {
+            flat_client.report(i % 32, rng).unwrap()
+        }),
+        WINDOW,
+        1,
+        "flat",
+    );
+
+    let hh_config = HhConfig::new(64, 4, eps).unwrap();
+    let hh_client = HhClient::new(hh_config.clone()).unwrap();
+    check_windowed_replication(
+        &HhServer::new(hh_config.clone()).unwrap(),
+        &epoch_streams(EPOCHS, PER_EPOCH, 4102, |i, rng| {
+            hh_client.report((i * 7) % 64, rng).unwrap()
+        }),
+        WINDOW,
+        2,
+        "hh",
+    );
+
+    let split_config = HhConfig::new(64, 2, eps).unwrap();
+    let split_client = HhSplitClient::new(split_config.clone()).unwrap();
+    check_windowed_replication(
+        &HhSplitServer::new(split_config.clone()).unwrap(),
+        &epoch_streams(EPOCHS, PER_EPOCH, 4103, |i, rng| {
+            split_client.report((i * 5) % 64, rng).unwrap()
+        }),
+        WINDOW,
+        3,
+        "hhsplit",
+    );
+
+    let haar_config = HaarConfig::new(64, eps).unwrap();
+    let haar_client = HaarHrrClient::new(haar_config.clone()).unwrap();
+    check_windowed_replication(
+        &HaarHrrServer::new(haar_config.clone()).unwrap(),
+        &epoch_streams(EPOCHS, PER_EPOCH, 4104, |i, rng| {
+            haar_client.report((i * 11) % 64, rng).unwrap()
+        }),
+        WINDOW,
+        1,
+        "haarhrr",
+    );
+
+    let haar_oue_client = HaarOueClient::new(haar_config.clone()).unwrap();
+    check_windowed_replication(
+        &HaarOueServer::new(haar_config.clone()).unwrap(),
+        &epoch_streams(EPOCHS, PER_EPOCH, 4105, |i, rng| {
+            haar_oue_client.report((i * 3) % 64, rng).unwrap()
+        }),
+        WINDOW,
+        2,
+        "haaroue",
+    );
+
+    let config_2d = Hh2dConfig::new(16, 2, eps).unwrap();
+    let client_2d = Hh2dClient::new(config_2d.clone()).unwrap();
+    check_windowed_replication(
+        &Hh2dServer::new(config_2d.clone()).unwrap(),
+        &epoch_streams(EPOCHS, PER_EPOCH, 4106, |i, rng| {
+            client_2d.report(i % 16, (i * 3) % 16, rng).unwrap()
+        }),
+        WINDOW,
+        3,
+        "hh2d",
+    );
+}
+
+/// A follower that was streaming while the leader checkpoints: the
+/// pushed CHECKPOINT marker lands in the follower's log as a no-op
+/// marker, the follower's position counts it, and a *new* subscription
+/// after the prune is refused with `REPL_UNAVAILABLE`.
+#[test]
+fn checkpoint_markers_replicate_and_pruning_refuses_new_subscriptions() {
+    let eps = Epsilon::new(1.1);
+    let hh_config = HhConfig::new(64, 4, eps).unwrap();
+    let hh_client = HhClient::new(hh_config.clone()).unwrap();
+    let prototype = HhServer::new(hh_config).unwrap();
+    let batches = plain_batches(4, 30, 4201, |i, rng| {
+        hh_client.report((i * 7) % 64, rng).unwrap()
+    });
+
+    let leader_dir = scratch_dir("repl-ckpt-leader").unwrap();
+    let follower_dir = scratch_dir("repl-ckpt-follower").unwrap();
+    let (leader, _) = DurableService::open(&leader_dir, &prototype, config()).unwrap();
+    let leader = Arc::new(leader);
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default()).unwrap();
+    let addr = format!("{}", server.local_addr());
+
+    let (follower, _) = FollowerService::open(&follower_dir, &prototype, &addr, config()).unwrap();
+    let mut session = LdpClient::connect(&addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    for batch in &batches[..2] {
+        session
+            .send_batch(batch.len() as u64, batch.as_bytes())
+            .unwrap();
+    }
+    // Let the cursor reach the tail first, so the prune below can never
+    // delete a segment the stream has not opened yet (in-flight cursors
+    // past the pruned point keep streaming; lagging ones would die).
+    await_position(&follower, 2, "ckpt-marker pre-prune");
+    // The leader checkpoints (pruning its early segments): the marker is
+    // streamed, the follower appends it without checkpointing itself.
+    leader.checkpoint().unwrap();
+    for batch in &batches[2..] {
+        session
+            .send_batch(batch.len() as u64, batch.as_bytes())
+            .unwrap();
+    }
+    // 4 FRAMES + 1 CHECKPOINT marker.
+    await_position(&follower, 5, "ckpt-marker");
+
+    // New subscriptions from the origin are refused after the prune.
+    let refused = ldp_service::ReplFeed::connect(&addr, 0);
+    assert!(
+        matches!(refused, Err(ldp_service::NetError::Remote(ref e))
+            if matches!(e.code, ldp_service::net::proto::ErrorCode::ReplUnavailable)),
+        "pruned leader admitted a new follower: {refused:?}"
+    );
+
+    session.bye().unwrap();
+    let _ = server.shutdown();
+    drop(leader);
+    let promoted = follower.promote().unwrap();
+    let snap = promoted.refresh_snapshot().unwrap();
+    let expected = reference_plain(&prototype, &batches);
+    assert_snapshots_identical(&snap, &expected, "ckpt-marker promoted");
+    drop(promoted);
+    std::fs::remove_dir_all(&leader_dir).unwrap();
+    std::fs::remove_dir_all(&follower_dir).unwrap();
+}

@@ -1,0 +1,170 @@
+//! Replication on one page: a durable leader streams its write-ahead
+//! log to a hot-standby follower over loopback TCP while clients
+//! ingest; the follower answers read queries from its own replica; then
+//! the leader is killed and the follower is *promoted* — and because
+//! the WAL ships raw wire frames and every mechanism's state is an
+//! exact integer sufficient statistic, the promoted leader's median
+//! (and every estimate bit behind it) is identical to the dead
+//! leader's.
+//!
+//! ```text
+//! cargo run --release --example replicated_pair
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldp_range_queries::prelude::*;
+use ldp_range_queries::ranges::HhReport;
+use ldp_range_queries::service::net::{Hello, NetConfig, WIRE_V1};
+use ldp_range_queries::service::storage::{
+    scratch_dir, DurableConfig, DurableService, FsyncPolicy,
+};
+use ldp_range_queries::service::{generate_stream, FollowerService, LdpClient, LdpServer};
+
+fn main() {
+    let domain = 256usize;
+    let users = 40_000u64;
+    let batch = 256usize;
+
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    // A salary-like population concentrated around a third of the domain.
+    let counts: Vec<u64> = (0..domain)
+        .map(|z| {
+            let d = z.abs_diff(domain / 3) as u64;
+            1_000 / (1 + d * d / 16)
+        })
+        .collect();
+    let stream = generate_stream(&Dataset::from_counts(counts), users, 11, |value, rng| {
+        client.report(value, rng).expect("in-domain value")
+    });
+
+    let durable_config = DurableConfig {
+        num_shards: 4,
+        fsync: FsyncPolicy::Always,
+        ..DurableConfig::default()
+    };
+
+    // 1. The leader: a durable service behind a socket.
+    let leader_dir = scratch_dir("replicated-pair-leader").expect("scratch dir");
+    let (leader, _) =
+        DurableService::open(&leader_dir, &prototype, durable_config.clone()).expect("open leader");
+    let leader = Arc::new(leader);
+    let leader_server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default())
+            .expect("bind leader");
+    let leader_addr = format!("{}", leader_server.local_addr());
+    println!(
+        "# replicated_pair: leader on {leader_addr}, WAL at {}",
+        leader_dir.display()
+    );
+
+    // 2. The follower: its own durable log, subscribed to the leader's
+    //    record stream from position 0.
+    let follower_dir = scratch_dir("replicated-pair-follower").expect("scratch dir");
+    let (follower, _) = FollowerService::open(
+        &follower_dir,
+        &prototype,
+        &leader_addr,
+        durable_config.clone(),
+    )
+    .expect("open follower");
+    println!(
+        "follower subscribed from position 0, replica log at {}",
+        follower_dir.display()
+    );
+
+    // 3. Ingest through the leader while the stream ships every acked
+    //    record to the standby.
+    let mut session =
+        LdpClient::connect(&*leader_addr, Hello::plain::<HhReport>()).expect("connect");
+    let mut records = 0u64;
+    let mut lo = 0;
+    while lo < stream.len() {
+        let hi = (lo + batch).min(stream.len());
+        session
+            .send_batch((hi - lo) as u64, stream.frame_span(lo, hi))
+            .expect("acked batch");
+        records += 1;
+        lo = hi;
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while follower.position() < records {
+        assert!(
+            Instant::now() < deadline,
+            "follower stalled at {} of {records}: {:?}",
+            follower.position(),
+            follower.last_error()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!(
+        "ingested {users} reports in {records} WAL records; follower caught up at position {}",
+        follower.position()
+    );
+
+    // 4. The standby is a live read replica: serve it read-only and
+    //    compare a query against the leader, bit for bit.
+    let replica_server = LdpServer::bind_replica(
+        "127.0.0.1:0",
+        Arc::clone(follower.service()),
+        NetConfig::default(),
+    )
+    .expect("bind replica");
+    let mut replica_session =
+        LdpClient::connect(replica_server.local_addr(), Hello::plain::<HhReport>())
+            .expect("connect replica");
+    let on_leader = session.quantile(0.5).expect("leader median");
+    let on_replica = replica_session.quantile(0.5).expect("replica median");
+    println!(
+        "median over the socket — leader: {:?}, replica: {:?}",
+        on_leader.result, on_replica.result
+    );
+    assert_eq!(on_leader.result, on_replica.result, "replica diverged");
+    session.bye().expect("leader bye");
+    replica_session.bye().expect("replica bye");
+    let _ = replica_server.shutdown();
+
+    // 5. Kill the leader.
+    let leader_snapshot = leader.refresh_snapshot().expect("leader snapshot");
+    let leader_median = leader_snapshot.quantile(0.5);
+    let _ = leader_server.shutdown();
+    drop(leader);
+    println!("leader killed (median at death: {leader_median})");
+
+    // 6. Promote the follower: replication stops, its log is fsynced,
+    //    and it becomes a normal durable leader over the replicated log.
+    let promoted = follower.promote().expect("promote");
+    let snap = promoted.refresh_snapshot().expect("promoted snapshot");
+    let median = snap.quantile(0.5);
+    println!(
+        "promoted follower: {} reports, median {median}",
+        snap.num_reports()
+    );
+    assert_eq!(snap.num_reports(), leader_snapshot.num_reports());
+    assert_eq!(median, leader_median, "promotion changed the median");
+    let a = leader_snapshot.estimate().frequencies();
+    let b = snap.estimate().frequencies();
+    assert!(
+        a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "promoted estimates are not bit-identical"
+    );
+    println!("promoted state is bit-identical to the dead leader's");
+
+    // 7. The promoted service is a real leader: it keeps ingesting into
+    //    its own (replicated) log.
+    promoted
+        .ingest_batch(WIRE_V1, 16, stream.frame_span(0, 16))
+        .expect("post-promotion ingest");
+    println!(
+        "post-promotion ingest works: {} reports",
+        promoted.refresh_snapshot().expect("refresh").num_reports()
+    );
+
+    drop(promoted);
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
