@@ -87,7 +87,13 @@
 //!   histograms threaded through every tier above, with frozen snapshots
 //!   that merge/subtract exactly like the mechanism servers and are
 //!   queryable live over the socket (METRICS / verbose STATUS), plus a
-//!   [`TraceRing`] of structured session events for postmortems.
+//!   [`TraceRing`] of structured per-message span events for
+//!   postmortems. The ops plane builds on it: a background sampler
+//!   freezes snapshots into a [`TimeSeriesRing`] (METRICS_RANGE /
+//!   `GET /metrics/range`), a component-health model judges registry
+//!   signals into a [`HealthReport`] (HEALTH / verbose STATUS /
+//!   `GET /health`), and [`NetConfig::ops_addr`] serves it all over a
+//!   std-only HTTP scrape endpoint (Prometheus text on `GET /metrics`).
 //!
 //! ## Quick start
 //!
@@ -136,7 +142,10 @@ pub use loadgen::{generate_drifting_epochs, generate_stream, EncodedStream, Valu
 pub use net::{
     Hello, LdpClient, LdpServer, NetConfig, NetError, Query, QueryOp, QueryReply, ServerStats,
 };
-pub use obs::{HistoSnapshot, MetricsRegistry, RegistrySnapshot, TraceEvent, TraceRing};
+pub use obs::{
+    HealthReport, HealthState, HealthThresholds, HistoSnapshot, MetricsRange, MetricsRegistry,
+    RegistrySnapshot, TimeSample, TimeSeriesRing, TraceEvent, TraceOutcome, TraceRing, TraceStage,
+};
 pub use repl::{FollowerService, ReplFeed};
 pub use service::LdpService;
 pub use shard::ShardedAggregator;

@@ -59,6 +59,7 @@
 //! path adds transport, not semantics.
 
 pub mod client;
+pub(crate) mod ops;
 mod poll;
 pub mod proto;
 pub(crate) mod reactor;
@@ -72,12 +73,12 @@ pub use client::LdpClient;
 pub use poll::raise_nofile_limit;
 pub use proto::{
     DurableProgress, ErrorCode, Hello, Query, QueryOp, QueryReply, QueryResult, RemoteError,
-    StatusReply, METRICS_VERSION, WIRE_EPOCH, WIRE_V1,
+    StatusReply, HEALTH_VERSION, METRICS_VERSION, WIRE_EPOCH, WIRE_V1,
 };
 pub use server::{LdpServer, ServerStats};
 
 use crate::error::{ServiceError, WireError};
-use crate::obs::{MetricsRegistry, TraceRing};
+use crate::obs::{HealthThresholds, MetricsRegistry, TraceRing};
 
 /// Tuning knobs of [`LdpServer`]. `Default` is sized for tests and
 /// laptop-scale benchmarks; a deployment raises `workers`/`queue_depth`.
@@ -115,8 +116,25 @@ pub struct NetConfig {
     pub registry: Option<Arc<MetricsRegistry>>,
     /// Structured-event trace ring for session postmortems. `None` (the
     /// default) disables tracing entirely; recording also honors the
-    /// ring's own runtime flag ([`TraceRing::set_enabled`]).
+    /// ring's own runtime flag ([`TraceRing::set_enabled`]). A durable
+    /// backend's own ring ([`crate::storage::DurableConfig::trace`]) is
+    /// adopted when this is `None`, the same way the registry is.
     pub trace: Option<Arc<TraceRing>>,
+    /// Bind address of the plain-HTTP ops endpoint (`GET /metrics`,
+    /// `/health`, `/metrics/range`) — e.g. `"127.0.0.1:0"`. `None` (the
+    /// default) serves no HTTP; the session-protocol introspection
+    /// messages work either way.
+    pub ops_addr: Option<String>,
+    /// Interval of the background time-series sampler that freezes
+    /// registry snapshots into the ring served by `METRICS_RANGE` and
+    /// `GET /metrics/range`.
+    pub sample_interval: Duration,
+    /// Samples the time-series ring retains (clamped to at least 2, so
+    /// a per-interval delta always has a pair).
+    pub ring_capacity: usize,
+    /// Thresholds the component-health model judges registry signals
+    /// against (HEALTH message, verbose STATUS, `GET /health`).
+    pub health: HealthThresholds,
 }
 
 impl Default for NetConfig {
@@ -130,6 +148,10 @@ impl Default for NetConfig {
             portable_poller: false,
             registry: None,
             trace: None,
+            ops_addr: None,
+            sample_interval: Duration::from_secs(1),
+            ring_capacity: 128,
+            health: HealthThresholds::default(),
         }
     }
 }

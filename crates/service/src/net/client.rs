@@ -15,7 +15,7 @@ use crate::net::proto::{
     QueryReply, ServerMsg, StatusReply,
 };
 use crate::net::NetError;
-use crate::obs::RegistrySnapshot;
+use crate::obs::{HealthReport, MetricsRange, RegistrySnapshot};
 
 /// A blocking client for one negotiated session.
 #[derive(Debug)]
@@ -215,6 +215,44 @@ impl LdpClient {
             _ => Err(NetError::UnexpectedReply(
                 "METRICS answered with non-metrics",
             )),
+        }
+    }
+
+    /// Fetches the last `max` time-series samples from the server's
+    /// metrics ring (newest last), each a frozen registry snapshot —
+    /// diff adjacent samples with [`MetricsRange::deltas`] for exact
+    /// per-interval rates. Works on any session (allowed before HELLO).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a typed server rejection, or
+    /// [`crate::WireError::UnsupportedVersion`] (as [`NetError::Proto`])
+    /// when the server's exposition version is unknown to this client.
+    pub fn metrics_range(&mut self, max: u64) -> Result<MetricsRange, NetError> {
+        match self.roundtrip(&ClientMsg::MetricsRange { max })? {
+            ServerMsg::MetricsRangeOk(range) => Ok(range),
+            ServerMsg::Error(e) => Err(NetError::Remote(e)),
+            _ => Err(NetError::UnexpectedReply(
+                "METRICS_RANGE answered with non-range",
+            )),
+        }
+    }
+
+    /// Fetches the server's component-health report — per-component
+    /// verdicts judged from live registry signals, rolled up by
+    /// [`HealthReport::verdict`]. Works on any session (allowed before
+    /// HELLO), so an external prober needs no negotiated report kind.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a typed server rejection, or
+    /// [`crate::WireError::UnsupportedVersion`] (as [`NetError::Proto`])
+    /// when the server's health exposition version is unknown.
+    pub fn health(&mut self) -> Result<HealthReport, NetError> {
+        match self.roundtrip(&ClientMsg::Health)? {
+            ServerMsg::HealthOk(report) => Ok(report),
+            ServerMsg::Error(e) => Err(NetError::Remote(e)),
+            _ => Err(NetError::UnexpectedReply("HEALTH answered with non-health")),
         }
     }
 

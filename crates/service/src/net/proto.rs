@@ -21,6 +21,9 @@
 //!                             (allowed before HELLO; durable leaders only —
 //!                             flips the session into a WAL push stream)
 //!   0x09 REPL_ACK payload := acked:varint   (follower → leader progress)
+//!   0x0A METRICS_RANGE payload := max:varint   (allowed before HELLO;
+//!                             the newest ≤ max time-series samples)
+//!   0x0B HEALTH   payload := (empty)   (allowed before HELLO)
 //!
 //! op       := 0 RANGE a:varint b:varint
 //!           | 1 PREFIX b:varint
@@ -42,7 +45,8 @@
 //!                             durable(1B: 0|1) [has_ckpt(1B: 0|1) [id:varint]
 //!                             wal_seq:varint wal_records:varint wal_frames:varint
 //!                             checkpoint_failures:varint wedged(1B: 0|1)]
-//!                             [metrics(1B = 1) registry_snapshot]
+//!                             [section(1B = 1) registry_snapshot]
+//!                             [section(1B = 2) health_report]
 //!   0x87 METRICS_OK payload := obs_version(1B = METRICS_VERSION)
 //!                              registry_snapshot
 //!   0x88 REPL_OK   payload := start:varint leader_records:varint
@@ -51,6 +55,16 @@
 //!                             body — type byte + payload, see
 //!                             `crate::storage::wal` — re-framed and
 //!                             CRC'd by the follower's own log)
+//!   0x8A METRICS_RANGE_OK payload := obs_version(1B = METRICS_VERSION)
+//!                             interval_ms:varint n:varint
+//!                             (seq:varint at_unix_ms:varint
+//!                              registry_snapshot) × n
+//!                             (n ≤ MAX_RANGE_SAMPLES, see
+//!                             `crate::obs::timeseries`)
+//!   0x8B HEALTH_OK payload := health_version(1B = HEALTH_VERSION)
+//!                             health_report
+//!                             (health_report is the codec in
+//!                             `crate::obs::health`)
 //!   0x7F ERROR     payload := code(1B) has_index(1B: 0|1) [index:varint]
 //!                             detail_len:varint detail(UTF-8)
 //! ```
@@ -62,15 +76,16 @@
 //! is rejected explicitly ([`WireError::UnsupportedVersion`]) rather than
 //! silently streamed to.
 //!
-//! Version gating of the telemetry surfaces: a STATUS_OK carries the
-//! trailing metrics section *only when the client asked for it* (the
-//! verbose STATUS flag), so the legacy STATUS_OK bytes are unchanged and
-//! pre-telemetry clients — whose decoders reject trailing bytes — never
-//! see the extension. A METRICS_OK leads with an exposition format
-//! version byte ([`METRICS_VERSION`]); decoders reject versions they do
-//! not know instead of misparsing the snapshot
-//! (`registry_snapshot` is the [`RegistrySnapshot`] codec, see
-//! [`crate::obs::expose`]).
+//! Version gating of the telemetry surfaces: a STATUS_OK carries its
+//! trailing sections (metrics, health) *only when the client asked for
+//! them* (the verbose STATUS flag), each led by an ascending section
+//! tag, so the legacy STATUS_OK bytes are unchanged and pre-telemetry
+//! clients — whose decoders reject trailing bytes — never see the
+//! extensions. A METRICS_OK / METRICS_RANGE_OK leads with an exposition
+//! format version byte ([`METRICS_VERSION`]) and a HEALTH_OK with
+//! [`HEALTH_VERSION`]; decoders reject versions they do not know instead
+//! of misparsing the payload (`registry_snapshot` is the
+//! [`RegistrySnapshot`] codec, see [`crate::obs::expose`]).
 //!
 //! The payload of a REPORT message is raw [`crate::wire`] frames — the
 //! session layer frames *messages*, the wire layer frames *reports*, and
@@ -86,7 +101,7 @@ use std::io::{Read, Write};
 
 use crate::error::WireError;
 use crate::net::NetError;
-use crate::obs::RegistrySnapshot;
+use crate::obs::{HealthReport, MetricsRange, RegistrySnapshot};
 use crate::wire::{put_varint, Reader};
 
 /// Handshake magic inside HELLO ("LN" = LQ-over-Network), distinguishing
@@ -106,10 +121,15 @@ pub const WIRE_V1: u8 = crate::wire::VERSION;
 /// Wire version 2: epoch-tagged frames accepted (v1 frames still pass,
 /// untagged).
 pub const WIRE_EPOCH: u8 = crate::wire::VERSION_EPOCH;
-/// Version of the metrics exposition format carried by METRICS_OK.
-/// Bumped on any incompatible change to the snapshot codec; decoders
-/// reject versions they do not know ([`WireError::UnsupportedVersion`]).
+/// Version of the metrics exposition format carried by METRICS_OK and
+/// METRICS_RANGE_OK. Bumped on any incompatible change to the snapshot
+/// codec; decoders reject versions they do not know
+/// ([`WireError::UnsupportedVersion`]).
 pub const METRICS_VERSION: u8 = 1;
+/// Version of the health-report format carried by HEALTH_OK and the
+/// verbose STATUS health section; same rejection discipline as
+/// [`METRICS_VERSION`].
+pub const HEALTH_VERSION: u8 = 1;
 
 // The client-message type bytes are crate-visible so the server can
 // stamp them into trace events without re-deriving them from the enum.
@@ -122,6 +142,8 @@ pub(crate) const MSG_STATUS: u8 = 0x06;
 pub(crate) const MSG_METRICS: u8 = 0x07;
 pub(crate) const MSG_REPLICATE: u8 = 0x08;
 pub(crate) const MSG_REPL_ACK: u8 = 0x09;
+pub(crate) const MSG_METRICS_RANGE: u8 = 0x0A;
+pub(crate) const MSG_HEALTH: u8 = 0x0B;
 
 const MSG_HELLO_OK: u8 = 0x81;
 const MSG_REPORT_OK: u8 = 0x82;
@@ -132,6 +154,8 @@ const MSG_STATUS_OK: u8 = 0x86;
 const MSG_METRICS_OK: u8 = 0x87;
 const MSG_REPL_OK: u8 = 0x88;
 const MSG_REPL_REC: u8 = 0x89;
+const MSG_METRICS_RANGE_OK: u8 = 0x8A;
+const MSG_HEALTH_OK: u8 = 0x8B;
 const MSG_ERROR: u8 = 0x7F;
 
 const OP_RANGE: u8 = 0;
@@ -332,6 +356,11 @@ pub struct StatusReply {
     /// verbose STATUS ([`ClientMsg::Status`] with `verbose: true`), so
     /// the legacy reply bytes are unchanged for old clients.
     pub metrics: Option<RegistrySnapshot>,
+    /// Component health report — present only on verbose STATUS from
+    /// servers that compute health. Carried as trailing section tag `2`
+    /// (after the metrics section's tag `1`), so legacy replies and
+    /// metrics-only replies are byte-identical to their old encodings.
+    pub health: Option<HealthReport>,
 }
 
 // --- errors ------------------------------------------------------------
@@ -523,6 +552,18 @@ pub enum ClientMsg {
         /// Absolute record position the follower has durably applied.
         acked: u64,
     },
+    /// Fetch the newest samples from the server's metrics time-series
+    /// ring (allowed before HELLO — it names no report kind).
+    MetricsRange {
+        /// Maximum number of samples wanted, newest last; the server
+        /// clamps to its ring contents and [`MAX_RANGE_SAMPLES`].
+        ///
+        /// [`MAX_RANGE_SAMPLES`]: crate::obs::MAX_RANGE_SAMPLES
+        max: u64,
+    },
+    /// Probe the server's derived component-health verdicts (allowed
+    /// before HELLO — it names no report kind).
+    Health,
 }
 
 /// Every message a server can send.
@@ -566,6 +607,13 @@ pub enum ServerMsg {
         /// re-frames it). Never empty.
         body: Vec<u8>,
     },
+    /// The newest time-series ring samples, led by the exposition
+    /// version byte ([`METRICS_VERSION`] — samples are registry
+    /// snapshots, so they share the metrics exposition version).
+    MetricsRangeOk(MetricsRange),
+    /// The derived component-health report, led by its own exposition
+    /// version byte ([`HEALTH_VERSION`]).
+    HealthOk(HealthReport),
     /// Request rejected.
     Error(RemoteError),
 }
@@ -633,6 +681,11 @@ impl ClientMsg {
                 out.push(MSG_REPL_ACK);
                 put_varint(&mut out, *acked);
             }
+            Self::MetricsRange { max } => {
+                out.push(MSG_METRICS_RANGE);
+                put_varint(&mut out, *max);
+            }
+            Self::Health => out.push(MSG_HEALTH),
         }
         out
     }
@@ -742,6 +795,8 @@ impl ClientMsg {
                 Self::Replicate { start: r.varint()? }
             }
             MSG_REPL_ACK => Self::ReplAck { acked: r.varint()? },
+            MSG_METRICS_RANGE => Self::MetricsRange { max: r.varint()? },
+            MSG_HEALTH => Self::Health,
             t => return Err(WireError::UnknownKind(t)),
         };
         expect_consumed(&r, body.len())?;
@@ -826,12 +881,17 @@ impl ServerMsg {
                     }
                     None => out.push(0),
                 }
-                // The metrics section is appended only when present, so
-                // a reply without it is byte-identical to the legacy
-                // encoding and old decoders stop cleanly at the end.
+                // Trailing sections are appended in ascending tag order
+                // only when present, so a reply without them is
+                // byte-identical to the legacy encoding and old decoders
+                // stop cleanly at the end.
                 if let Some(m) = &s.metrics {
                     out.push(1);
                     m.encode_into(&mut out);
+                }
+                if let Some(h) = &s.health {
+                    out.push(2);
+                    h.encode_into(&mut out);
                 }
             }
             Self::MetricsOk(snapshot) => {
@@ -851,6 +911,16 @@ impl ServerMsg {
                 out.push(MSG_REPL_REC);
                 put_varint(&mut out, *position);
                 out.extend_from_slice(body);
+            }
+            Self::MetricsRangeOk(range) => {
+                out.push(MSG_METRICS_RANGE_OK);
+                out.push(METRICS_VERSION);
+                range.encode_into(&mut out);
+            }
+            Self::HealthOk(report) => {
+                out.push(MSG_HEALTH_OK);
+                out.push(HEALTH_VERSION);
+                report.encode_into(&mut out);
             }
             Self::Error(e) => {
                 out.push(MSG_ERROR);
@@ -945,13 +1015,21 @@ impl ServerMsg {
                 } else {
                     None
                 };
-                let metrics = if r.remaining() == 0 {
-                    None
-                } else if r.u8()? == 1 {
-                    Some(RegistrySnapshot::decode_from(&mut r)?)
-                } else {
-                    return Err(WireError::Malformed("status metrics flag not 1"));
-                };
+                // Trailing sections: ascending tag order, each at most
+                // once. A legacy reply simply has no section bytes.
+                let mut metrics = None;
+                let mut health = None;
+                while r.remaining() > 0 {
+                    match r.u8()? {
+                        1 if metrics.is_none() && health.is_none() => {
+                            metrics = Some(RegistrySnapshot::decode_from(&mut r)?);
+                        }
+                        2 if health.is_none() => {
+                            health = Some(HealthReport::decode_from(&mut r)?);
+                        }
+                        _ => return Err(WireError::Malformed("bad status section tag")),
+                    }
+                }
                 Self::StatusOk(StatusReply {
                     sessions,
                     frames_absorbed,
@@ -961,6 +1039,7 @@ impl ServerMsg {
                     current_epoch,
                     durable,
                     metrics,
+                    health,
                 })
             }
             MSG_METRICS_OK => {
@@ -981,6 +1060,20 @@ impl ServerMsg {
                 }
                 let body = r.bytes(r.remaining())?.to_vec();
                 Self::ReplRecord { position, body }
+            }
+            MSG_METRICS_RANGE_OK => {
+                let version = r.u8()?;
+                if version != METRICS_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                Self::MetricsRangeOk(MetricsRange::decode_from(&mut r)?)
+            }
+            MSG_HEALTH_OK => {
+                let version = r.u8()?;
+                if version != HEALTH_VERSION {
+                    return Err(WireError::UnsupportedVersion(version));
+                }
+                Self::HealthOk(HealthReport::decode_from(&mut r)?)
             }
             MSG_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
@@ -1108,7 +1201,42 @@ pub fn read_message(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
 mod tests {
     use super::*;
     use crate::obs::expose::{MetricEntry, MetricValue};
-    use crate::obs::Histo;
+    use crate::obs::{ComponentHealth, HealthState, Histo, TimeSample};
+
+    fn sample_health() -> HealthReport {
+        HealthReport {
+            components: vec![
+                ComponentHealth {
+                    component: "storage".into(),
+                    state: HealthState::Healthy,
+                    detail: "wal append p99 below threshold".into(),
+                },
+                ComponentHealth {
+                    component: "repl".into(),
+                    state: HealthState::Degraded,
+                    detail: "follower lag 5000 >= 4096".into(),
+                },
+            ],
+        }
+    }
+
+    fn sample_range() -> MetricsRange {
+        MetricsRange {
+            interval_ms: 250,
+            samples: vec![
+                TimeSample {
+                    seq: 6,
+                    at_unix_ms: 1_000,
+                    snapshot: RegistrySnapshot::default(),
+                },
+                TimeSample {
+                    seq: 7,
+                    at_unix_ms: 1_250,
+                    snapshot: sample_snapshot(),
+                },
+            ],
+        }
+    }
 
     fn sample_snapshot() -> RegistrySnapshot {
         let histo = Histo::new();
@@ -1159,6 +1287,9 @@ mod tests {
             ClientMsg::Replicate { start: 0 },
             ClientMsg::Replicate { start: u64::MAX },
             ClientMsg::ReplAck { acked: 12_345 },
+            ClientMsg::MetricsRange { max: 0 },
+            ClientMsg::MetricsRange { max: 64 },
+            ClientMsg::Health,
         ];
         for msg in msgs {
             let body = msg.encode();
@@ -1205,6 +1336,7 @@ mod tests {
                     wedged: true,
                 }),
                 metrics: None,
+                health: None,
             }),
             ServerMsg::StatusOk(StatusReply {
                 sessions: 0,
@@ -1215,6 +1347,29 @@ mod tests {
                 current_epoch: None,
                 durable: None,
                 metrics: Some(sample_snapshot()),
+                health: None,
+            }),
+            ServerMsg::StatusOk(StatusReply {
+                sessions: 9,
+                frames_absorbed: 90,
+                frames_rejected: 0,
+                num_reports: 90,
+                snapshot_version: 4,
+                current_epoch: None,
+                durable: None,
+                metrics: Some(sample_snapshot()),
+                health: Some(sample_health()),
+            }),
+            ServerMsg::StatusOk(StatusReply {
+                sessions: 9,
+                frames_absorbed: 90,
+                frames_rejected: 0,
+                num_reports: 90,
+                snapshot_version: 4,
+                current_epoch: None,
+                durable: None,
+                metrics: None,
+                health: Some(sample_health()),
             }),
             ServerMsg::MetricsOk(RegistrySnapshot::default()),
             ServerMsg::MetricsOk(sample_snapshot()),
@@ -1226,6 +1381,15 @@ mod tests {
                 position: 190,
                 body: vec![0x01, 0x02, 0xAA, 0xBB],
             },
+            ServerMsg::MetricsRangeOk(MetricsRange {
+                interval_ms: 1_000,
+                samples: Vec::new(),
+            }),
+            ServerMsg::MetricsRangeOk(sample_range()),
+            ServerMsg::HealthOk(HealthReport {
+                components: Vec::new(),
+            }),
+            ServerMsg::HealthOk(sample_health()),
             ServerMsg::Error(RemoteError::new(
                 ErrorCode::BadFrame,
                 Some(17),
@@ -1313,6 +1477,7 @@ mod tests {
             current_epoch: None,
             durable: None,
             metrics: None,
+            health: None,
         };
         let body = ServerMsg::StatusOk(reply).encode();
         let legacy = vec![MSG_STATUS_OK, 3, 40, 2, 38, 5, 0, 0];
@@ -1341,6 +1506,7 @@ mod tests {
             current_epoch: Some(3),
             durable: None,
             metrics: Some(sample_snapshot()),
+            health: None,
         };
         let legacy_len = ServerMsg::StatusOk(StatusReply {
             metrics: None,
@@ -1395,6 +1561,96 @@ mod tests {
             *b ^= 0xA5;
         }
         assert!(ServerMsg::decode(&garbage).is_err());
+    }
+
+    /// The ops-plane messages (METRICS_RANGE/HEALTH and their replies)
+    /// obey the same total-decoding discipline as the rest of the
+    /// protocol: every truncation is a typed error, every wrong version
+    /// byte is [`WireError::UnsupportedVersion`], and flipped payload
+    /// bytes never panic.
+    #[test]
+    fn hostile_ops_plane_payloads_are_rejected_not_panicked() {
+        // Client side: trailing bytes after the bare HEALTH probe, and a
+        // truncated METRICS_RANGE varint.
+        assert!(ClientMsg::decode(&[MSG_HEALTH, 0]).is_err());
+        assert!(ClientMsg::decode(&[MSG_METRICS_RANGE]).is_err());
+        assert!(ClientMsg::decode(&[MSG_METRICS_RANGE, 0x80]).is_err());
+
+        // Server side: truncate both replies at every prefix.
+        let range_ok = ServerMsg::MetricsRangeOk(sample_range()).encode();
+        for cut in 0..range_ok.len() {
+            assert!(ServerMsg::decode(&range_ok[..cut]).is_err(), "prefix {cut}");
+        }
+        let health_ok = ServerMsg::HealthOk(sample_health()).encode();
+        for cut in 0..health_ok.len() {
+            assert!(
+                ServerMsg::decode(&health_ok[..cut]).is_err(),
+                "prefix {cut}"
+            );
+        }
+
+        // Unknown exposition versions are typed errors.
+        let mut wrong = range_ok.clone();
+        wrong[1] = METRICS_VERSION + 1;
+        assert!(matches!(
+            ServerMsg::decode(&wrong),
+            Err(WireError::UnsupportedVersion(v)) if v == METRICS_VERSION + 1
+        ));
+        let mut wrong = health_ok.clone();
+        wrong[1] = HEALTH_VERSION + 1;
+        assert!(matches!(
+            ServerMsg::decode(&wrong),
+            Err(WireError::UnsupportedVersion(v)) if v == HEALTH_VERSION + 1
+        ));
+
+        // Flipped payload bytes: an error or a (different) valid decode,
+        // never a panic; trailing garbage after a valid body is rejected.
+        for body in [range_ok, health_ok] {
+            let mut garbage = body.clone();
+            let len = garbage.len();
+            for b in &mut garbage[2..len] {
+                *b ^= 0xA5;
+            }
+            let _ = ServerMsg::decode(&garbage);
+            let mut trailing = body;
+            trailing.push(0);
+            assert!(ServerMsg::decode(&trailing).is_err());
+        }
+
+        // STATUS_OK section tags: out-of-order (2 before 1) and repeated
+        // sections are rejected.
+        let base = StatusReply {
+            sessions: 1,
+            frames_absorbed: 0,
+            frames_rejected: 0,
+            num_reports: 0,
+            snapshot_version: 0,
+            current_epoch: None,
+            durable: None,
+            metrics: None,
+            health: None,
+        };
+        let legacy = ServerMsg::StatusOk(base.clone()).encode();
+        let mut out_of_order = legacy.clone();
+        out_of_order.push(2);
+        sample_health().encode_into(&mut out_of_order);
+        out_of_order.push(1);
+        sample_snapshot().encode_into(&mut out_of_order);
+        assert!(ServerMsg::decode(&out_of_order).is_err());
+        let mut repeated = legacy;
+        for _ in 0..2 {
+            repeated.push(2);
+            sample_health().encode_into(&mut repeated);
+        }
+        assert!(ServerMsg::decode(&repeated).is_err());
+
+        // ... and the well-formed both-sections reply round-trips.
+        let both = ServerMsg::StatusOk(StatusReply {
+            metrics: Some(sample_snapshot()),
+            health: Some(sample_health()),
+            ..base
+        });
+        assert_eq!(ServerMsg::decode(&both.encode()).unwrap(), both);
     }
 
     #[test]

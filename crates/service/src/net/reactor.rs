@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use crate::net::poll::{Event, Interest, Poller, TOKEN_LISTENER};
 use crate::net::proto::{ErrorCode, Hello, RemoteError, ServerMsg, MAX_MESSAGE_BYTES};
 use crate::obs::instruments::NetInstruments;
-use crate::obs::{TraceEvent, TraceOutcome, TraceRing};
+use crate::obs::{TraceEvent, TraceOutcome, TraceRing, TraceStage};
 
 /// Parsed-but-undispatched messages a session may hold before its read
 /// interest is shed (per-session pipelining bound).
@@ -75,8 +75,11 @@ pub(crate) struct Job {
     pub hello: Option<Hello>,
     /// The session entered replication mode (REPLICATE accepted).
     pub repl: bool,
-    /// Message bodies in arrival order.
-    pub bodies: Vec<Vec<u8>>,
+    /// Message bodies in arrival order, each paired with the span id the
+    /// reactor assigned at envelope decode. The span follows the message
+    /// through worker execute and the storage tiers, so one trace tail
+    /// reconstructs a single message's cross-tier timeline.
+    pub bodies: Vec<(u64, Vec<u8>)>,
 }
 
 /// What a worker hands back after executing a [`Job`].
@@ -211,8 +214,9 @@ struct Session {
     id: u64,
     /// Partial-read accumulator: raw bytes, possibly mid-envelope.
     inbuf: Vec<u8>,
-    /// Complete message bodies awaiting dispatch.
-    inbox: VecDeque<Vec<u8>>,
+    /// Complete message bodies awaiting dispatch, each with its
+    /// decode-assigned span id.
+    inbox: VecDeque<(u64, Vec<u8>)>,
     /// Enveloped replies awaiting flush.
     outq: VecDeque<Vec<u8>>,
     /// Bytes of `outq[0]` already written.
@@ -274,6 +278,10 @@ pub(crate) struct Reactor {
     open: usize,
     inflight: usize,
     next_id: u64,
+    /// Next span id; spans are per-server monotone so ids from different
+    /// sessions never collide. Starts at 1 — span 0 is the "no span"
+    /// sentinel used by events not tied to a decoded message.
+    next_span: u64,
     /// `Some(deadline)` while accepting is paused after a hard accept
     /// error; the listener is re-registered once the deadline passes.
     accept_paused_until: Option<Instant>,
@@ -304,6 +312,7 @@ impl Reactor {
             open: 0,
             inflight: 0,
             next_id: 0,
+            next_span: 1,
             accept_paused_until: None,
             listener_registered: true,
         })
@@ -526,7 +535,9 @@ impl Reactor {
         self.parse_inbuf(idx);
     }
 
-    /// Extracts complete envelopes into the inbox. A hostile declared
+    /// Extracts complete envelopes into the inbox, assigning each one a
+    /// fresh span id (and recording the span's Decode arrival event —
+    /// `ns` 0, it is a marker, not a duration). A hostile declared
     /// length (zero or over the cap) enqueues the empty-body sentinel —
     /// sequenced *after* every previously queued message, exactly where
     /// the blocking engine would have tripped over it — and stops the
@@ -543,7 +554,19 @@ impl Reactor {
                 }
                 let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
                 if len == 0 || len > MAX_MESSAGE_BYTES {
-                    s.inbox.push_back(Vec::new());
+                    let span = self.next_span;
+                    self.next_span += 1;
+                    if let Some(trace) = &self.trace {
+                        trace.record(TraceEvent {
+                            span,
+                            session: s.id,
+                            stage: TraceStage::Decode,
+                            msg_type: 0,
+                            outcome: TraceOutcome::Error,
+                            ns: 0,
+                        });
+                    }
+                    s.inbox.push_back((span, Vec::new()));
                     s.read_gone = true;
                     s.inbuf.clear();
                     off = 0;
@@ -552,7 +575,20 @@ impl Reactor {
                 if rest.len() < 4 + len {
                     break;
                 }
-                s.inbox.push_back(rest[4..4 + len].to_vec());
+                let body = rest[4..4 + len].to_vec();
+                let span = self.next_span;
+                self.next_span += 1;
+                if let Some(trace) = &self.trace {
+                    trace.record(TraceEvent {
+                        span,
+                        session: s.id,
+                        stage: TraceStage::Decode,
+                        msg_type: body.first().copied().unwrap_or(0),
+                        outcome: TraceOutcome::Ok,
+                        ns: 0,
+                    });
+                }
+                s.inbox.push_back((span, body));
                 // Envelope + body, counted once decoded off the socket —
                 // same accounting point as the blocking engine.
                 in_bytes += 4 + len as u64;
@@ -655,7 +691,7 @@ impl Reactor {
             if s.busy || s.closing || s.write_dead || s.inbox.is_empty() {
                 continue;
             }
-            let bodies: Vec<Vec<u8>> = s.inbox.drain(..).collect();
+            let bodies: Vec<(u64, Vec<u8>)> = s.inbox.drain(..).collect();
             s.busy = true;
             let job = Job {
                 token: token_of(gen, idx),
@@ -791,7 +827,9 @@ impl Reactor {
         if s.read_gone && !s.closing {
             if let Some(trace) = &self.trace {
                 trace.record(TraceEvent {
+                    span: 0,
                     session: s.id,
+                    stage: TraceStage::Execute,
                     msg_type: 0,
                     outcome: TraceOutcome::Disconnect,
                     ns: 0,

@@ -33,18 +33,24 @@ use std::time::{Duration, Instant};
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
+use crate::net::ops::OpsListener;
 use crate::net::poll::Poller;
 use crate::net::proto::{
     ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
-    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_METRICS, MSG_QUERY, MSG_REPLICATE,
-    MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
+    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_HEALTH, MSG_METRICS, MSG_METRICS_RANGE,
+    MSG_QUERY, MSG_REPLICATE, MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
 };
 use crate::net::reactor::{
     Job, JobDone, JobQueue, PushSource, Reactor, ReactorKnobs, ReactorShared,
 };
 use crate::net::{NetConfig, NetError};
-use crate::obs::instruments::NetInstruments;
-use crate::obs::{MetricsRegistry, TraceEvent, TraceOutcome, TraceRing};
+use crate::obs::health::evaluate;
+use crate::obs::instruments::{NetInstruments, OpsInstruments};
+use crate::obs::trace::set_current_span;
+use crate::obs::{
+    HealthThresholds, MetricsRegistry, Sampler, TimeSeriesRing, TraceEvent, TraceOutcome,
+    TraceRing, TraceStage,
+};
 use crate::repl::cursor::ReplCursor;
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
@@ -295,6 +301,11 @@ where
     /// ([`ServerStats`]) and STATUS replies both read these counters.
     obs: NetInstruments,
     trace: Option<Arc<TraceRing>>,
+    /// The metrics time-series ring the background sampler fills —
+    /// served by METRICS_RANGE and `GET /metrics/range`.
+    ring: Arc<TimeSeriesRing>,
+    /// Thresholds the health model judges registry signals against.
+    health: HealthThresholds,
 }
 
 /// What a drained server reports back from [`LdpServer::shutdown`].
@@ -338,6 +349,10 @@ where
     addr: SocketAddr,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The background snapshot sampler feeding the time-series ring.
+    sampler: Option<Sampler>,
+    /// The plain-HTTP ops endpoint, when `ops_addr` asked for one.
+    ops: Option<OpsListener>,
 }
 
 impl<S> LdpServer<S>
@@ -440,13 +455,49 @@ where
             Backend::Durable(_) => {}
         }
         let obs = NetInstruments::register(&registry);
+        // Trace adoption mirrors registry adoption: an explicit
+        // `config.trace` wins; otherwise a durable backend's own ring
+        // (from [`crate::storage::DurableConfig::trace`]) is shared, so
+        // session-tier span events land in the same ring the storage
+        // tier's WAL-append events do.
+        let trace = match (&config.trace, &backend) {
+            (Some(t), _) => Some(Arc::clone(t)),
+            (None, Backend::Durable(d)) => d.trace().cloned(),
+            (None, _) => None,
+        };
+        let ring = Arc::new(TimeSeriesRing::new(
+            config.ring_capacity,
+            config.sample_interval,
+        ));
+        let ops_obs = OpsInstruments::register(&registry);
         let shared = Arc::new(Shared {
             backend,
             replica,
             registry,
             obs: obs.clone(),
-            trace: config.trace.clone(),
+            trace: trace.clone(),
+            ring: Arc::clone(&ring),
+            health: config.health.clone(),
         });
+        let sampler = Sampler::start(
+            Arc::clone(&shared.registry),
+            Arc::clone(&ring),
+            ops_obs.clone(),
+        )
+        .map_err(NetError::Io)?;
+        let ops = match &config.ops_addr {
+            Some(ops_addr) => Some(
+                OpsListener::start(
+                    ops_addr,
+                    Arc::clone(&shared.registry),
+                    ring,
+                    config.health.clone(),
+                    ops_obs,
+                )
+                .map_err(NetError::Io)?,
+            ),
+            None => None,
+        };
         // The portable poller has no kernel readiness and sweeps on a
         // tick instead; keep that tick well under the idle poll so
         // request latency stays in the low milliseconds.
@@ -474,14 +525,8 @@ where
             idle_timeout: config.idle_timeout,
             inflight_cap: config.queue_depth.max(1),
         };
-        let reactor = Reactor::new(
-            listener,
-            Arc::clone(&rshared),
-            knobs,
-            obs,
-            config.trace.clone(),
-        )
-        .map_err(NetError::Io)?;
+        let reactor = Reactor::new(listener, Arc::clone(&rshared), knobs, obs, trace)
+            .map_err(NetError::Io)?;
         let reactor_handle = std::thread::Builder::new()
             .name("ldp-net-reactor".into())
             .spawn(move || reactor.run())
@@ -525,6 +570,8 @@ where
             addr,
             reactor: Some(reactor_handle),
             workers,
+            sampler: Some(sampler),
+            ops,
         })
     }
 
@@ -542,6 +589,22 @@ where
         &self.shared.registry
     }
 
+    /// The bound address of the plain-HTTP ops endpoint, when
+    /// [`NetConfig::ops_addr`] asked for one (`:0` resolves to a real
+    /// port here).
+    #[must_use]
+    pub fn ops_local_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(OpsListener::local_addr)
+    }
+
+    /// The metrics time-series ring the background sampler fills — the
+    /// same samples the METRICS_RANGE message and `GET /metrics/range`
+    /// serve, for in-process dumps.
+    #[must_use]
+    pub fn timeseries(&self) -> &Arc<TimeSeriesRing> {
+        &self.shared.ring
+    }
+
     /// Drains and stops the server: no new connections are accepted,
     /// in-flight messages are executed and their replies flushed (with
     /// bounded patience for stalled peers), every thread is joined, a
@@ -551,6 +614,11 @@ where
     pub fn shutdown(mut self) -> ServerStats {
         self.rshared.shutdown.store(true, Ordering::SeqCst);
         self.rshared.poller.wake();
+        // Scraping stops first: the ops endpoint must not observe a
+        // half-finalized backend.
+        if let Some(mut ops) = self.ops.take() {
+            ops.stop();
+        }
         if let Some(reactor) = self.reactor.take() {
             let _ = reactor.join();
         }
@@ -558,6 +626,9 @@ where
         // through their pop loops.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(mut sampler) = self.sampler.take() {
+            sampler.stop();
         }
         let (sealed_epoch, final_checkpoint, final_snapshot) = self.shared.backend.finalize();
         // Drain totals read straight from the registry counters — the
@@ -576,8 +647,9 @@ where
 }
 
 /// Records one handled request into the per-message-type latency
-/// histogram and — when tracing is on — the trace ring.
-fn observe<S>(shared: &Shared<S>, session: u64, msg_type: u8, ok: bool, started: Instant)
+/// histogram and — when tracing is on — the trace ring, as the span's
+/// Execute-stage event.
+fn observe<S>(shared: &Shared<S>, span: u64, session: u64, msg_type: u8, ok: bool, started: Instant)
 where
     S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
@@ -593,7 +665,9 @@ where
     histo.record(ns);
     if let Some(trace) = &shared.trace {
         trace.record(TraceEvent {
+            span,
             session,
+            stage: TraceStage::Execute,
             msg_type,
             outcome: if ok {
                 TraceOutcome::Ok
@@ -628,7 +702,12 @@ where
     let mut close = false;
     let mut repl = job.repl;
     let mut push: Option<Box<dyn PushSource>> = None;
-    for body in &job.bodies {
+    for (span, body) in &job.bodies {
+        let span = *span;
+        // The decode-assigned span follows the message into the storage
+        // tiers through the worker's thread-local, so a WAL group-commit
+        // can stamp its event with the span that caused it.
+        set_current_span(Some(span));
         if body.is_empty() {
             // Hostile envelope length (zero or over the cap): typed
             // error, then close — resync is impossible.
@@ -716,14 +795,14 @@ where
                         ErrorCode::BadState,
                         "replica is read-only: its log is a copy of its leader's",
                     ));
-                    observe(shared, job.session, MSG_REPORT, false, started);
+                    observe(shared, span, job.session, MSG_REPORT, false, started);
                     continue;
                 }
                 match shared.backend.absorb_batch(h.wire_version, &batch) {
                     Ok(accepted) => {
                         obs.frames_absorbed.add(accepted);
                         replies.push(ServerMsg::ReportOk { accepted }.encode());
-                        observe(shared, job.session, MSG_REPORT, true, started);
+                        observe(shared, span, job.session, MSG_REPORT, true, started);
                     }
                     Err(e) => {
                         // Count what the payload could physically hold
@@ -733,7 +812,7 @@ where
                         let plausible = batch.count.min(batch.frames.len() as u64 / 5);
                         obs.frames_rejected.add(plausible);
                         replies.push(ServerMsg::Error(e).encode());
-                        observe(shared, job.session, MSG_REPORT, false, started);
+                        observe(shared, span, job.session, MSG_REPORT, false, started);
                     }
                 }
             }
@@ -748,7 +827,7 @@ where
                     Err(e) => (ServerMsg::Error(e), false),
                 };
                 replies.push(reply.encode());
-                observe(shared, job.session, MSG_QUERY, ok, started);
+                observe(shared, span, job.session, MSG_QUERY, ok, started);
             }
             ClientMsg::Seal => {
                 if hello.is_none() {
@@ -761,7 +840,7 @@ where
                         ErrorCode::BadState,
                         "replica is read-only: its log is a copy of its leader's",
                     ));
-                    observe(shared, job.session, MSG_SEAL, false, started);
+                    observe(shared, span, job.session, MSG_SEAL, false, started);
                     continue;
                 }
                 let (reply, ok) = match shared.backend.seal() {
@@ -769,7 +848,7 @@ where
                     Err(e) => (ServerMsg::Error(e), false),
                 };
                 replies.push(reply.encode());
-                observe(shared, job.session, MSG_SEAL, ok, started);
+                observe(shared, span, job.session, MSG_SEAL, ok, started);
             }
             ClientMsg::Status { verbose } => {
                 // No handshake required: STATUS names no report kind, so
@@ -779,13 +858,28 @@ where
                     Err(e) => (ServerMsg::Error(e), false),
                 };
                 replies.push(reply.encode());
-                observe(shared, job.session, MSG_STATUS, ok, started);
+                observe(shared, span, job.session, MSG_STATUS, ok, started);
             }
             ClientMsg::Metrics => {
                 // Also allowed before HELLO: introspection names no
                 // report kind either.
                 replies.push(ServerMsg::MetricsOk(shared.registry.snapshot()).encode());
-                observe(shared, job.session, MSG_METRICS, true, started);
+                observe(shared, span, job.session, MSG_METRICS, true, started);
+            }
+            ClientMsg::MetricsRange { max } => {
+                // Also allowed before HELLO, like METRICS.
+                let range = shared
+                    .ring
+                    .range(usize::try_from(max).unwrap_or(usize::MAX));
+                replies.push(ServerMsg::MetricsRangeOk(range).encode());
+                observe(shared, span, job.session, MSG_METRICS_RANGE, true, started);
+            }
+            ClientMsg::Health => {
+                // Also allowed before HELLO: an operator probing a sick
+                // node must not need a handshake.
+                let report = evaluate(&shared.registry.snapshot(), &shared.health);
+                replies.push(ServerMsg::HealthOk(report).encode());
+                observe(shared, span, job.session, MSG_HEALTH, true, started);
             }
             ClientMsg::Replicate { start } => {
                 // Allowed before HELLO only (like STATUS it names no
@@ -804,13 +898,13 @@ where
                         replies.push(reply);
                         repl = true;
                         push = Some(source);
-                        observe(shared, job.session, MSG_REPLICATE, true, started);
+                        observe(shared, span, job.session, MSG_REPLICATE, true, started);
                         // Anything pipelined after this body hits the
                         // stream-session guard above.
                     }
                     Err((code, detail)) => {
                         replies.push(error_body(code, detail));
-                        observe(shared, job.session, MSG_REPLICATE, false, started);
+                        observe(shared, span, job.session, MSG_REPLICATE, false, started);
                         close = true;
                         break;
                     }
@@ -831,6 +925,9 @@ where
             }
         }
     }
+    // Worker threads are reused across sessions; never leak a span into
+    // the next job.
+    set_current_span(None);
     JobDone {
         token: job.token,
         hello,
@@ -896,6 +993,13 @@ where
     S: SnapshotSource + SubtractableServer + PersistableServer + 'static,
     S::Report: WireReport,
 {
+    let (metrics, health) = if verbose {
+        let snap = shared.registry.snapshot();
+        let report = evaluate(&snap, &shared.health);
+        (Some(snap), Some(report))
+    } else {
+        (None, None)
+    };
     Ok(StatusReply {
         sessions: shared.obs.sessions_closed.get(),
         frames_absorbed: shared.obs.frames_absorbed.get(),
@@ -908,9 +1012,12 @@ where
         },
         current_epoch: shared.backend.current_epoch(),
         durable: shared.backend.durable_progress()?,
-        // The metrics section rides along only on request, so the plain
-        // probe's bytes stay identical to the pre-metrics protocol.
-        metrics: verbose.then(|| shared.registry.snapshot()),
+        // The metrics and health sections ride along only on request, so
+        // the plain probe's bytes stay identical to the legacy protocol.
+        // Health is judged on the same frozen snapshot that is shipped,
+        // so the verdict and its evidence can never disagree.
+        metrics,
+        health,
     })
 }
 

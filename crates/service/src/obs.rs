@@ -1,5 +1,7 @@
 //! The unified telemetry layer: a mergeable metrics registry, per-stage
-//! latency histograms, and wire-exposed runtime introspection.
+//! latency histograms, wire-exposed runtime introspection, and the ops
+//! plane built on top of them — time-series sampling, derived component
+//! health, and cross-tier span tracing.
 //!
 //! Every tier of the service — shard absorb, snapshot publication, epoch
 //! windowing, the session server, and the durable storage layer —
@@ -7,7 +9,7 @@
 //! updates them lock-free on its hot paths. The frozen views
 //! ([`RegistrySnapshot`], [`HistoSnapshot`]) obey the same exact
 //! merge/subtract algebra as the mechanism servers, and are exposed on
-//! three surfaces:
+//! five surfaces:
 //!
 //! 1. the version-gated METRICS session message
 //!    ([`crate::net::proto::ClientMsg::Metrics`]),
@@ -15,22 +17,44 @@
 //!    ([`crate::net::proto::StatusReply::metrics`]),
 //! 3. local text/JSON dumps ([`MetricsRegistry::render`] /
 //!    [`MetricsRegistry::render_json`]) used by
-//!    `examples/observability.rs` and the bench bins.
+//!    `examples/observability.rs` and the bench bins,
+//! 4. the Prometheus text exposition
+//!    ([`RegistrySnapshot::render_prom`]) served by the plain-HTTP ops
+//!    endpoint (`NetConfig::ops_addr`, `GET /metrics`),
+//! 5. the time-series ring ([`TimeSeriesRing`]): a background
+//!    [`Sampler`] freezes whole snapshots on a fixed interval, and the
+//!    exact subtract algebra turns any two samples into a lossless
+//!    per-interval delta — served by the `METRICS_RANGE` session
+//!    message and `GET /metrics/range`.
+//!
+//! Health ([`health::evaluate`]) is a pure function over a frozen
+//! snapshot: per-component `Healthy`/`Degraded`/`Unhealthy` verdicts
+//! derived from signals the registry already carries, rolled into one
+//! node verdict — served by the `HEALTH` session message, the verbose
+//! STATUS, and `GET /health`.
 //!
 //! A [`TraceRing`] rides along for postmortem debugging of the
 //! adversarial session paths: a fixed-size lock-free ring of structured
-//! events behind a runtime flag.
+//! events behind a runtime flag. Events are **spans**: each message gets
+//! an id at reactor decode that follows it through worker execute, WAL
+//! group-commit, and follower re-apply ([`TraceStage`]), so one ring
+//! tail reconstructs the decode→absorb→fsync→ack timeline of a single
+//! REPORT.
 //!
 //! See the README's "Observability" section for the full metric-name
-//! table (name, type, unit, tier).
+//! table (name, type, unit, tier) and the health-state semantics.
 
 pub mod expose;
+pub mod health;
 pub mod instruments;
 pub mod registry;
+pub mod timeseries;
 pub mod trace;
 
 pub use expose::{MetricEntry, MetricValue, RegistrySnapshot, MAX_METRICS, MAX_NAME_BYTES};
+pub use health::{evaluate, ComponentHealth, HealthReport, HealthState, HealthThresholds};
 pub use registry::{
     Counter, Gauge, Histo, HistoSnapshot, Metric, MetricsRegistry, ObsError, HISTO_BUCKETS,
 };
-pub use trace::{TraceEvent, TraceOutcome, TraceRing};
+pub use timeseries::{MetricsRange, Sampler, TimeSample, TimeSeriesRing, MAX_RANGE_SAMPLES};
+pub use trace::{TraceEvent, TraceOutcome, TraceRing, TraceStage};

@@ -24,7 +24,7 @@
 //! ```
 
 use crate::error::WireError;
-use crate::obs::registry::{HistoSnapshot, ObsError, HISTO_BUCKETS};
+use crate::obs::registry::{Histo, HistoSnapshot, ObsError, HISTO_BUCKETS};
 use crate::wire::{put_varint, Reader};
 
 /// Cap on the number of metrics in one snapshot — far above what the
@@ -383,6 +383,56 @@ impl RegistrySnapshot {
         out
     }
 
+    /// Prometheus text exposition (format version 0.0.4), the body of
+    /// the ops endpoint's `GET /metrics`: dotted names sanitized to
+    /// `[a-zA-Z0-9_]`, one `# TYPE` line per metric, histograms rendered
+    /// **cumulatively** as `name_bucket{le="…"}` / `name_sum` /
+    /// `name_count`, with the log-histogram bucket upper bounds
+    /// ([`Histo::bucket_bounds`]) as the `le` edges. Only buckets that
+    /// hold samples emit a line (plus the mandatory `+Inf` edge), so the
+    /// output stays proportional to the data, and the cumulative counts
+    /// are monotone by construction — the format-validity test parses
+    /// this output back and checks both properties.
+    #[must_use]
+    pub fn render_prom(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for entry in &self.entries {
+            let name = prom_name(&entry.name);
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histo(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let hi = Histo::bucket_bounds(i).1;
+                        if hi == u64::MAX {
+                            // The top bucket's upper edge is infinity;
+                            // the explicit +Inf line below carries it.
+                            continue;
+                        }
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
     /// Flat-JSON dump in the same shape as the bench emitter: one
     /// top-level numeric field per scalar, histograms flattened to
     /// `name.count` / `name.sum` / `name.p50` / `name.p99` / `name.max`.
@@ -416,10 +466,27 @@ impl RegistrySnapshot {
     }
 }
 
+/// Maps a dotted registry name onto the Prometheus name charset: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, and a leading digit is
+/// prefixed with `_` (metric names must not start with a digit).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::obs::registry::Histo;
 
     fn sample() -> RegistrySnapshot {
         let h = Histo::new();
@@ -482,6 +549,26 @@ mod tests {
         let saved = tiny.clone();
         assert_eq!(tiny.subtract(&b), Err(ObsError::Underflow));
         assert_eq!(tiny, saved);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_sanitized() {
+        let s = sample();
+        let prom = s.render_prom();
+        assert!(prom.contains("# TYPE a_counter counter\na_counter 42\n"));
+        assert!(prom.contains("# TYPE b_gauge gauge\nb_gauge 7\n"));
+        assert!(prom.contains("# TYPE c_histo histogram\n"));
+        // 6 samples: the +Inf edge and the _count line agree exactly.
+        assert!(prom.contains("c_histo_bucket{le=\"+Inf\"} 6\n"));
+        assert!(prom.contains("c_histo_count 6\n"));
+        // Cumulative counts are monotone across the bucket lines.
+        let mut last = 0u64;
+        for line in prom.lines().filter(|l| l.starts_with("c_histo_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone cumulative bucket: {line}");
+            last = v;
+        }
+        assert_eq!(prom_name("9weird.na-me"), "_9weird_na_me");
     }
 
     #[test]

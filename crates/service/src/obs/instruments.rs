@@ -96,6 +96,16 @@ pub mod names {
     /// Counter, records: replicated WAL records a follower has applied
     /// and persisted to its own log.
     pub const REPL_RECORDS_APPLIED: &str = "repl.records_applied";
+
+    /// Counter, requests: HTTP requests answered by the ops scrape
+    /// endpoint (any status).
+    pub const OPS_HTTP_REQUESTS: &str = "ops.http_requests";
+    /// Counter, requests: ops scrape requests answered with a non-200
+    /// status (bad request, unknown path, wrong method).
+    pub const OPS_HTTP_ERRORS: &str = "ops.http_errors";
+    /// Counter, samples: registry snapshots frozen into the time-series
+    /// ring by the background sampler.
+    pub const OPS_TS_SAMPLES: &str = "ops.ts_samples";
 }
 
 /// Shard-tier instruments (`crate::ShardedAggregator` and the service's
@@ -291,6 +301,31 @@ impl ReplInstruments {
             followers: registry.gauge(names::REPL_FOLLOWERS),
             follower_lag_records: registry.gauge(names::REPL_FOLLOWER_LAG_RECORDS),
             records_applied: registry.counter(names::REPL_RECORDS_APPLIED),
+        }
+    }
+}
+
+/// Ops-plane instruments (the HTTP scrape endpoint and the time-series
+/// sampler) — the ops plane measures itself with the same registry it
+/// exposes.
+#[derive(Debug, Clone)]
+pub struct OpsInstruments {
+    /// [`names::OPS_HTTP_REQUESTS`].
+    pub http_requests: Arc<Counter>,
+    /// [`names::OPS_HTTP_ERRORS`].
+    pub http_errors: Arc<Counter>,
+    /// [`names::OPS_TS_SAMPLES`].
+    pub ts_samples: Arc<Counter>,
+}
+
+impl OpsInstruments {
+    /// Resolves the ops-plane instruments from `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            http_requests: registry.counter(names::OPS_HTTP_REQUESTS),
+            http_errors: registry.counter(names::OPS_HTTP_ERRORS),
+            ts_samples: registry.counter(names::OPS_TS_SAMPLES),
         }
     }
 }

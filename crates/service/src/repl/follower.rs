@@ -5,12 +5,14 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::obs::instruments::ReplInstruments;
+use crate::obs::trace::set_current_span;
+use crate::obs::{TraceEvent, TraceOutcome, TraceStage};
 use crate::repl::feed::ReplFeed;
 use crate::snapshot::SnapshotSource;
 use crate::storage::recovery::RecoveryReport;
@@ -271,7 +273,10 @@ where
         let (pushed, body) = match feed.next_record() {
             Ok(Some(record)) => record,
             Ok(None) => {
-                leader_records.store(feed.leader_records(), Ordering::SeqCst);
+                let leader = feed.leader_records();
+                leader_records.store(leader, Ordering::SeqCst);
+                obs.follower_lag_records
+                    .set(leader.saturating_sub(position.load(Ordering::SeqCst)));
                 continue;
             }
             Err(e) => return Err(format!("replication stream ended: {e}")),
@@ -286,11 +291,34 @@ where
         let record = WalRecord::decode_body(&body)
             .map_err(|e| format!("pushed WAL record {pushed} is malformed: {e}"))?;
         let boundary = !matches!(record, WalRecord::Frames { .. });
-        service
-            .apply_replicated(&record)
-            .map_err(|e| format!("applying replicated record {pushed} failed: {e}"))?;
+        // The span of a replicated record is its leader-assigned log
+        // position: the one id both sides already agree on, so a
+        // leader's WalAppend and the follower's ReplApply for the same
+        // record correlate without a wire change.
+        let started = Instant::now();
+        set_current_span(Some(pushed));
+        let applied = service.apply_replicated(&record);
+        set_current_span(None);
+        if let Some(trace) = service.trace() {
+            trace.record(TraceEvent {
+                span: pushed,
+                session: 0,
+                stage: TraceStage::ReplApply,
+                msg_type: 0,
+                outcome: if applied.is_ok() {
+                    TraceOutcome::Ok
+                } else {
+                    TraceOutcome::Error
+                },
+                ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+        applied.map_err(|e| format!("applying replicated record {pushed} failed: {e}"))?;
         position.store(expected + 1, Ordering::SeqCst);
-        leader_records.store(feed.leader_records(), Ordering::SeqCst);
+        let leader = feed.leader_records();
+        leader_records.store(leader, Ordering::SeqCst);
+        obs.follower_lag_records
+            .set(leader.saturating_sub(expected + 1));
         obs.records_applied.incr();
         unacked += 1;
         if unacked >= ACK_EVERY || boundary {

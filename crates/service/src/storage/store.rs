@@ -23,7 +23,8 @@ use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::obs::instruments::{ReplInstruments, StorageInstruments};
-use crate::obs::MetricsRegistry;
+use crate::obs::trace::current_span;
+use crate::obs::{MetricsRegistry, TraceEvent, TraceOutcome, TraceRing, TraceStage};
 use crate::repl::hub::ReplHub;
 use crate::service::LdpService;
 use crate::snapshot::{RangeSnapshot, SnapshotSource};
@@ -58,6 +59,13 @@ pub struct DurableConfig {
     /// instruments itself into. `None` (the default) creates a private
     /// registry, reachable via [`DurableService::registry`].
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// Trace ring the storage tier records its WAL-append span events
+    /// into. `None` (the default) disables storage-tier tracing;
+    /// `bind_durable` adopts this ring for the session tier when
+    /// [`crate::net::NetConfig::trace`] is unset, the same way it adopts
+    /// the registry — so one ring holds a message's whole
+    /// decode→execute→append timeline.
+    pub trace: Option<Arc<TraceRing>>,
 }
 
 impl Default for DurableConfig {
@@ -69,6 +77,7 @@ impl Default for DurableConfig {
             checkpoint_every_records: 0,
             retain_history: false,
             registry: None,
+            trace: None,
         }
     }
 }
@@ -128,6 +137,8 @@ where
     /// no shadow copies — [`DurableService::status`] and the METRICS
     /// exposition cannot disagree.
     obs: StorageInstruments,
+    /// Trace ring for WAL-append span events ([`DurableConfig::trace`]).
+    trace: Option<Arc<TraceRing>>,
     /// The replication hub, once this store serves as a leader (created
     /// lazily by [`DurableService::ensure_repl_hub`]). Append paths
     /// publish each logged record through it; `None` costs nothing.
@@ -414,6 +425,7 @@ where
                 s.attach_window_metrics(&registry);
             }
         }
+        let trace = config.trace.clone();
         Ok((
             Self {
                 backend,
@@ -426,6 +438,7 @@ where
                 last_checkpoint: AtomicU64::new(last),
                 registry,
                 obs,
+                trace,
                 repl: OnceLock::new(),
             },
             report,
@@ -439,6 +452,32 @@ where
     #[must_use]
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The trace ring this store records WAL-append span events into
+    /// ([`DurableConfig::trace`]) — `bind_durable` adopts it for the
+    /// session tier when [`crate::net::NetConfig::trace`] is unset, like
+    /// the registry.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Arc<TraceRing>> {
+        self.trace.as_ref()
+    }
+
+    /// Records one WAL-append span event: the span the worker's
+    /// thread-local carries (a live REPORT/SEAL span on the leader, the
+    /// leader-assigned record position on a follower re-apply), session
+    /// 0 — the storage tier serves every session.
+    fn trace_append(&self, started: Instant) {
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEvent {
+                span: current_span().unwrap_or(0),
+                session: 0,
+                stage: TraceStage::WalAppend,
+                msg_type: 0,
+                outcome: TraceOutcome::Ok,
+                ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
     }
 
     /// Whether the backend is windowed.
@@ -517,6 +556,7 @@ where
             return Err(e.into());
         }
         self.obs.append_ns.record_elapsed(started);
+        self.trace_append(started);
         self.obs.batch_frames.record(n);
         self.obs.wal_records.incr();
         self.obs.wal_frames.add(n);
@@ -547,6 +587,7 @@ where
             return Err(e.into());
         }
         self.obs.append_ns.record_elapsed(started);
+        self.trace_append(started);
         self.obs.wal_records.incr();
         wal.records_since_checkpoint += 1;
         self.notify_repl(&mut wal);

@@ -17,7 +17,7 @@ use ldp_ranges::{HhClient, HhConfig, HhServer};
 use ldp_service::net::proto::{read_message, write_message, ClientMsg, ServerMsg};
 use ldp_service::net::{Hello, NetConfig};
 use ldp_service::obs::instruments::names;
-use ldp_service::obs::{Histo, TraceOutcome};
+use ldp_service::obs::{Histo, TraceOutcome, TraceStage};
 use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
 use ldp_service::{
     EncodedStream, LdpClient, LdpServer, LdpService, MetricsRegistry, RegistrySnapshot, TraceRing,
@@ -202,6 +202,16 @@ proptest! {
         let mut framed = vec![0x87];
         framed.extend_from_slice(&bytes);
         let _ = ServerMsg::decode(&framed);
+        // The ops-plane replies (METRICS_RANGE_OK, HEALTH_OK) are total
+        // against byte soup too, with and without a valid version byte.
+        for type_byte in [0x8Au8, 0x8B] {
+            let mut framed = vec![type_byte];
+            framed.extend_from_slice(&bytes);
+            let _ = ServerMsg::decode(&framed);
+            let mut versioned = vec![type_byte, 1];
+            versioned.extend_from_slice(&bytes);
+            let _ = ServerMsg::decode(&versioned);
+        }
     }
 }
 
@@ -423,22 +433,38 @@ fn trace_ring_records_session_events() {
 
     let events = trace.events();
     assert!(!events.is_empty(), "enabled ring recorded nothing");
+    // Each message now leaves a Decode-stage arrival marker *and* an
+    // Execute-stage completion; count only the executions here.
     // 4 REPORT batches + 1 QUERY + 1 STATUS, all on one session, all Ok.
+    let executed = |t: u8| {
+        events
+            .iter()
+            .filter(|(_, e)| e.stage == TraceStage::Execute && e.msg_type == t)
+            .count()
+    };
     let reports = events
         .iter()
-        .filter(|(_, e)| e.msg_type == 0x02 && e.outcome == TraceOutcome::Ok)
+        .filter(|(_, e)| {
+            e.stage == TraceStage::Execute && e.msg_type == 0x02 && e.outcome == TraceOutcome::Ok
+        })
         .count();
     assert_eq!(reports, 4);
-    assert_eq!(
-        events.iter().filter(|(_, e)| e.msg_type == 0x03).count(),
-        1,
-        "one QUERY event"
-    );
-    assert_eq!(
-        events.iter().filter(|(_, e)| e.msg_type == 0x06).count(),
-        1,
-        "one STATUS event"
-    );
+    assert_eq!(executed(0x03), 1, "one QUERY event");
+    assert_eq!(executed(0x06), 1, "one STATUS event");
+    // Every Execute event's span was announced by a Decode event with
+    // the same span id — the cross-tier correlation the span exists for.
+    for (_, e) in events
+        .iter()
+        .filter(|(_, e)| e.stage == TraceStage::Execute && e.msg_type != 0)
+    {
+        assert!(
+            events
+                .iter()
+                .any(|(_, d)| d.stage == TraceStage::Decode && d.span == e.span),
+            "execute span {} has no decode marker",
+            e.span
+        );
+    }
     // Tickets are strictly increasing (the ring orders its history).
     assert!(events.windows(2).all(|w| w[0].0 < w[1].0));
 }

@@ -1,0 +1,590 @@
+//! The ops plane, end to end over real sockets.
+//!
+//! The HTTP scrape endpoint serves valid Prometheus text, health JSON
+//! whose status code tracks the node verdict, and the time-series ring;
+//! hostile HTTP bytes get typed status codes, never a hang or a panic.
+//! The session-protocol introspection messages (METRICS, STATUS,
+//! METRICS_RANGE, HEALTH) answer before any HELLO — including against a
+//! follower actively catching up — and the per-message span ids
+//! assigned at reactor decode reappear on the worker's Execute events
+//! and the storage tier's WalAppend events, correlating one REPORT's
+//! decode → absorb → fsync timeline across tiers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldp_freq_oracle::Epsilon;
+use ldp_ranges::{HhClient, HhConfig, HhServer};
+use ldp_service::net::proto::{read_message, write_message, ClientMsg, ServerMsg};
+use ldp_service::net::{Hello, NetConfig};
+use ldp_service::obs::instruments::names;
+use ldp_service::obs::{HealthState, TraceStage};
+use ldp_service::storage::{scratch_dir, DurableConfig, DurableService, FsyncPolicy};
+use ldp_service::{
+    EncodedStream, FollowerService, HealthThresholds, LdpClient, LdpServer, LdpService,
+    MetricsRegistry, TraceRing,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// --- helpers ------------------------------------------------------------
+
+fn hh_parts() -> (HhClient, HhServer) {
+    let config = HhConfig::new(64, 4, Epsilon::from_exp(3.0)).unwrap();
+    (
+        HhClient::new(config.clone()).unwrap(),
+        HhServer::new(config).unwrap(),
+    )
+}
+
+fn stream_of(client: &HhClient, seed: u64, frames: usize) -> EncodedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = EncodedStream::new();
+    for i in 0..frames {
+        stream.push(&client.report((i * 7) % 64, &mut rng).unwrap());
+    }
+    stream
+}
+
+fn durable_config() -> DurableConfig {
+    DurableConfig {
+        num_shards: 2,
+        fsync: FsyncPolicy::Always,
+        checkpoint_every_records: 0,
+        ..DurableConfig::default()
+    }
+}
+
+/// One HTTP request over a fresh connection; the endpoint always closes
+/// after the response, so read-to-EOF is the framing.
+fn http_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf).to_string();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    http_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+fn assert_valid_prom_name(name: &str) {
+    let mut chars = name.chars();
+    let first = chars.next().unwrap_or_else(|| panic!("empty metric name"));
+    assert!(
+        first.is_ascii_alphabetic() || first == '_' || first == ':',
+        "bad first char in metric name {name:?}"
+    );
+    assert!(
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad char in metric name {name:?}"
+    );
+}
+
+/// A strict parse of the Prometheus text exposition format, the check
+/// a scraper's parser would apply: every line is a `# TYPE` comment or
+/// a `name[{labels}] value` sample, names are well-formed, values are
+/// finite numbers, and every sample belongs to a family a `# TYPE` line
+/// declared first.
+fn assert_prometheus_text_valid(body: &str) {
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE line names a family");
+            let kind = parts.next().expect("TYPE line names a kind");
+            assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown family kind in {line:?}"
+            );
+            assert_valid_prom_name(name);
+            families.push(name.to_string());
+        } else {
+            assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+            let (name_part, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("sample line {line:?} has no value"));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+            assert!(value.is_finite(), "non-finite value in {line:?}");
+            let base = name_part.split('{').next().unwrap();
+            assert_valid_prom_name(base);
+            let known = families.iter().any(|f| {
+                base == f
+                    || ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|suffix| base.strip_suffix(suffix) == Some(f))
+            });
+            assert!(known, "sample {line:?} has no preceding # TYPE family");
+            samples += 1;
+        }
+    }
+    assert!(samples > 0, "exposition carried no samples:\n{body}");
+}
+
+// --- the HTTP endpoint --------------------------------------------------
+
+/// The three routes answer from live telemetry over a real socket, the
+/// Prometheus text parses strictly, and hostile requests get typed
+/// status codes.
+#[test]
+fn http_endpoint_serves_scrapes_and_rejects_hostile_requests() {
+    let (client, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let config = NetConfig {
+        ops_addr: Some("127.0.0.1:0".to_string()),
+        sample_interval: Duration::from_millis(10),
+        ring_capacity: 8,
+        ..NetConfig::default()
+    };
+    let server = LdpServer::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
+    let ops = server.ops_local_addr().expect("ops endpoint configured");
+
+    // Put some traffic through so the scrape shows non-trivial counters.
+    let mut session =
+        LdpClient::connect(server.local_addr(), Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let stream = stream_of(&client, 4100, 80);
+    assert_eq!(session.send_stream(&stream, 20).unwrap(), 80);
+
+    let (status, body) = http_get(ops, "/metrics");
+    assert_eq!(status, 200);
+    assert_prometheus_text_valid(&body);
+    assert!(
+        body.contains("net_frames_absorbed 80"),
+        "scrape missed the absorbed frames:\n{body}"
+    );
+
+    let (status, body) = http_get(ops, "/health");
+    assert_eq!(status, 200, "a healthy node scrapes 200: {body}");
+    assert!(body.contains("\"verdict\": \"Healthy\""));
+    assert!(body.contains("\"component\": \"net\""));
+
+    // The sampler (10ms interval) fills the ring; wait for two samples
+    // so the range carries a delta-able pair.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.timeseries().len() < 2 {
+        assert!(Instant::now() < deadline, "sampler produced no samples");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, body) = http_get(ops, "/metrics/range");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"interval_ms\": 10"));
+    assert!(body.contains("\"samples\""));
+    assert!(body.contains("\"seq\": 0"), "oldest sample missing: {body}");
+
+    // Query strings are stripped; unknown routes 404; non-GET 405;
+    // garbage 400. All typed, none hang.
+    assert_eq!(http_get(ops, "/metrics?ts=123").0, 200);
+    assert_eq!(http_get(ops, "/nope").0, 404);
+    assert_eq!(http_request(ops, "POST /metrics HTTP/1.1\r\n\r\n").0, 405);
+    assert_eq!(http_request(ops, "BLURB\r\n\r\n").0, 400);
+    assert_eq!(http_request(ops, "GET /metrics SPDY/3\r\n\r\n").0, 400);
+
+    // The endpoint measures itself: the request/error counters it
+    // served with are visible in its own next scrape.
+    let (_, body) = http_get(ops, "/metrics");
+    assert!(body.contains("ops_http_requests"), "no self-metrics");
+    assert!(body.contains("ops_ts_samples"), "no sampler metrics");
+
+    session.bye().unwrap();
+    let _ = server.shutdown();
+
+    // Shutdown joined the listener: a fresh scrape must fail to connect.
+    assert!(
+        TcpStream::connect(ops).is_err(),
+        "ops endpoint outlived shutdown"
+    );
+}
+
+/// Injected replication lag flips the health verdict to Degraded and
+/// then Unhealthy — over the session protocol and over HTTP, where
+/// Unhealthy (and only Unhealthy) becomes a 503.
+#[test]
+fn injected_follower_lag_flips_health_over_both_surfaces() {
+    let (_, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = NetConfig {
+        registry: Some(Arc::clone(&registry)),
+        ops_addr: Some("127.0.0.1:0".to_string()),
+        health: HealthThresholds {
+            follower_lag_degraded: 10,
+            follower_lag_unhealthy: 1_000,
+            ..HealthThresholds::default()
+        },
+        ..NetConfig::default()
+    };
+    let server = LdpServer::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
+    let ops = server.ops_local_addr().unwrap();
+    let mut session =
+        LdpClient::connect(server.local_addr(), Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+
+    let lag = registry.gauge(names::REPL_FOLLOWER_LAG_RECORDS);
+
+    lag.set(0);
+    let report = session.health().unwrap();
+    assert_eq!(report.verdict(), HealthState::Healthy);
+    assert_eq!(
+        report.component("repl").unwrap().state,
+        HealthState::Healthy
+    );
+
+    lag.set(50);
+    let report = session.health().unwrap();
+    assert_eq!(report.verdict(), HealthState::Degraded, "{report:?}");
+    assert_eq!(
+        report.component("repl").unwrap().state,
+        HealthState::Degraded
+    );
+    // Degraded still scrapes 200 — the node is operable.
+    let (status, body) = http_get(ops, "/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"verdict\": \"Degraded\""));
+
+    lag.set(5_000);
+    let report = session.health().unwrap();
+    assert_eq!(report.verdict(), HealthState::Unhealthy);
+    let (status, body) = http_get(ops, "/health");
+    assert_eq!(status, 503, "Unhealthy must 503: {body}");
+    assert!(body.contains("\"verdict\": \"Unhealthy\""));
+
+    // The verbose STATUS embeds the same verdict.
+    let status = session.status_full().unwrap();
+    assert_eq!(
+        status
+            .health
+            .as_ref()
+            .map(ldp_service::HealthReport::verdict),
+        Some(HealthState::Unhealthy)
+    );
+    assert!(status.metrics.is_some(), "verbose STATUS carries metrics");
+
+    session.bye().unwrap();
+    let _ = server.shutdown();
+}
+
+// --- the session-protocol surfaces --------------------------------------
+
+/// METRICS_RANGE and HEALTH answer before any HELLO — an external
+/// prober needs no negotiated report kind — and the ranged reply's
+/// samples are seq-ordered at the configured interval.
+#[test]
+fn metrics_range_and_health_answer_pre_hello() {
+    let (_, prototype) = hh_parts();
+    let service = Arc::new(LdpService::new(&prototype, 2).unwrap());
+    let config = NetConfig {
+        sample_interval: Duration::from_millis(10),
+        ring_capacity: 16,
+        ..NetConfig::default()
+    };
+    let server = LdpServer::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.timeseries().len() < 3 {
+        assert!(Instant::now() < deadline, "sampler produced no samples");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Raw socket, no HELLO.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(&mut stream, &ClientMsg::MetricsRange { max: 2 }.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut stream).unwrap()).unwrap();
+    let ServerMsg::MetricsRangeOk(range) = reply else {
+        panic!("METRICS_RANGE answered with {reply:?}");
+    };
+    assert_eq!(range.interval_ms, 10);
+    assert_eq!(range.samples.len(), 2, "max clamps the reply");
+    assert!(
+        range.samples.windows(2).all(|w| w[0].seq < w[1].seq),
+        "samples out of order"
+    );
+    // Adjacent samples of one live registry always subtract exactly.
+    assert_eq!(range.deltas().len(), range.samples.len() - 1);
+
+    write_message(&mut stream, &ClientMsg::Health.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut stream).unwrap()).unwrap();
+    let ServerMsg::HealthOk(report) = reply else {
+        panic!("HEALTH answered with {reply:?}");
+    };
+    assert!(report.component("net").is_some(), "{report:?}");
+    assert_eq!(report.verdict(), HealthState::Healthy);
+
+    // Trailing garbage on either probe is a typed protocol error (the
+    // server then closes the session, so each probe gets its own).
+    for probe in [&[0x0Au8, 1, 0xFF][..], &[0x0Bu8, 0xFF][..]] {
+        let mut hostile = TcpStream::connect(server.local_addr()).unwrap();
+        hostile
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_message(&mut hostile, probe).unwrap();
+        let reply = ServerMsg::decode(&read_message(&mut hostile).unwrap()).unwrap();
+        assert!(
+            matches!(reply, ServerMsg::Error(_)),
+            "garbage probe answered with {reply:?}"
+        );
+    }
+
+    drop(stream);
+    let _ = server.shutdown();
+}
+
+/// Satellite: pre-HELLO STATUS / METRICS / HEALTH probes answer against
+/// a follower's replica socket while it is actively catching up, and
+/// the follower publishes its own lag gauge, which settles to zero once
+/// caught up.
+#[test]
+fn follower_replica_answers_probes_during_catch_up() {
+    let (client, prototype) = hh_parts();
+    let leader_dir = scratch_dir("ops-probe-leader").unwrap();
+    let follower_dir = scratch_dir("ops-probe-follower").unwrap();
+    let (leader, _) = DurableService::open(&leader_dir, &prototype, durable_config()).unwrap();
+    let leader = Arc::new(leader);
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::clone(&leader), NetConfig::default()).unwrap();
+    let addr = format!("{}", server.local_addr());
+
+    // Ingest a backlog *before* the follower exists, so its catch-up
+    // phase is real work (fsync-per-record on the follower side).
+    let mut session = LdpClient::connect(&addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let stream = stream_of(&client, 4200, 300);
+    for chunk in 0..30 {
+        let span = stream.frame_span(chunk * 10, (chunk + 1) * 10);
+        assert_eq!(session.send_batch(10, span).unwrap(), 10);
+    }
+
+    let (follower, _) =
+        FollowerService::open(&follower_dir, &prototype, &addr, durable_config()).unwrap();
+    let replica = LdpServer::bind_replica(
+        "127.0.0.1:0",
+        Arc::clone(follower.service()),
+        NetConfig::default(),
+    )
+    .unwrap();
+
+    // Probe the replica socket immediately — catch-up is (very likely)
+    // still in flight; correctness does not depend on winning that
+    // race, only that the probes answer either way.
+    let mut probe = TcpStream::connect(replica.local_addr()).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(&mut probe, &ClientMsg::Status { verbose: false }.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut probe).unwrap()).unwrap();
+    assert!(
+        matches!(reply, ServerMsg::StatusOk(_)),
+        "pre-HELLO STATUS answered with {reply:?}"
+    );
+    write_message(&mut probe, &ClientMsg::Metrics.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut probe).unwrap()).unwrap();
+    assert!(
+        matches!(reply, ServerMsg::MetricsOk(_)),
+        "pre-HELLO METRICS answered with {reply:?}"
+    );
+    write_message(&mut probe, &ClientMsg::Health.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut probe).unwrap()).unwrap();
+    let ServerMsg::HealthOk(report) = reply else {
+        panic!("pre-HELLO HEALTH answered with {reply:?}");
+    };
+    // The replica shares the follower's registry, so the storage
+    // component (and once the pump publishes lag, the repl component)
+    // is visible through the replica socket.
+    assert!(report.component("storage").is_some(), "{report:?}");
+
+    // Wait for catch-up, then for the published lag gauge to settle at
+    // zero (the gauge is stored just after the position, so poll it).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while follower.position() < 30 {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at {} (err: {:?})",
+            follower.position(),
+            follower.last_error()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let lag = loop {
+        let snapshot = follower.service().registry().snapshot();
+        if let Some(0) = snapshot.gauge(names::REPL_FOLLOWER_LAG_RECORDS) {
+            break 0;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "lag gauge never settled: {:?}",
+            snapshot.gauge(names::REPL_FOLLOWER_LAG_RECORDS)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(lag, 0);
+
+    // Now the health report judges the repl component from the gauge.
+    write_message(&mut probe, &ClientMsg::Health.encode()).unwrap();
+    let reply = ServerMsg::decode(&read_message(&mut probe).unwrap()).unwrap();
+    let ServerMsg::HealthOk(report) = reply else {
+        panic!("HEALTH answered with {reply:?}");
+    };
+    assert_eq!(
+        report.component("repl").map(|c| c.state),
+        Some(HealthState::Healthy),
+        "{report:?}"
+    );
+
+    drop(probe);
+    session.bye().unwrap();
+    let _ = replica.shutdown();
+    drop(follower);
+    let _ = server.shutdown();
+}
+
+// --- cross-tier span tracing ---------------------------------------------
+
+/// One REPORT's span id, assigned at reactor decode, reappears on the
+/// worker's Execute event and the storage tier's WalAppend event — and
+/// the trace ring came from the durable config (adoption), not from
+/// `NetConfig::trace`.
+#[test]
+fn spans_correlate_decode_execute_and_wal_append() {
+    let (client, prototype) = hh_parts();
+    let dir = scratch_dir("ops-span-leader").unwrap();
+    let trace = Arc::new(TraceRing::enabled_with(256));
+    let config = DurableConfig {
+        trace: Some(Arc::clone(&trace)),
+        ..durable_config()
+    };
+    let (leader, _) = DurableService::open(&dir, &prototype, config).unwrap();
+    // NetConfig::trace stays None: the server adopts the storage ring.
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::new(leader), NetConfig::default()).unwrap();
+
+    let mut session =
+        LdpClient::connect(server.local_addr(), Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let stream = stream_of(&client, 4300, 40);
+    assert_eq!(session.send_stream(&stream, 10).unwrap(), 40);
+    let _ = session.status().unwrap();
+    session.bye().unwrap();
+    let _ = server.shutdown();
+
+    let events: Vec<_> = trace.events().into_iter().map(|(_, e)| e).collect();
+    let report_executes: Vec<_> = events
+        .iter()
+        .filter(|e| e.stage == TraceStage::Execute && e.msg_type == 0x02)
+        .collect();
+    assert_eq!(report_executes.len(), 4, "four REPORT batches executed");
+    for exec in report_executes {
+        assert_ne!(exec.span, 0, "real messages get non-sentinel spans");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == TraceStage::Decode && e.span == exec.span),
+            "span {} has no decode marker",
+            exec.span
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == TraceStage::WalAppend && e.span == exec.span && e.ns > 0),
+            "span {} has no WAL append event",
+            exec.span
+        );
+    }
+    // A STATUS (no storage work) must NOT leave a WalAppend event; the
+    // span pipeline only stamps stages that actually ran.
+    let status_span = events
+        .iter()
+        .find(|e| e.stage == TraceStage::Execute && e.msg_type == 0x06)
+        .expect("STATUS executed")
+        .span;
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.stage == TraceStage::WalAppend && e.span == status_span),
+        "STATUS left a WalAppend event"
+    );
+}
+
+/// A follower's ReplApply events are keyed by the leader-assigned
+/// record position — the one id both sides agree on — and the nested
+/// WalAppend the re-framed record produces carries the same span.
+#[test]
+fn follower_repl_apply_spans_are_leader_record_positions() {
+    let (client, prototype) = hh_parts();
+    let leader_dir = scratch_dir("ops-span-repl-leader").unwrap();
+    let follower_dir = scratch_dir("ops-span-repl-follower").unwrap();
+    let (leader, _) = DurableService::open(&leader_dir, &prototype, durable_config()).unwrap();
+    let server =
+        LdpServer::bind_durable("127.0.0.1:0", Arc::new(leader), NetConfig::default()).unwrap();
+    let addr = format!("{}", server.local_addr());
+
+    let trace = Arc::new(TraceRing::enabled_with(256));
+    let follower_config = DurableConfig {
+        trace: Some(Arc::clone(&trace)),
+        ..durable_config()
+    };
+    let (follower, _) =
+        FollowerService::open(&follower_dir, &prototype, &addr, follower_config).unwrap();
+
+    let mut session = LdpClient::connect(&addr, Hello::plain::<ldp_ranges::HhReport>()).unwrap();
+    let stream = stream_of(&client, 4400, 30);
+    for chunk in 0..3 {
+        let span = stream.frame_span(chunk * 10, (chunk + 1) * 10);
+        assert_eq!(session.send_batch(10, span).unwrap(), 10);
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while follower.position() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at {} (err: {:?})",
+            follower.position(),
+            follower.last_error()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    session.bye().unwrap();
+
+    let events: Vec<_> = trace.events().into_iter().map(|(_, e)| e).collect();
+    let applies: Vec<_> = events
+        .iter()
+        .filter(|e| e.stage == TraceStage::ReplApply)
+        .collect();
+    assert_eq!(applies.len(), 3, "one ReplApply per replicated record");
+    let mut spans: Vec<u64> = applies.iter().map(|e| e.span).collect();
+    spans.sort_unstable();
+    assert_eq!(spans, vec![0, 1, 2], "spans are the record positions");
+    // Each re-applied record was re-framed into the follower's own log
+    // under the same span (the thread-local carries it down).
+    for span in spans {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == TraceStage::WalAppend && e.span == span),
+            "record {span} left no follower WalAppend event"
+        );
+    }
+
+    drop(follower);
+    let _ = server.shutdown();
+}

@@ -133,6 +133,21 @@ fn main() {
         embedded.len(),
         live.len()
     );
+    // 4. The ops-plane probes: the derived component-health verdict and
+    //    the background sampler's time-series ring (both pre-HELLO too).
+    let health = session.health().expect("health");
+    println!(
+        "# health: {} ({} components judged)",
+        health.verdict().as_str(),
+        health.components.len()
+    );
+    let range = session.metrics_range(4).expect("metrics range");
+    println!(
+        "# metrics range: {} samples at {} ms intervals, {} exact deltas",
+        range.samples.len(),
+        range.interval_ms,
+        range.deltas().len()
+    );
 
     session.bye().expect("clean close");
     let stats = server.shutdown();
@@ -152,8 +167,8 @@ fn main() {
     );
     for (ticket, event) in events.iter().rev().take(5).rev() {
         println!(
-            "#   [{ticket:>4}] session {} msg 0x{:02x} {:?} {} ns",
-            event.session, event.msg_type, event.outcome, event.ns
+            "#   [{ticket:>4}] span {} session {} {:?} msg 0x{:02x} {:?} {} ns",
+            event.span, event.session, event.stage, event.msg_type, event.outcome, event.ns
         );
     }
 

@@ -1,0 +1,187 @@
+//! The ops-plane smoke: a durable windowed `LdpServer` with the HTTP
+//! scrape endpoint enabled scrapes *itself* over plain std sockets — no
+//! curl, no fixed port — asserting that `GET /metrics` parses as
+//! Prometheus text, `GET /health` answers 200 with a `Healthy` verdict,
+//! and `GET /metrics/range` serves the background sampler's time-series
+//! ring, whose JSON dump is written to `OPS_ring_dump.json` (the CI
+//! artifact).
+//!
+//! ```text
+//! cargo run --release --example ops_plane
+//! ```
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldp_range_queries::prelude::*;
+use ldp_range_queries::service::net::{Hello, NetConfig};
+use ldp_range_queries::service::storage::{
+    scratch_dir, DurableConfig, DurableService, FsyncPolicy,
+};
+use ldp_range_queries::service::{EncodedStream, HealthState, LdpClient, LdpServer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One HTTP GET over a fresh connection; the ops endpoint closes after
+/// every response, so read-to-EOF frames the reply.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to ops endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// A scraper-strength parse of the Prometheus text format: every line
+/// is a `# TYPE` comment or a `name value` sample with a finite value,
+/// and every sample's family was declared by a preceding `# TYPE`.
+fn assert_prometheus_parses(body: &str) -> usize {
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown kind: {line}"
+            );
+            families.push(name.to_string());
+        } else {
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.parse().expect("numeric sample value");
+            assert!(value.is_finite(), "non-finite sample: {line}");
+            let base = name_part.split('{').next().unwrap();
+            assert!(
+                families.iter().any(|f| {
+                    base == f
+                        || ["_bucket", "_sum", "_count"]
+                            .iter()
+                            .any(|s| base.strip_suffix(s) == Some(f.as_str()))
+                }),
+                "sample without TYPE: {line}"
+            );
+            samples += 1;
+        }
+    }
+    assert!(samples > 0, "empty exposition");
+    samples
+}
+
+fn main() {
+    let domain = 256usize;
+    let config = HhConfig::new(domain, 4, Epsilon::from_exp(3.0)).expect("valid config");
+    let client = HhClient::new(config.clone()).expect("client");
+    let prototype = HhServer::new(config).expect("server");
+
+    let dir = scratch_dir("ops-plane-example").expect("scratch dir");
+    let (durable, _) = DurableService::open_windowed(
+        &dir,
+        &prototype,
+        2,
+        DurableConfig {
+            num_shards: 2,
+            fsync: FsyncPolicy::EveryBytes(1 << 20),
+            ..DurableConfig::default()
+        },
+    )
+    .expect("open durable store");
+    let server = LdpServer::bind_durable(
+        "127.0.0.1:0",
+        Arc::new(durable),
+        NetConfig {
+            ops_addr: Some("127.0.0.1:0".to_string()),
+            sample_interval: Duration::from_millis(50),
+            ring_capacity: 64,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let ops = server.ops_local_addr().expect("ops endpoint bound");
+    println!(
+        "# ops_plane: sessions on {}, scrape endpoint on {ops}",
+        server.local_addr()
+    );
+
+    // Real traffic so the scrape carries every tier's instruments.
+    let mut session = LdpClient::connect(
+        server.local_addr(),
+        Hello::windowed::<ldp_range_queries::ranges::HhReport>(),
+    )
+    .expect("connect");
+    let mut rng = StdRng::seed_from_u64(7);
+    for epoch in 0..2u64 {
+        let mut stream = EncodedStream::new();
+        for _ in 0..2_000 {
+            let value = rng.random_range(0..domain);
+            stream.push_epoch(&client.report(value, &mut rng).expect("report"), epoch);
+        }
+        assert_eq!(session.send_stream(&stream, 256).expect("stream"), 2_000);
+        session.seal_epoch().expect("seal");
+    }
+
+    // Let the 50ms sampler take a handful of samples.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.timeseries().len() < 4 {
+        assert!(Instant::now() < deadline, "sampler never sampled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // GET /metrics: valid Prometheus text with the ingested frames.
+    let (status, body) = http_get(ops, "/metrics");
+    assert_eq!(status, 200, "/metrics status");
+    let samples = assert_prometheus_parses(&body);
+    assert!(
+        body.contains("net_frames_absorbed 4000"),
+        "scrape missed the traffic"
+    );
+    println!("# GET /metrics: 200, {samples} samples, Prometheus text parses");
+
+    // GET /health: 200 and a Healthy verdict on this idle, intact node.
+    let (status, body) = http_get(ops, "/health");
+    assert_eq!(status, 200, "/health status: {body}");
+    assert!(
+        body.contains("\"verdict\": \"Healthy\""),
+        "unexpected verdict: {body}"
+    );
+    println!("# GET /health: 200, verdict Healthy");
+
+    // The wire verdict agrees with the scraped one.
+    let report = session.health().expect("HEALTH over the wire");
+    assert_eq!(report.verdict(), HealthState::Healthy);
+
+    // GET /metrics/range: the ring dump — also the CI bench artifact.
+    let (status, dump) = http_get(ops, "/metrics/range");
+    assert_eq!(status, 200, "/metrics/range status");
+    assert!(dump.contains("\"samples\""), "no samples in range dump");
+    std::fs::write("OPS_ring_dump.json", &dump).expect("write ring dump");
+    println!(
+        "# GET /metrics/range: 200, {} bytes -> OPS_ring_dump.json",
+        dump.len()
+    );
+
+    session.bye().expect("clean close");
+    let stats = server.shutdown();
+    assert_eq!(stats.frames_absorbed, 4_000);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    println!("# ops_plane: OK");
+}
