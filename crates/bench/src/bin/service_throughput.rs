@@ -21,7 +21,7 @@ use ldp_bench::metrics::BenchMetrics;
 use ldp_freq_oracle::Epsilon;
 use ldp_ranges::{HhClient, HhConfig, HhServer, RangeEstimate};
 use ldp_service::obs::instruments::names;
-use ldp_service::{MetricsRegistry, RangeSnapshot, ShardedAggregator};
+use ldp_service::{LdpService, MetricsRegistry, RangeSnapshot, ShardedAggregator};
 use ldp_workloads::{CauchyParams, Dataset, DistributionKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,6 +143,67 @@ fn main() {
             absorb.mean(),
             absorb.quantile_bound(0.99),
         );
+    }
+
+    // Refresh phase: time repeated snapshot refreshes while the stream
+    // keeps arriving. `LDP_DELTA_REFRESH=off` turns this into a negative
+    // control — every refresh must rebuild from scratch and the delta
+    // counter must stay zero — while the default run must take the delta
+    // path after its first refresh. Both paths must agree bit for bit
+    // with an independent clone-and-merge.
+    {
+        let registry = MetricsRegistry::new();
+        let service = LdpService::new(&prototype, 4).expect("non-zero shard count");
+        service.attach_metrics(&registry);
+        let refreshes = env_or("LDP_SERVICE_REFRESHES", 16).max(2) as usize;
+        let chunk = stream.len().div_ceil(refreshes).max(1);
+        let mut did = 0u64;
+        let mut refresh_ns = 0u128;
+        let mut lo = 0;
+        while lo < stream.len() {
+            let hi = (lo + chunk).min(stream.len());
+            service
+                .submit_wire_batch(2, (hi - lo) as u64, stream.frame_span(lo, hi))
+                .expect("well-formed stream");
+            let started = Instant::now();
+            let snap = service.refresh_snapshot().expect("refresh");
+            refresh_ns += started.elapsed().as_nanos();
+            let oracle = RangeSnapshot::freeze(&service.merged_state().expect("merge"), 0);
+            assert_eq!(snap.num_reports(), oracle.num_reports());
+            for z in 0..domain {
+                assert!(
+                    snap.point(z).to_bits() == oracle.point(z).to_bits(),
+                    "refresh {did} diverged from clone-and-merge at leaf {z}"
+                );
+            }
+            lo = hi;
+            did += 1;
+        }
+        let snapshot = registry.snapshot();
+        let full = snapshot.counter(names::SERVICE_REFRESHES_FULL).unwrap_or(0);
+        let delta = snapshot
+            .counter(names::SERVICE_REFRESHES_DELTA)
+            .unwrap_or(0);
+        if service.delta_refresh_enabled() {
+            assert_eq!(
+                (full, delta),
+                (1, did - 1),
+                "delta refresh enabled but refreshes did not take the delta path"
+            );
+        } else {
+            assert_eq!(
+                (full, delta),
+                (did, 0),
+                "LDP_DELTA_REFRESH=off but a refresh still took the delta path"
+            );
+        }
+        let mean_ns = refresh_ns as f64 / did as f64;
+        println!(
+            "\n# refresh phase: {did} refreshes, mean {:.0} ns (delta {}), full={full} delta={delta}, all bit-identical to clone-and-merge",
+            mean_ns,
+            if service.delta_refresh_enabled() { "on" } else { "off" },
+        );
+        metrics.record("service_refresh_mean_ns", mean_ns);
     }
 
     // Close the loop: the merged state answers queries correctly.

@@ -275,9 +275,16 @@ impl PointOracle for Oue {
                 server: self.domain,
             });
         }
-        for j in 0..self.domain {
-            if report.bit(j) {
+        // Walk set bits word-wise: with q = 1/(1+e^ε) most bits are clear,
+        // so iterating `popcount` set positions beats testing all D bits.
+        // The increments are the same as the per-bit loop, so the
+        // accumulator state is bit-identical.
+        for (wi, &word) in report.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let j = wi * 64 + w.trailing_zeros() as usize;
                 self.counts[j] += 1;
+                w &= w - 1;
             }
         }
         self.reports += 1;

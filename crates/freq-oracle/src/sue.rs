@@ -187,9 +187,14 @@ impl PointOracle for Sue {
                 server: self.domain,
             });
         }
-        for (j, c) in self.counts.iter_mut().enumerate() {
-            if report.bit(j) {
-                *c += 1;
+        // Word-wise set-bit walk, exactly as [`crate::Oue::absorb`]: the
+        // same increments as the per-bit loop, so state is bit-identical.
+        for (wi, &word) in report.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let j = wi * 64 + w.trailing_zeros() as usize;
+                self.counts[j] += 1;
+                w &= w - 1;
             }
         }
         self.reports += 1;

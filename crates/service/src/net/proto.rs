@@ -1101,6 +1101,40 @@ impl ServerMsg {
     }
 }
 
+/// A REPORT batch *borrowed* from the message body it arrived in: the
+/// declared count plus the back-to-back frame bytes as a subslice of the
+/// envelope buffer. The server's hot path decodes REPORT bodies through
+/// this view instead of [`ClientMsg::decode`], so the frame bytes are
+/// never copied between the socket buffer and the shard absorb — each
+/// frame is decoded from a borrowed subslice end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReportFrames<'a> {
+    /// Declared number of frames.
+    pub count: u64,
+    /// The concatenated wire frames, borrowed from the envelope body.
+    pub frames: &'a [u8],
+}
+
+/// Decodes a REPORT message body (`body[0]` must be [`MSG_REPORT`]) into
+/// a borrowed [`ReportFrames`], applying exactly the validation
+/// [`ClientMsg::decode`] applies — the two paths must reject hostile
+/// bodies identically.
+pub(crate) fn decode_report_frames(body: &[u8]) -> Result<ReportFrames<'_>, WireError> {
+    let mut r = Reader::new(body);
+    if r.u8()? != MSG_REPORT {
+        return Err(WireError::Malformed("not a REPORT body"));
+    }
+    let count = r.varint()?;
+    let frames = r.bytes(r.remaining())?;
+    // The smallest well-formed wire frame is 5 bytes (magic + version +
+    // kind + ≥1 payload byte); a count that cannot fit the payload is
+    // rejected here so later per-frame work stays bounded by real bytes.
+    if count > frames.len() as u64 {
+        return Err(WireError::Malformed("frame count exceeds payload"));
+    }
+    Ok(ReportFrames { count, frames })
+}
+
 /// Encodes a REPORT message body straight from borrowed frame bytes —
 /// the hot replay path ([`super::LdpClient::send_stream`]) uses this to
 /// avoid copying each batch into an owned [`ReportBatch`] first.

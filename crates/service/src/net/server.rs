@@ -36,9 +36,10 @@ use crate::error::ServiceError;
 use crate::net::ops::OpsListener;
 use crate::net::poll::Poller;
 use crate::net::proto::{
-    ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp, QueryReply, QueryResult,
-    RemoteError, ReportBatch, ServerMsg, StatusReply, MSG_HEALTH, MSG_METRICS, MSG_METRICS_RANGE,
-    MSG_QUERY, MSG_REPLICATE, MSG_REPORT, MSG_SEAL, MSG_STATUS, WIRE_EPOCH, WIRE_V1,
+    decode_report_frames, ClientMsg, DurableProgress, ErrorCode, Hello, HelloOk, Query, QueryOp,
+    QueryReply, QueryResult, RemoteError, ReportBatch, ReportFrames, ServerMsg, StatusReply,
+    MSG_HEALTH, MSG_METRICS, MSG_METRICS_RANGE, MSG_QUERY, MSG_REPLICATE, MSG_REPORT, MSG_SEAL,
+    MSG_STATUS, WIRE_EPOCH, WIRE_V1,
 };
 use crate::net::reactor::{
     Job, JobDone, JobQueue, PushSource, Reactor, ReactorKnobs, ReactorShared,
@@ -124,6 +125,30 @@ where
                 s.submit_epoch_batch(&tagged).map_err(service_error)?;
                 Ok(n)
             }
+        }
+    }
+
+    /// Absorbs a REPORT batch straight from borrowed envelope bytes — the
+    /// zero-copy twin of [`Backend::absorb_batch`]. Frames are decoded one
+    /// at a time from subslices of `frames` and absorbed into a staged
+    /// shard clone, so a 256-frame batch costs no intermediate `Vec` of
+    /// reports and no copy of the frame bytes.
+    fn absorb_frames(
+        &self,
+        wire_version: u8,
+        count: u64,
+        frames: &[u8],
+    ) -> Result<u64, RemoteError> {
+        match self {
+            Self::Durable(d) => d
+                .ingest_batch(wire_version, count, frames)
+                .map_err(service_error),
+            Self::Plain(s) => s
+                .submit_wire_batch(wire_version, count, frames)
+                .map_err(service_error),
+            Self::Windowed(s) => s
+                .submit_epoch_wire_batch(wire_version, count, frames)
+                .map_err(service_error),
         }
     }
 
@@ -719,6 +744,56 @@ where
             break;
         }
         let started = Instant::now();
+        // Zero-copy fast path: REPORT bodies on ingest sessions decode as
+        // borrowed frames straight out of the envelope buffer instead of
+        // through `ClientMsg::decode`'s owning `ReportBatch`, so the frame
+        // bytes are never copied between the socket and the shard absorb.
+        // Replication sessions fall through to the generic decode so the
+        // stream state machine below still rejects them identically.
+        if !repl && body[0] == MSG_REPORT {
+            let ReportFrames { count, frames } = match decode_report_frames(body) {
+                Ok(rf) => rf,
+                Err(e) => {
+                    replies.push(error_body(ErrorCode::Protocol, e.to_string()));
+                    if hello.is_none() {
+                        close = true;
+                        break;
+                    }
+                    continue;
+                }
+            };
+            let Some(h) = hello else {
+                replies.push(error_body(ErrorCode::BadState, "REPORT before HELLO"));
+                close = true;
+                break;
+            };
+            if shared.replica {
+                replies.push(error_body(
+                    ErrorCode::BadState,
+                    "replica is read-only: its log is a copy of its leader's",
+                ));
+                observe(shared, span, job.session, MSG_REPORT, false, started);
+                continue;
+            }
+            match shared.backend.absorb_frames(h.wire_version, count, frames) {
+                Ok(accepted) => {
+                    obs.frames_absorbed.add(accepted);
+                    replies.push(ServerMsg::ReportOk { accepted }.encode());
+                    observe(shared, span, job.session, MSG_REPORT, true, started);
+                }
+                Err(e) => {
+                    // Count what the payload could physically hold (the
+                    // smallest frame is 5 bytes), never the attacker-
+                    // declared count — a lying count must not corrupt an
+                    // operator-visible counter.
+                    let plausible = count.min(frames.len() as u64 / 5);
+                    obs.frames_rejected.add(plausible);
+                    replies.push(ServerMsg::Error(e).encode());
+                    observe(shared, span, job.session, MSG_REPORT, false, started);
+                }
+            }
+            continue;
+        }
         let msg = match ClientMsg::decode(body) {
             Ok(msg) => msg,
             Err(e) => {

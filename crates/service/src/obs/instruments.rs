@@ -27,6 +27,17 @@ pub mod names {
     pub const SERVICE_REFRESHES: &str = "service.refreshes";
     /// Gauge, version: version stamp of the currently published snapshot.
     pub const SERVICE_SNAPSHOT_VERSION: &str = "service.snapshot_version";
+    /// Counter, refreshes: refreshes served by the delta path (only
+    /// shards that absorbed since the last freeze were re-cloned and
+    /// swapped into the retained merge).
+    pub const SERVICE_REFRESHES_DELTA: &str = "service.refreshes_delta";
+    /// Counter, refreshes: refreshes that rebuilt the merge from scratch
+    /// (the first refresh, the refresh after an epoch seal, or any
+    /// refresh with the delta path disabled).
+    pub const SERVICE_REFRESHES_FULL: &str = "service.refreshes_full";
+    /// Counter, shards: unchanged shards a delta refresh reused without
+    /// cloning or merging.
+    pub const SERVICE_REFRESH_SHARDS_REUSED: &str = "service.refresh_shards_reused";
 
     /// Histogram, ns: wall time of one lockstep epoch seal across all
     /// shard rings.
@@ -141,6 +152,12 @@ pub struct ServiceInstruments {
     pub refreshes: Arc<Counter>,
     /// [`names::SERVICE_SNAPSHOT_VERSION`].
     pub snapshot_version: Arc<Gauge>,
+    /// [`names::SERVICE_REFRESHES_DELTA`].
+    pub refreshes_delta: Arc<Counter>,
+    /// [`names::SERVICE_REFRESHES_FULL`].
+    pub refreshes_full: Arc<Counter>,
+    /// [`names::SERVICE_REFRESH_SHARDS_REUSED`].
+    pub refresh_shards_reused: Arc<Counter>,
 }
 
 impl ServiceInstruments {
@@ -151,6 +168,9 @@ impl ServiceInstruments {
             refresh_ns: registry.histo(names::SERVICE_REFRESH_NS),
             refreshes: registry.counter(names::SERVICE_REFRESHES),
             snapshot_version: registry.gauge(names::SERVICE_SNAPSHOT_VERSION),
+            refreshes_delta: registry.counter(names::SERVICE_REFRESHES_DELTA),
+            refreshes_full: registry.counter(names::SERVICE_REFRESHES_FULL),
+            refresh_shards_reused: registry.counter(names::SERVICE_REFRESH_SHARDS_REUSED),
         }
     }
 }

@@ -94,11 +94,43 @@ impl ReplFeed {
         let Some(body) = self.read_body()? else {
             return Ok(None);
         };
-        match ServerMsg::decode(&body)? {
+        self.decode_record(&body).map(Some)
+    }
+
+    /// Waits for the next pushed record, then drains every *complete*
+    /// record the socket reads buffered alongside it — a busy leader
+    /// pushes records back to back, so one kernel round trip often
+    /// carries dozens of envelopes, and handing them to the caller as
+    /// one run lets the follower apply them under one WAL lock instead
+    /// of one per record. Never blocks once the first record is in
+    /// hand; returns an empty run when the initial read timed out.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplFeed::next_record`]. Records decoded before the failing
+    /// one are discarded — the caller resumes from its own position, so
+    /// nothing is lost.
+    pub fn next_records(&mut self, max: usize) -> Result<Vec<(u64, Vec<u8>)>, NetError> {
+        let Some(first) = self.read_body()? else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(16);
+        out.push(self.decode_record(&first)?);
+        while out.len() < max {
+            match self.take_buffered_body()? {
+                Some(body) => out.push(self.decode_record(&body)?),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode_record(&mut self, body: &[u8]) -> Result<(u64, Vec<u8>), NetError> {
+        match ServerMsg::decode(body)? {
             ServerMsg::ReplRecord { position, body } => {
                 self.next_position = position + 1;
                 self.leader_records = self.leader_records.max(self.next_position);
-                Ok(Some((position, body)))
+                Ok((position, body))
             }
             ServerMsg::Error(e) => Err(NetError::Remote(e)),
             _ => Err(NetError::UnexpectedReply(
@@ -142,23 +174,33 @@ impl ReplFeed {
         Ok(())
     }
 
+    /// Pulls one complete envelope body out of the buffer without
+    /// touching the socket — `Ok(None)` means the buffer holds no
+    /// complete envelope (a partial one stays put for the next read).
+    fn take_buffered_body(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.buf.len() >= 4 {
+            let len =
+                u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if len == 0 || len > MAX_MESSAGE_BYTES {
+                return Err(NetError::TooLarge {
+                    declared: len as u64,
+                });
+            }
+            if self.buf.len() >= 4 + len {
+                let body = self.buf[4..4 + len].to_vec();
+                self.buf.drain(..4 + len);
+                return Ok(Some(body));
+            }
+        }
+        Ok(None)
+    }
+
     /// Pulls one complete envelope body, reading from the socket as
     /// needed. `Ok(None)` means the read timed out first.
     fn read_body(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         loop {
-            if self.buf.len() >= 4 {
-                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                    as usize;
-                if len == 0 || len > MAX_MESSAGE_BYTES {
-                    return Err(NetError::TooLarge {
-                        declared: len as u64,
-                    });
-                }
-                if self.buf.len() >= 4 + len {
-                    let body = self.buf[4..4 + len].to_vec();
-                    self.buf.drain(..4 + len);
-                    return Ok(Some(body));
-                }
+            if let Some(body) = self.take_buffered_body()? {
+                return Ok(Some(body));
             }
             let mut chunk = [0u8; 16 * 1024];
             match self.stream.read(&mut chunk) {

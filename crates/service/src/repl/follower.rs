@@ -25,6 +25,11 @@ use crate::wire::WireReport;
 /// boundaries), so lag gauges stay fresh without an ack per record.
 const ACK_EVERY: u64 = 32;
 
+/// Most records pulled off the feed per pump iteration. Bounds the
+/// memory of one batched apply and keeps ack latency bounded while a
+/// cold follower drains a deep backlog.
+const BATCH_MAX: usize = 256;
+
 /// How long the pump thread blocks on the feed before re-checking the
 /// stop flag — bounds how long [`FollowerService::promote`] waits.
 const IDLE_POLL: Duration = Duration::from_millis(200);
@@ -247,9 +252,10 @@ where
     }
 }
 
-/// The pump: pull records off the feed, apply + log each one, ack in
-/// batches. Returns the stream's cause of death as a string (a stopped
-/// pump via the stop flag returns `Ok`).
+/// The pump: drain a run of records off the feed, apply + log the run
+/// under one WAL lock, ack at batch and commit boundaries. Returns the
+/// stream's cause of death as a string (a stopped pump via the stop
+/// flag returns `Ok`).
 fn pump_loop<S>(
     service: &DurableService<S>,
     feed: &mut ReplFeed,
@@ -270,63 +276,77 @@ where
             let _ = feed.ack(position.load(Ordering::SeqCst));
             return Ok(());
         }
-        let (pushed, body) = match feed.next_record() {
-            Ok(Some(record)) => record,
-            Ok(None) => {
+        let pushed = match feed.next_records(BATCH_MAX) {
+            Ok(batch) if batch.is_empty() => {
                 let leader = feed.leader_records();
                 leader_records.store(leader, Ordering::SeqCst);
                 obs.follower_lag_records
                     .set(leader.saturating_sub(position.load(Ordering::SeqCst)));
                 continue;
             }
+            Ok(batch) => batch,
             Err(e) => return Err(format!("replication stream ended: {e}")),
         };
-        let expected = position.load(Ordering::SeqCst);
-        if pushed != expected {
-            return Err(format!(
-                "leader pushed record {pushed} but the follower is at {expected} — \
-                 the stream and the local log have diverged"
-            ));
+        // Position continuity: the run must carry exactly the records
+        // the local log expects next, in order.
+        let start = position.load(Ordering::SeqCst);
+        let mut expected = start;
+        let mut records = Vec::with_capacity(pushed.len());
+        for (at, body) in &pushed {
+            if *at != expected {
+                return Err(format!(
+                    "leader pushed record {at} but the follower is at {expected} — \
+                     the stream and the local log have diverged"
+                ));
+            }
+            expected += 1;
+            let record = WalRecord::decode_body(body)
+                .map_err(|e| format!("pushed WAL record {at} is malformed: {e}"))?;
+            records.push((*at, record));
         }
-        let record = WalRecord::decode_body(&body)
-            .map_err(|e| format!("pushed WAL record {pushed} is malformed: {e}"))?;
-        let boundary = !matches!(record, WalRecord::Frames { .. });
+        let boundary = records
+            .iter()
+            .any(|(_, r)| !matches!(r, WalRecord::Frames { .. }));
         // The span of a replicated record is its leader-assigned log
         // position: the one id both sides already agree on, so a
         // leader's WalAppend and the follower's ReplApply for the same
-        // record correlate without a wire change.
+        // record correlate without a wire change. The batched apply
+        // stamps each record's own position onto its WalAppend; here
+        // each record gets its ReplApply event with the run's wall time
+        // amortized across its records.
         let started = Instant::now();
-        set_current_span(Some(pushed));
-        let applied = service.apply_replicated(&record);
+        let applied = service.apply_replicated_batch(&records);
         set_current_span(None);
         if let Some(trace) = service.trace() {
-            trace.record(TraceEvent {
-                span: pushed,
-                session: 0,
-                stage: TraceStage::ReplApply,
-                msg_type: 0,
-                outcome: if applied.is_ok() {
-                    TraceOutcome::Ok
-                } else {
-                    TraceOutcome::Error
-                },
-                ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            });
+            let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let per_record = elapsed / records.len() as u64;
+            for (at, _) in &records {
+                trace.record(TraceEvent {
+                    span: *at,
+                    session: 0,
+                    stage: TraceStage::ReplApply,
+                    msg_type: 0,
+                    outcome: if applied.is_ok() {
+                        TraceOutcome::Ok
+                    } else {
+                        TraceOutcome::Error
+                    },
+                    ns: per_record,
+                });
+            }
         }
-        applied.map_err(|e| format!("applying replicated record {pushed} failed: {e}"))?;
-        position.store(expected + 1, Ordering::SeqCst);
+        applied
+            .map_err(|e| format!("applying replicated records {start}..{expected} failed: {e}"))?;
+        position.store(expected, Ordering::SeqCst);
         let leader = feed.leader_records();
         leader_records.store(leader, Ordering::SeqCst);
         obs.follower_lag_records
-            .set(leader.saturating_sub(expected + 1));
-        obs.records_applied.incr();
-        unacked += 1;
+            .set(leader.saturating_sub(expected));
+        obs.records_applied.add(records.len() as u64);
+        unacked += records.len() as u64;
         if unacked >= ACK_EVERY || boundary {
-            if let Err(e) = feed.ack(expected + 1) {
-                return Err(format!(
-                    "acknowledging position {} failed: {e}",
-                    expected + 1
-                ));
+            if let Err(e) = feed.ack(expected) {
+                return Err(format!("acknowledging position {expected} failed: {e}"));
             }
             unacked = 0;
         }

@@ -12,14 +12,20 @@
 //!   lock-free against that immutable freeze.
 //! * **Publication** — [`LdpService::refresh_snapshot`] locks shards one
 //!   at a time (briefly, to clone), merges the clones, runs the expensive
-//!   estimation *outside* any lock, and atomically swaps the published
-//!   snapshot with a bumped version.
+//!   estimation *outside* any shard lock, and atomically swaps the
+//!   published snapshot with a bumped version. Refreshes are *delta*
+//!   refreshes: the service retains the merged accumulator between
+//!   refreshes and re-clones only shards that absorbed since the last
+//!   freeze, swapping each one's previous contribution out by exact
+//!   subtraction — bit-identical to the from-scratch clone-and-merge
+//!   (integer sufficient statistics), at a cost proportional to the
+//!   shards that actually changed.
 //!
 //! Queries therefore keep answering — at a bounded staleness — while
 //! ingestion continues, which is the contract industry aggregation
 //! pipelines provide.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
@@ -39,16 +45,37 @@ struct ServiceObs {
     service: ServiceInstruments,
 }
 
+/// State carried from one snapshot refresh to the next so a refresh can
+/// merge *deltas* instead of re-merging every shard from scratch:
+/// `merged` always equals the merge of `retained`, and `seen[k]` is the
+/// value shard `k`'s dirty counter had when `retained[k]` was cloned.
+struct RefreshState<S> {
+    merged: S,
+    retained: Vec<S>,
+    seen: Vec<u64>,
+}
+
 /// A sharded LDP aggregation service with snapshot-isolated reads.
 pub struct LdpService<S: SnapshotSource> {
     shards: Vec<Mutex<S>>,
+    /// Per-shard mutation counters, bumped under the shard lock on every
+    /// committed state change; a delta refresh skips any shard whose
+    /// counter has not moved since its retained clone was taken.
+    dirty: Vec<AtomicU64>,
     next_shard: AtomicUsize,
     published: RwLock<Arc<RangeSnapshot>>,
     version: AtomicU64,
     /// Serializes refreshes end to end (clone → estimate → publish) so a
     /// slow refresher can never overwrite a newer snapshot with staler
-    /// data; readers stay lock-free on `published`.
-    refresh: Mutex<()>,
+    /// data, and holds the retained delta-refresh state (`None` until the
+    /// first refresh, and reset by structural changes like epoch seals);
+    /// readers stay lock-free on `published`.
+    refresh: Mutex<Option<RefreshState<S>>>,
+    /// Kill switch for the delta refresh path; disabled, every refresh
+    /// falls back to the from-scratch clone-and-merge. Snapshots are
+    /// bit-identical either way — the switch exists so CI can prove that
+    /// equivalence (see [`LdpService::set_delta_refresh`]).
+    delta_refresh: AtomicBool,
     /// Telemetry handles, attached at most once
     /// ([`LdpService::attach_metrics`]); unattached, every hot path pays
     /// one `OnceLock` load and nothing else.
@@ -56,6 +83,23 @@ pub struct LdpService<S: SnapshotSource> {
     /// Window-tier handles for the lockstep seal sweep
     /// (`attach_window_metrics`; meaningful only for windowed backends).
     window_obs: OnceLock<Arc<WindowInstruments>>,
+}
+
+/// Environment override for the delta refresh path: set
+/// `LDP_DELTA_REFRESH` to `0`, `off`, `false`, or `no` to force every
+/// refresh through the from-scratch clone-and-merge. CI uses this as a
+/// negative control proving delta and full refreshes publish identical
+/// snapshots.
+pub const DELTA_REFRESH_ENV: &str = "LDP_DELTA_REFRESH";
+
+fn delta_refresh_from_env() -> bool {
+    match std::env::var(DELTA_REFRESH_ENV) {
+        Ok(v) => !matches!(
+            v.to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
 }
 
 /// Locks a mutex, surfacing poisoning as a typed error instead of a
@@ -122,13 +166,32 @@ impl<S: SnapshotSource> LdpService<S> {
         shards.extend((1..num_shards).map(|_| Mutex::new(empty.clone())));
         Ok(Self {
             shards,
+            dirty: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             next_shard: AtomicUsize::new(0),
             published: RwLock::new(initial),
             version: AtomicU64::new(0),
-            refresh: Mutex::new(()),
+            refresh: Mutex::new(None),
+            delta_refresh: AtomicBool::new(delta_refresh_from_env()),
             obs: OnceLock::new(),
             window_obs: OnceLock::new(),
         })
+    }
+
+    /// Whether snapshot refreshes may take the delta path (re-clone and
+    /// re-merge only shards that absorbed since the last freeze).
+    #[must_use]
+    pub fn delta_refresh_enabled(&self) -> bool {
+        self.delta_refresh.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the delta refresh path. The initial value
+    /// comes from the [`DELTA_REFRESH_ENV`] environment variable
+    /// (enabled unless set to `0`/`off`/`false`/`no`). Published
+    /// snapshots are bit-identical on either path; disabling only costs
+    /// refresh latency, which is why the negative control in CI can flip
+    /// it without touching correctness.
+    pub fn set_delta_refresh(&self, enabled: bool) {
+        self.delta_refresh.store(enabled, Ordering::Relaxed);
     }
 
     /// Number of shards.
@@ -160,6 +223,9 @@ impl<S: SnapshotSource> LdpService<S> {
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
         let result = shard.absorb(report);
+        if result.is_ok() {
+            self.dirty[k].fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(obs) = self.obs.get() {
             match &result {
                 Ok(()) => obs.shard.frames_accepted.incr(),
@@ -230,7 +296,77 @@ impl<S: SnapshotSource> LdpService<S> {
             })?;
         }
         *shard = staged;
+        self.dirty[k].fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Absorbs a REPORT batch straight from its raw wire bytes into one
+    /// round-robin shard, **all-or-nothing** like
+    /// [`LdpService::submit_batch`], without materializing the decoded
+    /// batch: each frame is decoded from its borrowed subslice of
+    /// `frames` and absorbed into the staged clone immediately, so the
+    /// batch machinery does O(1) allocations however many frames the
+    /// message carries. Epoch tags (v2 frames) are ignored, exactly as
+    /// the collecting network path ignored them for unwindowed backends.
+    ///
+    /// Returns the number of frames absorbed (always `count` on success).
+    ///
+    /// # Errors
+    ///
+    /// A malformed or rejected frame surfaces as
+    /// [`ServiceError::BadFrame`] with its batch index; state is
+    /// unchanged on error.
+    pub fn submit_wire_batch(
+        &self,
+        wire_version: u8,
+        count: u64,
+        frames: &[u8],
+    ) -> Result<u64, ServiceError>
+    where
+        S::Report: WireReport,
+    {
+        if count == 0 && frames.is_empty() {
+            return Ok(0);
+        }
+        let started = self.obs.get().map(|_| Instant::now());
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let result = (|| {
+            let mut shard = lock(&self.shards[k], "shard")?;
+            let mut staged = shard.clone();
+            let absorbed =
+                crate::wire::for_each_frame(wire_version, count, frames, |_epoch, report| {
+                    staged.absorb(&report).map_err(Into::into)
+                })?;
+            *shard = staged;
+            self.dirty[k].fetch_add(1, Ordering::Relaxed);
+            Ok(absorbed)
+        })();
+        self.observe_wire_batch(&result, count, frames.len(), started);
+        result
+    }
+
+    /// Shard-tier accounting for the streaming batch paths, mirroring
+    /// [`LdpService::submit_batch`]: all-or-nothing, with the rejected
+    /// count bounded by what the payload could physically hold (the
+    /// smallest frame is 5 bytes) so a lying count cannot inflate an
+    /// operator-visible counter.
+    fn observe_wire_batch(
+        &self,
+        result: &Result<u64, ServiceError>,
+        count: u64,
+        payload_len: usize,
+        started: Option<Instant>,
+    ) {
+        if let (Some(obs), Some(started)) = (self.obs.get(), started) {
+            obs.shard.absorb_ns.record_elapsed(started);
+            match result {
+                Ok(absorbed) => obs.shard.frames_accepted.add(*absorbed),
+                Err(_) => obs
+                    .shard
+                    .frames_rejected
+                    .add(count.min(payload_len as u64 / 5)),
+            }
+        }
     }
 
     /// Total reports across all shards right now (racy by nature while
@@ -258,7 +394,20 @@ impl<S: SnapshotSource> LdpService<S> {
 
     /// Merges current shard state and publishes a fresh snapshot,
     /// returning it. Shards are locked one at a time only long enough to
-    /// clone; estimation runs unlocked.
+    /// clone (or, on the delta path, to read one counter); estimation
+    /// runs with no shard lock held.
+    ///
+    /// Refreshes after the first take the **delta path** whenever
+    /// enabled (see [`LdpService::set_delta_refresh`]): the previous
+    /// refresh's merged accumulator is retained, and only shards whose
+    /// dirty counter moved since their last clone are re-cloned — each
+    /// one's previous contribution is subtracted out and the fresh clone
+    /// merged in. Integer sufficient statistics make subtract the exact
+    /// inverse of merge and both order-insensitive, so the published
+    /// snapshot is bit-identical to a from-scratch clone-and-merge (the
+    /// `delta_refresh` proptest pins this for all six mechanisms).
+    /// Structural changes (epoch seals) reset the retained state, forcing
+    /// the next refresh through the full rebuild.
     ///
     /// # Errors
     ///
@@ -268,11 +417,14 @@ impl<S: SnapshotSource> LdpService<S> {
         // Serialize the whole clone → merge → estimate → publish sequence;
         // without this, a refresher that cloned earlier (staler data)
         // could publish after — and overwrite — a fresher snapshot.
-        let _guard = lock(&self.refresh, "refresh")?;
+        let mut guard = lock(&self.refresh, "refresh")?;
         let started = self.obs.get().map(|_| Instant::now());
-        let merged = self.merge_shards()?;
+        let reused = self.refresh_merged(&mut guard)?;
+        let Some(state) = guard.as_ref() else {
+            return Err(ServiceError::NoShards);
+        };
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
-        let snap = Arc::new(RangeSnapshot::freeze(&merged, version));
+        let snap = Arc::new(RangeSnapshot::freeze(&state.merged, version));
         *self
             .published
             .write()
@@ -283,8 +435,88 @@ impl<S: SnapshotSource> LdpService<S> {
             }
             obs.service.refreshes.incr();
             obs.service.snapshot_version.set(version);
+            match reused {
+                Some(n) => {
+                    obs.service.refreshes_delta.incr();
+                    obs.service.refresh_shards_reused.add(n as u64);
+                }
+                None => obs.service.refreshes_full.incr(),
+            }
         }
         Ok(snap)
+    }
+
+    /// Brings the retained refresh state up to date with current shard
+    /// contents: the delta path when state is retained and the switch is
+    /// on, the from-scratch rebuild otherwise. On `Ok` the guard always
+    /// holds a state whose `merged` equals a from-scratch clone-and-merge
+    /// of every shard, bit for bit. Returns the number of unchanged
+    /// shards the delta path reused (`None` when the full rebuild ran).
+    fn refresh_merged(
+        &self,
+        state: &mut Option<RefreshState<S>>,
+    ) -> Result<Option<usize>, ServiceError> {
+        if self.delta_refresh.load(Ordering::Relaxed) {
+            let applied = match state.as_mut() {
+                // An error mid-delta (impossible for shards built by the
+                // constructors) may leave `merged` half-updated: drop the
+                // state below and rebuild instead of propagating.
+                Some(s) => self.apply_shard_deltas(s).ok(),
+                None => None,
+            };
+            if let Some(reused) = applied {
+                return Ok(Some(reused));
+            }
+            *state = None;
+        } else {
+            // While the switch is off the retained clones go stale; drop
+            // them so a later re-enable cannot delta against them.
+            *state = None;
+        }
+        let mut retained = Vec::with_capacity(self.shards.len());
+        let mut seen = Vec::with_capacity(self.shards.len());
+        for (shard, dirty) in self.shards.iter().zip(&self.dirty) {
+            let locked = lock(shard, "shard")?;
+            // Read under the shard lock: the counter is bumped under this
+            // same lock, so it exactly matches the cloned contents.
+            seen.push(dirty.load(Ordering::Relaxed));
+            retained.push(locked.clone());
+        }
+        let mut merged = retained.first().cloned().ok_or(ServiceError::NoShards)?;
+        for shard in &retained[1..] {
+            merged.merge(shard)?;
+        }
+        *state = Some(RefreshState {
+            merged,
+            retained,
+            seen,
+        });
+        Ok(None)
+    }
+
+    /// The delta step: every shard whose dirty counter moved has its
+    /// previous contribution subtracted out of the running merge and a
+    /// fresh clone merged in (and retained). Unchanged shards cost one
+    /// counter load — no clone, no merge. Returns how many were reused.
+    fn apply_shard_deltas(&self, state: &mut RefreshState<S>) -> Result<usize, ServiceError> {
+        debug_assert_eq!(state.retained.len(), self.shards.len());
+        let mut reused = 0;
+        for (k, (shard, dirty)) in self.shards.iter().zip(&self.dirty).enumerate() {
+            let fresh = {
+                let locked = lock(shard, "shard")?;
+                let counter = dirty.load(Ordering::Relaxed);
+                if counter == state.seen[k] {
+                    reused += 1;
+                    continue;
+                }
+                state.seen[k] = counter;
+                locked.clone()
+            };
+            state.merged.subtract(&state.retained[k])?;
+            state.merged.merge(&fresh)?;
+            state.retained[k] = fresh;
+        }
+        Ok(reused)
     }
 
     /// Clones and merges every shard into one server — exactly the state
@@ -313,7 +545,7 @@ impl<S: SnapshotSource> LdpService<S> {
                 Some(m) => m.merge(&copy)?,
             }
         }
-        Ok(merged.expect("at least one shard"))
+        merged.ok_or(ServiceError::NoShards)
     }
 }
 
@@ -382,7 +614,7 @@ where
     /// Impossible for shards built by [`LdpService::windowed`]; an error
     /// indicates corrupted state.
     pub fn seal_epoch(&self) -> Result<u64, ServiceError> {
-        let _guard = lock(&self.refresh, "refresh")?;
+        let mut guard = lock(&self.refresh, "refresh")?;
         let started = self.window_obs.get().map(|_| Instant::now());
         let mut sealed = None;
         for shard in &self.shards {
@@ -390,11 +622,15 @@ where
             debug_assert!(sealed.is_none_or(|s| s == id), "shards sealed out of step");
             sealed = Some(id);
         }
+        // Sealing restructures every shard ring (new open epoch, rotated
+        // retention), so the retained delta-refresh clones no longer
+        // align; drop them and let the next refresh rebuild from scratch.
+        *guard = None;
         if let (Some(obs), Some(started)) = (self.window_obs.get(), started) {
             obs.seal_ns.record_elapsed(started);
             obs.epochs_sealed.incr();
         }
-        Ok(sealed.expect("at least one shard"))
+        sealed.ok_or(ServiceError::NoShards)
     }
 
     /// Decodes one wire frame — v1 (epoch-less) or v2 (epoch-tagged) —
@@ -419,6 +655,9 @@ where
         let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let mut shard = lock(&self.shards[k], "shard")?;
         let result = shard.absorb_tagged(epoch, &report);
+        if result.is_ok() {
+            self.dirty[k].fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(obs) = self.obs.get() {
             match &result {
                 Ok(()) => obs.shard.frames_accepted.incr(),
@@ -476,7 +715,53 @@ where
                 })?;
         }
         *shard = staged;
+        self.dirty[k].fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Absorbs a REPORT batch straight from its raw wire bytes into one
+    /// round-robin shard, **all-or-nothing** like
+    /// [`LdpService::submit_epoch_batch`], without materializing the
+    /// decoded batch — the windowed twin of
+    /// [`LdpService::submit_wire_batch`]. Epoch tags are checked against
+    /// the open epoch as each frame is decoded from its borrowed subslice
+    /// of `frames` and absorbed into the staged clone.
+    ///
+    /// Returns the number of frames absorbed (always `count` on success).
+    ///
+    /// # Errors
+    ///
+    /// A malformed or rejected frame surfaces as
+    /// [`ServiceError::BadFrame`] with its batch index (with
+    /// [`ServiceError::EpochMismatch`] as the source for stale or future
+    /// tags); state is unchanged on error.
+    pub fn submit_epoch_wire_batch(
+        &self,
+        wire_version: u8,
+        count: u64,
+        frames: &[u8],
+    ) -> Result<u64, ServiceError>
+    where
+        S::Report: WireReport,
+    {
+        if count == 0 && frames.is_empty() {
+            return Ok(0);
+        }
+        let started = self.obs.get().map(|_| Instant::now());
+        let k = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let result = (|| {
+            let mut shard = lock(&self.shards[k], "shard")?;
+            let mut staged = shard.clone();
+            let absorbed =
+                crate::wire::for_each_frame(wire_version, count, frames, |epoch, report| {
+                    staged.absorb_tagged(epoch, &report)
+                })?;
+            *shard = staged;
+            self.dirty[k].fetch_add(1, Ordering::Relaxed);
+            Ok(absorbed)
+        })();
+        self.observe_wire_batch(&result, count, frames.len(), started);
+        result
     }
 
     /// Merges the shard rings and freezes the trailing `epochs` sealed
@@ -512,7 +797,7 @@ where
         };
         let (first, last) = bounds.ok_or(ServiceError::EmptyWindow)?;
         let mut servers = servers.into_iter();
-        let mut merged = servers.next().expect("at least one shard");
+        let mut merged = servers.next().ok_or(ServiceError::NoShards)?;
         for server in servers {
             merged.merge(&server)?;
         }

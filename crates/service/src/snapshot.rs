@@ -14,7 +14,7 @@
 
 use ldp_ranges::{
     quantile, FlatServer, FrequencyEstimate, HaarHrrServer, HaarOueServer, Hh2dServer, HhServer,
-    HhSplitServer, MergeableServer, RangeEstimate,
+    HhSplitServer, RangeEstimate, SubtractableServer,
 };
 
 /// Servers whose merged state can be frozen into a 1-D frequency
@@ -23,7 +23,14 @@ use ldp_ranges::{
 /// Implementations pick their mechanism's best estimator (constrained
 /// inference for the hierarchical families, pyramid collapse for Haar),
 /// so a snapshot is exactly what the underlying mechanism would publish.
-pub trait SnapshotSource: MergeableServer {
+///
+/// The supertrait is [`SubtractableServer`], not just mergeable: the
+/// service's delta snapshot refresh swaps a shard's previous
+/// contribution *out* of a retained running merge by exact subtraction
+/// ([`crate::LdpService::refresh_snapshot`]), so anything the service can
+/// freeze must also be able to un-merge. Every mechanism's integer
+/// sufficient statistics satisfy this for free.
+pub trait SnapshotSource: SubtractableServer {
     /// Materializes the per-item frequency estimate of the current state.
     fn frequency_estimate(&self) -> FrequencyEstimate;
 }

@@ -23,7 +23,7 @@ use ldp_ranges::{PersistableServer, SubtractableServer};
 
 use crate::error::ServiceError;
 use crate::obs::instruments::{ReplInstruments, StorageInstruments};
-use crate::obs::trace::current_span;
+use crate::obs::trace::{current_span, set_current_span};
 use crate::obs::{MetricsRegistry, TraceEvent, TraceOutcome, TraceRing, TraceStage};
 use crate::repl::hub::ReplHub;
 use crate::service::LdpService;
@@ -32,7 +32,12 @@ use crate::storage::recovery::{self, RecoveryReport, ResumePoint};
 use crate::storage::wal::{FsyncPolicy, WalRecord, WalWriter};
 use crate::storage::{checkpoint, wal};
 use crate::window::{EpochRing, WindowedSnapshot};
-use crate::wire::{decode_epoch_frame, decode_frame, WireReport, VERSION_EPOCH};
+use crate::wire::{WireReport, VERSION_EPOCH};
+
+/// Reports decoded ahead of the WAL lock from one replicated FRAMES
+/// record — each paired with its optional epoch tag — or `None` when the
+/// record is not FRAMES (SEAL/CHECKPOINT decode nothing).
+type DecodedRun<R> = Option<Vec<(Option<u64>, R)>>;
 
 /// Sentinel for "no checkpoint taken yet" in the atomic id cell.
 const NO_CHECKPOINT: u64 = u64::MAX;
@@ -251,41 +256,16 @@ pub(crate) fn decode_batch<R: WireReport>(
     count: u64,
     frames: &[u8],
 ) -> Result<Vec<(Option<u64>, R)>, ServiceError> {
-    let bad = |index: usize, source: ServiceError| ServiceError::BadFrame {
-        index,
-        report_type: crate::error::report_type_name::<R>(),
-        source: Box::new(source),
-    };
     // Capacity is bounded by what the payload can physically hold (the
     // smallest well-formed frame is 5 bytes), never by the declared count
     // alone — a lying count must not buy a huge allocation before the
     // first decode failure rejects the batch.
     let plausible = (frames.len() / 5).min(count as usize);
     let mut reports: Vec<(Option<u64>, R)> = Vec::with_capacity(plausible);
-    let mut buf = frames;
-    while !buf.is_empty() {
-        if reports.len() as u64 >= count {
-            return Err(bad(
-                count as usize,
-                crate::error::WireError::Malformed("batch holds more frames than declared").into(),
-            ));
-        }
-        let index = reports.len();
-        let (epoch, report, used) = if wire_version == VERSION_EPOCH {
-            decode_epoch_frame::<R>(buf).map_err(|e| bad(index, e.into()))?
-        } else {
-            let (report, used) = decode_frame::<R>(buf).map_err(|e| bad(index, e.into()))?;
-            (None, report, used)
-        };
+    crate::wire::for_each_frame(wire_version, count, frames, |epoch, report| {
         reports.push((epoch, report));
-        buf = &buf[used..];
-    }
-    if (reports.len() as u64) < count {
-        return Err(bad(
-            reports.len(),
-            crate::error::WireError::Malformed("batch declared more frames than it holds").into(),
-        ));
-    }
+        Ok(())
+    })?;
     Ok(reports)
 }
 
@@ -781,51 +761,133 @@ where
         hub.record_appended();
     }
 
-    /// Applies one replicated WAL record through the same decode/absorb/
-    /// seal paths live ingestion uses, and appends it to this store's
-    /// *own* log — all-or-nothing, exactly like the leader did. FRAMES
-    /// and SEAL records mutate state; a CHECKPOINT record is appended as
-    /// a marker only (the follower checkpoints on its own schedule,
-    /// which for a live follower is never), so the follower's record
-    /// positions stay aligned with the leader's.
+    /// Applies a *run* of replicated WAL records under **one** WAL lock —
+    /// the follower's group-commit path. Adjacent FRAMES records absorb
+    /// through a single staged-clone commit (one shard clone for the whole
+    /// run instead of one per record), then each record is appended with
+    /// its original framing so the follower's log still mirrors the
+    /// leader's record for record; SEAL records seal and log at their
+    /// original positions between the runs, and a CHECKPOINT record is
+    /// appended as a marker only (the follower checkpoints on its own
+    /// schedule, which for a live follower is never). Each element pairs
+    /// the leader-assigned record position with the record so per-record
+    /// `WalAppend` trace spans stay correct.
+    ///
+    /// All-or-nothing per run: if a run is rejected, none of its records
+    /// reached state or log, and records *before* it in `records` are
+    /// already applied and appended — the caller's position (its own log
+    /// length) stays truthful either way.
     ///
     /// # Errors
     ///
     /// As [`DurableService::ingest_batch`] / [`DurableService::seal_epoch`];
     /// a SEAL naming a different epoch than the follower's ring sealed
     /// surfaces as corrupt state (the logs have diverged).
-    pub(crate) fn apply_replicated(&self, record: &WalRecord) -> Result<(), ServiceError> {
-        match record {
-            WalRecord::Frames {
-                wire_version,
-                count,
-                frames,
-            } => self.ingest_batch(*wire_version, *count, frames).map(|_| ()),
-            WalRecord::Seal { epoch } => {
-                let sealed = self.seal_epoch()?;
-                if sealed != *epoch {
-                    return Err(ServiceError::Range(ldp_ranges::RangeError::CorruptState(
-                        "replicated SEAL names a different epoch than the follower sealed \
-                         — the logs have diverged",
-                    )));
+    pub(crate) fn apply_replicated_batch(
+        &self,
+        records: &[(u64, WalRecord)],
+    ) -> Result<(), ServiceError> {
+        // Decode every FRAMES payload before taking the lock.
+        let mut decoded: Vec<DecodedRun<S::Report>> = Vec::with_capacity(records.len());
+        for (_, record) in records {
+            decoded.push(match record {
+                WalRecord::Frames {
+                    wire_version,
+                    count,
+                    frames,
+                } => {
+                    if *wire_version == VERSION_EPOCH && !self.is_windowed() {
+                        return Err(
+                            crate::error::WireError::UnsupportedVersion(*wire_version).into()
+                        );
+                    }
+                    Some(decode_batch::<S::Report>(*wire_version, *count, frames)?)
                 }
-                Ok(())
-            }
-            WalRecord::Checkpoint { id } => self.append_checkpoint_marker(*id),
+                _ => None,
+            });
         }
-    }
-
-    /// Appends a CHECKPOINT marker without checkpointing (the follower's
-    /// mirror of the leader's marker — recovery skips it on replay).
-    fn append_checkpoint_marker(&self, id: u64) -> Result<(), ServiceError> {
         let mut wal = self.lock_wal()?;
         self.check_wedged()?;
-        if let Err(e) = wal.writer.append(&WalRecord::Checkpoint { id }) {
-            self.obs.wedged.set(1);
-            return Err(e.into());
+        let mut i = 0;
+        while i < records.len() {
+            match &records[i].1 {
+                WalRecord::Frames { .. } => {
+                    let start = i;
+                    let mut reports = Vec::new();
+                    while i < records.len() && decoded[i].is_some() {
+                        reports.append(decoded[i].as_mut().expect("run holds decoded frames"));
+                        i += 1;
+                    }
+                    set_current_span(Some(records[start].0));
+                    match &self.backend {
+                        DurableBackend::Plain(s) => {
+                            let plain: Vec<S::Report> =
+                                reports.into_iter().map(|(_, r)| r).collect();
+                            s.submit_batch(&plain)?;
+                        }
+                        DurableBackend::Windowed(s) => s.submit_epoch_batch(&reports)?,
+                    }
+                    for (position, record) in &records[start..i] {
+                        let WalRecord::Frames {
+                            wire_version,
+                            count,
+                            frames,
+                        } = record
+                        else {
+                            unreachable!("run holds only FRAMES records");
+                        };
+                        set_current_span(Some(*position));
+                        let started = Instant::now();
+                        if let Err(e) = wal.writer.append_frames(*wire_version, *count, frames) {
+                            self.obs.wedged.set(1);
+                            return Err(e.into());
+                        }
+                        self.obs.append_ns.record_elapsed(started);
+                        self.trace_append(started);
+                        self.obs.batch_frames.record(*count);
+                        self.obs.wal_records.incr();
+                        self.obs.wal_frames.add(*count);
+                        wal.records_since_checkpoint += 1;
+                        self.notify_repl(&mut wal);
+                    }
+                }
+                WalRecord::Seal { epoch } => {
+                    let DurableBackend::Windowed(s) = &self.backend else {
+                        return Err(ServiceError::NotWindowed);
+                    };
+                    set_current_span(Some(records[i].0));
+                    let sealed = s.seal_epoch()?;
+                    if sealed != *epoch {
+                        return Err(ServiceError::Range(ldp_ranges::RangeError::CorruptState(
+                            "replicated SEAL names a different epoch than the follower sealed \
+                             — the logs have diverged",
+                        )));
+                    }
+                    let started = Instant::now();
+                    if let Err(e) = wal.writer.append(&WalRecord::Seal { epoch: *epoch }) {
+                        self.obs.wedged.set(1);
+                        return Err(e.into());
+                    }
+                    self.obs.append_ns.record_elapsed(started);
+                    self.trace_append(started);
+                    self.obs.wal_records.incr();
+                    wal.records_since_checkpoint += 1;
+                    self.notify_repl(&mut wal);
+                    i += 1;
+                }
+                WalRecord::Checkpoint { id } => {
+                    set_current_span(Some(records[i].0));
+                    if let Err(e) = wal.writer.append(&WalRecord::Checkpoint { id: *id }) {
+                        self.obs.wedged.set(1);
+                        return Err(e.into());
+                    }
+                    self.obs.wal_records.incr();
+                    self.notify_repl(&mut wal);
+                    i += 1;
+                }
+            }
         }
-        self.obs.wal_records.incr();
-        self.notify_repl(&mut wal);
+        self.maybe_auto_checkpoint(&mut wal);
         Ok(())
     }
 

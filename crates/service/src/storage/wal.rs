@@ -25,7 +25,7 @@
 //! implements the torn-tail rule.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::io::{IoSlice, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::error::WireError;
@@ -304,13 +304,58 @@ pub enum FsyncPolicy {
 
 // --- the writer --------------------------------------------------------
 
+/// Staged record bytes are handed to the kernel in one write once they
+/// accumulate past this threshold. Under a lazy [`FsyncPolicy`] this is
+/// the group-commit knob: adjacent appends coalesce in the staging buffer
+/// and reach the OS as one large write instead of four small ones per
+/// record.
+const WRITE_COALESCE_BYTES: usize = 256 << 10;
+
+/// A record tail at least this large skips the staging copy entirely:
+/// the staged bytes (earlier records plus this record's framing) and the
+/// borrowed tail go to the kernel together in one vectored write, so a
+/// big REPORT batch is never memcpy'd into the log's buffer at all.
+const DIRECT_TAIL_BYTES: usize = 8 << 10;
+
+/// Capacity the staging buffer is allowed to retain across flushes — a
+/// single oversized record must not pin megabytes for the log's lifetime.
+const STAGING_RETAIN_BYTES: usize = WRITE_COALESCE_BYTES;
+
+/// `write_all` over two buffers via `writev`, so a borrowed record tail
+/// lands on disk after the staged bytes without being concatenated with
+/// them. Loops on short writes exactly like `write_all`.
+fn write_all_vectored(file: &mut File, mut head: &[u8], mut tail: &[u8]) -> std::io::Result<()> {
+    while !head.is_empty() || !tail.is_empty() {
+        let n = file.write_vectored(&[IoSlice::new(head), IoSlice::new(tail)])?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        if n >= head.len() {
+            tail = &tail[n - head.len()..];
+            head = &[];
+        } else {
+            head = &head[n..];
+        }
+    }
+    Ok(())
+}
+
 /// Append side of the WAL: owns the current segment file, rotates at the
 /// configured size, and applies the [`FsyncPolicy`].
+///
+/// Appends are *coalesced*: records are framed into an owned staging
+/// buffer and flushed to the OS in one write (or one vectored write, for
+/// large borrowed payloads) when a sync is due, the buffer crosses the
+/// group-commit threshold (`WRITE_COALESCE_BYTES`, 256 KiB), or a
+/// tail-follower needs visibility — never one syscall per field like a
+/// naive `BufWriter` drain.
 #[derive(Debug)]
 pub struct WalWriter {
     dir: PathBuf,
     seq: u64,
-    file: BufWriter<File>,
+    file: File,
+    /// Framed record bytes not yet handed to the OS.
+    staging: Vec<u8>,
     segment_len: u64,
     unsynced: u64,
     segment_bytes: u64,
@@ -343,14 +388,15 @@ impl WalWriter {
         // acknowledged batches with it — which recovery would misread as
         // a shorter, clean log.
         crate::storage::sync_dir(dir)?;
-        let mut file = BufWriter::new(file);
-        file.write_all(&SEGMENT_MAGIC)?;
-        file.write_all(&[SEGMENT_VERSION])?;
-        file.write_all(&seq.to_le_bytes())?;
+        let mut staging = Vec::with_capacity(4 << 10);
+        staging.extend_from_slice(&SEGMENT_MAGIC);
+        staging.push(SEGMENT_VERSION);
+        staging.extend_from_slice(&seq.to_le_bytes());
         Ok(Self {
             dir: dir.to_path_buf(),
             seq,
             file,
+            staging,
             segment_len: SEGMENT_HEADER_BYTES,
             unsynced: SEGMENT_HEADER_BYTES,
             segment_bytes,
@@ -383,7 +429,8 @@ impl WalWriter {
         Ok(Self {
             dir: dir.to_path_buf(),
             seq,
-            file: BufWriter::new(file),
+            file,
+            staging: Vec::with_capacity(4 << 10),
             segment_len: valid_len,
             unsynced: 0,
             segment_bytes,
@@ -449,8 +496,10 @@ impl WalWriter {
         self.append_parts(&head, frames, count)
     }
 
-    /// Shared append tail: frames the record as `head ++ tail`, updates
-    /// counters, applies the fsync policy, rotates on overflow.
+    /// Shared append tail: frames the record as `head ++ tail` into the
+    /// staging buffer, updates counters, applies the fsync policy, and
+    /// rotates on overflow. A large borrowed `tail` bypasses staging and
+    /// reaches the kernel in one vectored write with the staged bytes.
     fn append_parts(&mut self, head: &[u8], tail: &[u8], frames: u64) -> std::io::Result<()> {
         let len = head.len() + tail.len();
         if len == 0 || len > MAX_RECORD_BYTES {
@@ -459,10 +508,15 @@ impl WalWriter {
             ));
         }
         let crc = !crc32_update(crc32_update(!0, head), tail);
-        self.file.write_all(&(len as u32).to_le_bytes())?;
-        self.file.write_all(&crc.to_le_bytes())?;
-        self.file.write_all(head)?;
-        self.file.write_all(tail)?;
+        self.staging.extend_from_slice(&(len as u32).to_le_bytes());
+        self.staging.extend_from_slice(&crc.to_le_bytes());
+        self.staging.extend_from_slice(head);
+        if tail.len() >= DIRECT_TAIL_BYTES {
+            write_all_vectored(&mut self.file, &self.staging, tail)?;
+            self.staging.clear();
+        } else {
+            self.staging.extend_from_slice(tail);
+        }
         self.segment_len += len as u64 + 8;
         self.unsynced += len as u64 + 8;
         self.appended_records += 1;
@@ -476,25 +530,42 @@ impl WalWriter {
             }
             FsyncPolicy::Never => {}
         }
+        if self.staging.len() >= WRITE_COALESCE_BYTES {
+            self.flush_staging()?;
+        }
         if self.segment_len >= self.segment_bytes {
             self.rotate()?;
         }
         Ok(())
     }
 
-    /// Flushes buffered bytes and forces them to disk.
+    /// Hands every staged byte to the OS in one write. The staging buffer
+    /// keeps a bounded capacity afterwards so one oversized record cannot
+    /// pin its allocation forever.
+    fn flush_staging(&mut self) -> std::io::Result<()> {
+        if !self.staging.is_empty() {
+            self.file.write_all(&self.staging)?;
+            self.staging.clear();
+        }
+        if self.staging.capacity() > STAGING_RETAIN_BYTES {
+            self.staging.shrink_to(STAGING_RETAIN_BYTES);
+        }
+        Ok(())
+    }
+
+    /// Flushes staged bytes and forces them to disk.
     ///
     /// # Errors
     ///
     /// Propagates flush/fsync failures.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.flush_staging()?;
+        self.file.sync_data()?;
         self.unsynced = 0;
         Ok(())
     }
 
-    /// Flushes buffered bytes to the OS without forcing them to disk —
+    /// Flushes staged bytes to the OS without forcing them to disk —
     /// under a lazy [`FsyncPolicy`] this is what makes freshly appended
     /// records visible to a tail-following [`WalReader`] promptly (the
     /// replication stream) without paying an fsync per record.
@@ -503,7 +574,7 @@ impl WalWriter {
     ///
     /// Propagates flush failures.
     pub fn flush_buffer(&mut self) -> std::io::Result<()> {
-        self.file.flush()
+        self.flush_staging()
     }
 
     /// Syncs and closes the current segment and opens the next one,

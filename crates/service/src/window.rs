@@ -408,6 +408,33 @@ impl<S: SubtractableServer> MergeableServer for EpochRing<S> {
     }
 }
 
+/// Subtraction mirrors [`MergeableServer::merge`] slot by slot — running
+/// merge, open epoch, and each retained sealed epoch — with the same
+/// alignment requirements. This is the exact inverse the service's delta
+/// snapshot refresh needs to swap a shard ring's previous contribution
+/// out of a retained running merge
+/// ([`crate::LdpService::refresh_snapshot`]). A misaligned subtrahend —
+/// including a clone taken before this ring sealed another epoch — is
+/// rejected up front, exactly like a misaligned merge.
+impl<S: SubtractableServer> SubtractableServer for EpochRing<S> {
+    fn subtract(&mut self, other: &Self) -> Result<(), RangeError> {
+        let aligned = other.window_len == self.window_len
+            && other.epoch_width == self.epoch_width
+            && other.current_id == self.current_id
+            && other.ring.len() == self.ring.len()
+            && other.ring.iter().zip(&self.ring).all(|(a, b)| a.id == b.id);
+        if !aligned {
+            return Err(RangeError::ReportShapeMismatch);
+        }
+        self.running.subtract(&other.running)?;
+        self.current.subtract(&other.current)?;
+        for (mine, theirs) in self.ring.iter_mut().zip(&other.ring) {
+            mine.server.subtract(&theirs.server)?;
+        }
+        Ok(())
+    }
+}
+
 /// The ring's complete mutable state: the open epoch id, every retained
 /// sealed epoch (id + accumulator), and the open accumulator. The window
 /// configuration is written for validation only — the restoring side must

@@ -195,11 +195,14 @@ fn get_unary(r: &mut Reader<'_>) -> Result<OueReport, WireError> {
     if r.remaining() < n_words * 8 {
         return Err(WireError::Truncated);
     }
-    let mut words = Vec::with_capacity(n_words);
-    for _ in 0..n_words {
-        let chunk = r.bytes(8)?;
-        words.push(u64::from_le_bytes(chunk.try_into().expect("8-byte read")));
-    }
+    // One bulk read for the whole bit vector: the per-word bounds checks
+    // collapse into a single range check and the conversion loop below
+    // auto-vectorizes over exact 8-byte chunks.
+    let raw = r.bytes(n_words * 8)?;
+    let words: Vec<u64> = raw
+        .chunks_exact(8)
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+        .collect();
     OueReport::try_from_words(domain, words)
         .ok_or(WireError::Malformed("bits set past unary domain"))
 }
@@ -502,6 +505,62 @@ pub fn decode_all<T: WireReport>(mut buf: &[u8]) -> Result<Vec<T>, WireError> {
         buf = &buf[used..];
     }
     Ok(reports)
+}
+
+/// Walks a REPORT-style batch (back-to-back raw wire frames, declared
+/// `count`) under a negotiated wire version, handing each decoded report
+/// — with its optional epoch tag — to `sink` as it is produced. Every
+/// frame is decoded straight from its borrowed subslice of `frames`, so
+/// a consumer that absorbs in place never materializes the batch: this
+/// is the zero-copy spine under both the network REPORT path and the
+/// collecting [`crate::storage`] decoder, which therefore reject hostile
+/// batches identically.
+///
+/// Returns the number of frames decoded (equal to `count` on success).
+///
+/// # Errors
+///
+/// A malformed frame, a count/payload mismatch, or a `sink` rejection
+/// surfaces as [`ServiceError::BadFrame`] with the offending index.
+pub(crate) fn for_each_frame<R: WireReport>(
+    wire_version: u8,
+    count: u64,
+    frames: &[u8],
+    mut sink: impl FnMut(Option<u64>, R) -> Result<(), crate::error::ServiceError>,
+) -> Result<u64, crate::error::ServiceError> {
+    let bad =
+        |index: usize, source: crate::error::ServiceError| crate::error::ServiceError::BadFrame {
+            index,
+            report_type: crate::error::report_type_name::<R>(),
+            source: Box::new(source),
+        };
+    let mut decoded = 0u64;
+    let mut buf = frames;
+    while !buf.is_empty() {
+        if decoded >= count {
+            return Err(bad(
+                count as usize,
+                WireError::Malformed("batch holds more frames than declared").into(),
+            ));
+        }
+        let index = decoded as usize;
+        let (epoch, report, used) = if wire_version == VERSION_EPOCH {
+            decode_epoch_frame::<R>(buf).map_err(|e| bad(index, e.into()))?
+        } else {
+            let (report, used) = decode_frame::<R>(buf).map_err(|e| bad(index, e.into()))?;
+            (None, report, used)
+        };
+        sink(epoch, report).map_err(|e| bad(index, e))?;
+        decoded += 1;
+        buf = &buf[used..];
+    }
+    if decoded < count {
+        return Err(bad(
+            decoded as usize,
+            WireError::Malformed("batch declared more frames than it holds").into(),
+        ));
+    }
+    Ok(decoded)
 }
 
 #[cfg(test)]

@@ -31,17 +31,60 @@ pub fn haar_forward(x: &[f64]) -> Vec<f64> {
         "Haar transform requires a power-of-two length, got {n}"
     );
     let mut out = vec![0.0; n];
-    let mut sums = x.to_vec();
-    let mut width = n; // number of block sums currently held in `sums`
+    // Ping-pong between two buffers so every pass reads one buffer and
+    // writes disjoint slices of the other: no in-place aliasing, so the
+    // pairwise loop compiles to straight-line vector code. Each level
+    // computes the identical `l ± r` the in-place scalar pass computes,
+    // so the coefficients are bit-identical to [`haar_forward_scalar`].
+    let mut cur = x.to_vec();
+    let mut next = vec![0.0; n / 2];
+    let mut width = n; // number of block sums currently held in `cur`
     let mut block = 1usize; // current block size
+    while width > 1 {
+        let half = width / 2;
+        let scale = 1.0 / ((2 * block) as f64).sqrt();
+        // Parent nodes at this pass sit at depth log2(half); their
+        // coefficient slots are [half, width).
+        let (diffs, _) = out[half..].split_at_mut(half);
+        for ((pair, sum), diff) in cur[..width]
+            .chunks_exact(2)
+            .zip(next[..half].iter_mut())
+            .zip(diffs.iter_mut())
+        {
+            let (l, r) = (pair[0], pair[1]);
+            *diff = (l - r) * scale;
+            *sum = l + r;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        width = half;
+        block *= 2;
+    }
+    out[0] = cur[0] / (n as f64).sqrt();
+    out
+}
+
+/// The in-place reference implementation of [`haar_forward`] — the oracle
+/// the buffered version is differential-tested against (bit-identical).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn haar_forward_scalar(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(
+        n.is_power_of_two(),
+        "Haar transform requires a power-of-two length, got {n}"
+    );
+    let mut out = vec![0.0; n];
+    let mut sums = x.to_vec();
+    let mut width = n;
+    let mut block = 1usize;
     while width > 1 {
         let half = width / 2;
         let scale = 1.0 / ((2 * block) as f64).sqrt();
         for t in 0..half {
             let l = sums[2 * t];
             let r = sums[2 * t + 1];
-            // Parent nodes at this pass sit at depth log2(half); their
-            // coefficient slots are [half, width).
             out[half + t] = (l - r) * scale;
             sums[t] = l + r;
         }
@@ -63,11 +106,50 @@ pub fn haar_inverse(c: &[f64]) -> Vec<f64> {
         n.is_power_of_two(),
         "Haar transform requires a power-of-two length, got {n}"
     );
-    // Rebuild block sums top-down, starting from the grand total.
-    let mut sums = vec![0.0; n];
-    sums[0] = c[0] * (n as f64).sqrt();
+    // Rebuild block sums top-down, starting from the grand total. As in
+    // [`haar_forward`], ping-pong buffers replace the in-place backward
+    // walk: each pass reads `cur` and writes pairs of `next`, computing
+    // the identical `(s ± d)/2` expansions — bit-identical to
+    // [`haar_inverse_scalar`].
+    let mut cur = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    cur[0] = c[0] * (n as f64).sqrt();
     let mut width = 1usize; // number of valid block sums
     let mut block = n; // their block size
+    while width < n {
+        let scale = (block as f64).sqrt();
+        for ((pair, &s), &coeff) in next[..2 * width]
+            .chunks_exact_mut(2)
+            .zip(cur[..width].iter())
+            .zip(c[width..2 * width].iter())
+        {
+            let d = coeff * scale;
+            pair[0] = (s + d) / 2.0;
+            pair[1] = (s - d) / 2.0;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        width *= 2;
+        block /= 2;
+    }
+    cur
+}
+
+/// The in-place reference implementation of [`haar_inverse`] — the oracle
+/// the buffered version is differential-tested against (bit-identical).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn haar_inverse_scalar(c: &[f64]) -> Vec<f64> {
+    let n = c.len();
+    assert!(
+        n.is_power_of_two(),
+        "Haar transform requires a power-of-two length, got {n}"
+    );
+    let mut sums = vec![0.0; n];
+    sums[0] = c[0] * (n as f64).sqrt();
+    let mut width = 1usize;
+    let mut block = n;
     while width < n {
         let scale = (block as f64).sqrt();
         // Expand in place from the back so we do not clobber unread sums.
@@ -104,6 +186,47 @@ impl HaarPyramid {
     ///
     /// Panics if the length is not a power of two.
     pub fn from_leaves(x: &[f64]) -> Self {
+        let n = x.len();
+        assert!(
+            n.is_power_of_two(),
+            "HaarPyramid requires a power-of-two length, got {n}"
+        );
+        let height = n.trailing_zeros();
+        let mut diffs: Vec<Vec<f64>> = (0..height).map(|d| vec![0.0; 1 << d]).collect();
+        // Ping-pong buffers (see [`haar_forward`]): each level reads
+        // disjoint pairs and writes straight-line sum/diff streams, which
+        // vectorizes; the arithmetic per node is unchanged, so the
+        // pyramid is bit-identical to [`HaarPyramid::from_leaves_scalar`].
+        let mut cur = x.to_vec();
+        let mut next = vec![0.0; n / 2];
+        for d in (0..height).rev() {
+            let width = 1usize << d;
+            for ((pair, sum), diff) in cur[..2 * width]
+                .chunks_exact(2)
+                .zip(next[..width].iter_mut())
+                .zip(diffs[d as usize].iter_mut())
+            {
+                let (l, r) = (pair[0], pair[1]);
+                *diff = l - r;
+                *sum = l + r;
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Self {
+            height,
+            total: cur[0],
+            diffs,
+        }
+    }
+
+    /// The in-place reference implementation of
+    /// [`HaarPyramid::from_leaves`] — the oracle the buffered version is
+    /// differential-tested against (bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_leaves_scalar(x: &[f64]) -> Self {
         let n = x.len();
         assert!(
             n.is_power_of_two(),
@@ -207,6 +330,32 @@ impl HaarPyramid {
 
     /// Reconstructs every leaf in `O(D)`.
     pub fn leaves(&self) -> Vec<f64> {
+        let n = self.len();
+        // Ping-pong expansion (see [`haar_inverse`]); bit-identical to
+        // [`HaarPyramid::leaves_scalar`].
+        let mut cur = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        cur[0] = self.total;
+        let mut width = 1usize;
+        for d in 0..self.height {
+            for ((pair, &s), &d_u) in next[..2 * width]
+                .chunks_exact_mut(2)
+                .zip(cur[..width].iter())
+                .zip(self.diffs[d as usize].iter())
+            {
+                pair[0] = (s + d_u) / 2.0;
+                pair[1] = (s - d_u) / 2.0;
+            }
+            std::mem::swap(&mut cur, &mut next);
+            width *= 2;
+        }
+        cur
+    }
+
+    /// The in-place reference implementation of [`HaarPyramid::leaves`] —
+    /// the oracle the buffered version is differential-tested against
+    /// (bit-identical).
+    pub fn leaves_scalar(&self) -> Vec<f64> {
         let n = self.len();
         let mut sums = vec![0.0; n];
         sums[0] = self.total;

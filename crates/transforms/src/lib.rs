@@ -22,8 +22,8 @@ pub mod hadamard;
 pub mod tree;
 
 pub use dyadic::{decompose_range, DyadicNode};
-pub use haar::{haar_forward, haar_inverse, HaarPyramid};
-pub use hadamard::{fwht, fwht_inverse, hadamard_entry};
+pub use haar::{haar_forward, haar_forward_scalar, haar_inverse, haar_inverse_scalar, HaarPyramid};
+pub use hadamard::{fwht, fwht_inverse, fwht_scalar, hadamard_entry};
 pub use tree::{CompleteTree, FlatTree};
 
 /// Returns `log_b(n)` when `n` is an exact power of `b`, and `None`

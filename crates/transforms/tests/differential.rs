@@ -1,0 +1,177 @@
+//! Differential suite: the blocked/vectorized transforms against their
+//! retained scalar oracles, **bit for bit**.
+//!
+//! The optimized FWHT reorders butterfly passes into cache-resident
+//! blocks and the Haar passes into ping-pong buffers, but every butterfly
+//! still combines exactly the same two operands in the same order — each
+//! `(i, i + half)` pair is disjoint from every other pair of its pass, so
+//! the computation DAG is unchanged and IEEE-754 determinism makes the
+//! outputs identical, not merely close. These tests therefore compare
+//! `to_bits()`, with no tolerance anywhere.
+
+use ldp_transforms::{
+    fwht, fwht_inverse, fwht_scalar, haar_forward, haar_forward_scalar, haar_inverse,
+    haar_inverse_scalar, HaarPyramid,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every power of two from 1 to 2^14 — covers the unrolled base cases
+/// (1, 2, 4), the in-block sizes (8..64), and multi-block sizes where the
+/// two-stage pass split actually engages.
+fn sizes() -> Vec<usize> {
+    (0..=14).map(|k| 1usize << k).collect()
+}
+
+fn random_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect()
+}
+
+fn assert_bits_eq(fast: &[f64], slow: &[f64], what: &str, n: usize) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length mismatch at n={n}");
+    for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: bit mismatch at n={n}, index {i}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn fwht_bit_identical_to_scalar_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0001);
+    for n in sizes() {
+        for _ in 0..4 {
+            let x = random_vec(&mut rng, n);
+            let mut fast = x.clone();
+            let mut slow = x;
+            fwht(&mut fast);
+            fwht_scalar(&mut slow);
+            assert_bits_eq(&fast, &slow, "fwht", n);
+        }
+    }
+}
+
+#[test]
+fn fwht_inverse_roundtrips_through_blocked_forward() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0002);
+    for n in sizes() {
+        let x = random_vec(&mut rng, n);
+        let mut y = x.clone();
+        fwht(&mut y);
+        fwht_inverse(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-9, "roundtrip at n={n}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn fwht_adversarial_values_still_bit_identical() {
+    // Signed zeros, subnormals, extreme magnitudes, and infinities: even
+    // where the arithmetic saturates or underflows, both paths must take
+    // the identical IEEE path.
+    let specials = [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        f64::MIN_POSITIVE / 4.0,
+        1e308,
+        -1e308,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1.0,
+        -1.0,
+        std::f64::consts::PI,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xFA57_0003);
+    for n in [4usize, 64, 128, 1024] {
+        let x: Vec<f64> = (0..n)
+            .map(|_| specials[rng.random_range(0..specials.len())])
+            .collect();
+        let mut fast = x.clone();
+        let mut slow = x;
+        fwht(&mut fast);
+        fwht_scalar(&mut slow);
+        assert_bits_eq(&fast, &slow, "fwht specials", n);
+    }
+}
+
+#[test]
+fn haar_forward_bit_identical_to_scalar_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0004);
+    for n in sizes() {
+        for _ in 0..4 {
+            let x = random_vec(&mut rng, n);
+            assert_bits_eq(
+                &haar_forward(&x),
+                &haar_forward_scalar(&x),
+                "haar_forward",
+                n,
+            );
+        }
+    }
+}
+
+#[test]
+fn haar_inverse_bit_identical_to_scalar_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0005);
+    for n in sizes() {
+        let c = random_vec(&mut rng, n);
+        assert_bits_eq(
+            &haar_inverse(&c),
+            &haar_inverse_scalar(&c),
+            "haar_inverse",
+            n,
+        );
+    }
+}
+
+#[test]
+fn haar_roundtrip_through_buffered_paths() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0006);
+    for n in sizes() {
+        let x = random_vec(&mut rng, n);
+        let y = haar_inverse(&haar_forward(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-9, "haar roundtrip at n={n}");
+        }
+    }
+}
+
+#[test]
+fn pyramid_from_leaves_bit_identical_to_scalar_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0007);
+    for n in sizes() {
+        let x = random_vec(&mut rng, n);
+        let fast = HaarPyramid::from_leaves(&x);
+        let slow = HaarPyramid::from_leaves_scalar(&x);
+        assert_eq!(
+            fast.total().to_bits(),
+            slow.total().to_bits(),
+            "pyramid total at n={n}"
+        );
+        assert_eq!(fast.height(), slow.height());
+        for d in 0..fast.height() {
+            for t in 0..1usize << d {
+                assert_eq!(
+                    fast.diff(d, t).to_bits(),
+                    slow.diff(d, t).to_bits(),
+                    "pyramid diff ({d},{t}) at n={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pyramid_leaves_bit_identical_to_scalar_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA57_0008);
+    for n in sizes() {
+        let x = random_vec(&mut rng, n);
+        let p = HaarPyramid::from_leaves(&x);
+        assert_bits_eq(&p.leaves(), &p.leaves_scalar(), "pyramid leaves", n);
+    }
+}
